@@ -1,0 +1,184 @@
+//! Ablation benches for the design choices called out in `DESIGN.md` §7.
+//!
+//! * `ablation_engine` — block DFS vs naive DFS as the per-query primitive
+//!   (the TDB → TDB+ step in isolation, measured on raw queries).
+//! * `ablation_filter` — BFS filter on/off and the exact-filter extension
+//!   (the TDB+ → TDB++ → TDB++X ladder).
+//! * `ablation_scc` — SCC pre-filter on/off.
+//! * `ablation_order` — vertex scan order sensitivity.
+//! * `ablation_parallel` — parallel TDB++ with 1/2/4 worker threads.
+//! * `ablation_minimal_engine` — Algorithm 7 driven by the naive vs block DFS.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_bench::bench_support::small_proxy;
+use tdb_core::prelude::*;
+use tdb_cycle::{find_cycle_through, BlockSearcher};
+use tdb_datasets::Dataset;
+use tdb_graph::{ActiveSet, Graph};
+
+fn bench_engine_queries(c: &mut Criterion) {
+    let g = small_proxy(Dataset::WikiVote, 4000);
+    let active = ActiveSet::all_active(g.num_vertices());
+    let constraint = HopConstraint::new(5);
+    let mut group = c.benchmark_group("ablation_engine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    group.bench_function("block_dfs_all_vertices", |b| {
+        let mut searcher = BlockSearcher::new(g.num_vertices());
+        b.iter(|| {
+            let mut hits = 0usize;
+            for v in g.vertices() {
+                if searcher.is_on_constrained_cycle(&g, &active, v, &constraint) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("naive_dfs_all_vertices", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for v in g.vertices() {
+                if find_cycle_through(&g, &active, v, &constraint).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let g = small_proxy(Dataset::WebGoogle, 8000);
+    let constraint = HopConstraint::new(5);
+    let mut group = c.benchmark_group("ablation_filter");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for (label, config) in [
+        ("tdb_plus_no_filter", TopDownConfig::tdb_plus()),
+        ("tdb_plus_plus_bfs_filter", TopDownConfig::tdb_plus_plus()),
+        ("tdb_extended_exact_filter", TopDownConfig::extended()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(top_down_cover(&g, &constraint, &config).cover_size()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scc_prefilter(c: &mut Criterion) {
+    // Citation-class proxies have a large acyclic fringe, the best case for the
+    // SCC pre-filter.
+    let g = small_proxy(Dataset::Citeseer, 8000);
+    let constraint = HopConstraint::new(5);
+    let mut group = c.benchmark_group("ablation_scc");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let without = TopDownConfig::tdb_plus_plus();
+    let with = TopDownConfig {
+        scc_prefilter: true,
+        ..TopDownConfig::tdb_plus_plus()
+    };
+    group.bench_function("without_scc_prefilter", |b| {
+        b.iter(|| black_box(top_down_cover(&g, &constraint, &without).cover_size()))
+    });
+    group.bench_function("with_scc_prefilter", |b| {
+        b.iter(|| black_box(top_down_cover(&g, &constraint, &with).cover_size()))
+    });
+    group.finish();
+}
+
+fn bench_scan_order(c: &mut Criterion) {
+    let g = small_proxy(Dataset::WikiVote, 4000);
+    let constraint = HopConstraint::new(5);
+    let mut group = c.benchmark_group("ablation_order");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for (label, order) in [
+        ("ascending", ScanOrder::Ascending),
+        ("degree_descending", ScanOrder::DegreeDescending),
+        ("degree_ascending", ScanOrder::DegreeAscending),
+        ("random", ScanOrder::Random(7)),
+    ] {
+        let config = TopDownConfig::tdb_plus_plus().with_scan_order(order);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(top_down_cover(&g, &constraint, &config).cover_size()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let g = small_proxy(Dataset::WebGoogle, 16_000);
+    let constraint = HopConstraint::new(5);
+    let mut group = c.benchmark_group("ablation_parallel");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    group.bench_function("sequential_tdb_plus_plus", |b| {
+        b.iter(|| {
+            black_box(
+                top_down_cover(&g, &constraint, &TopDownConfig::tdb_plus_plus()).cover_size(),
+            )
+        })
+    });
+    for threads in [1usize, 2, 4] {
+        let config = ParallelConfig {
+            num_threads: threads,
+            scan_order: ScanOrder::Ascending,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("parallel_tdb_plus_plus", threads),
+            &threads,
+            |b, _| b.iter(|| black_box(parallel_top_down_cover(&g, &constraint, &config).cover_size())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_minimal_engine(c: &mut Criterion) {
+    let g = small_proxy(Dataset::AsCaida, 2500);
+    let constraint = HopConstraint::new(4);
+    let mut group = c.benchmark_group("ablation_minimal_engine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for (label, engine) in [
+        ("naive_find_cycle", SearchEngine::Naive),
+        ("block_dfs", SearchEngine::Block),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut config = BottomUpConfig::bur_plus();
+                config.minimal_engine = engine;
+                black_box(bottom_up_cover(&g, &constraint, &config).cover_size())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_queries,
+    bench_filters,
+    bench_scc_prefilter,
+    bench_scan_order,
+    bench_parallel,
+    bench_minimal_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 10 bench: the speed-up ladder inside the top-down family — TDB
+//! (naive DFS) versus TDB+ (block DFS) versus TDB++ (block DFS + BFS filter) —
+//! on the Wiki-Vote and web-Google proxies.
+//!
+//! These proxies can be an order of magnitude larger than the ones used for the
+//! exhaustive baselines because all three variants are polynomial.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_bench::bench_support::small_proxy;
+use tdb_core::{compute_cover, Algorithm, HopConstraint};
+use tdb_datasets::Dataset;
+
+fn bench_figure10(c: &mut Criterion) {
+    for (dataset, edges) in [(Dataset::WikiVote, 4000), (Dataset::WebGoogle, 8000)] {
+        let g = small_proxy(dataset, edges);
+        let mut group = c.benchmark_group(format!("figure10/{}", dataset.spec().code));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
+        for k in [3usize, 5, 7] {
+            let constraint = HopConstraint::new(k);
+            for algorithm in [Algorithm::Tdb, Algorithm::TdbPlus, Algorithm::TdbPlusPlus] {
+                // The naive-DFS variant explodes combinatorially for larger k;
+                // cap it like the paper's INF entries.
+                if k > 5 && algorithm == Algorithm::Tdb {
+                    continue;
+                }
+                group.bench_with_input(
+                    BenchmarkId::new(algorithm.name(), k),
+                    &(algorithm, k),
+                    |b, &(algorithm, _)| {
+                        b.iter(|| black_box(compute_cover(&g, &constraint, algorithm).cover_size()))
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_figure10);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table III bench: cover computation time of the three headline algorithms
+//! (DARC-DV, BUR+, TDB++) at `k = 5` on small dataset proxies.
+//!
+//! The paper's Table III reports runtime and cover size at `k = 5` across the
+//! twelve small/medium datasets; this bench times the same three algorithms on
+//! proxies small enough for the exhaustive baselines to finish a Criterion
+//! sample, preserving the ranking (TDB++ ≪ DARC-DV < BUR+).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_bench::bench_support::small_proxy;
+use tdb_core::{compute_cover, Algorithm, HopConstraint};
+use tdb_datasets::Dataset;
+
+fn bench_table3(c: &mut Criterion) {
+    let constraint = HopConstraint::new(5);
+    let datasets = [
+        (Dataset::WikiVote, 900),
+        (Dataset::AsCaida, 900),
+        (Dataset::Gnutella31, 1200),
+    ];
+    for (dataset, edges) in datasets {
+        let g = small_proxy(dataset, edges);
+        let mut group = c.benchmark_group(format!("table3_k5/{}", dataset.spec().code));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
+        for algorithm in [Algorithm::DarcDv, Algorithm::BurPlus, Algorithm::TdbPlusPlus] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(algorithm.name()),
+                &algorithm,
+                |b, &algorithm| {
+                    b.iter(|| black_box(compute_cover(&g, &constraint, algorithm).cover_size()))
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

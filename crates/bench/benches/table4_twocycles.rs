@@ -1,0 +1,54 @@
+//! Table IV bench: the cost of also covering 2-cycles.
+//!
+//! Table IV of the paper compares cover sizes with and without 2-cycles at
+//! `k = 5`; the cover-size comparison itself is produced by the `experiments`
+//! binary (`table4`). This bench measures the runtime side of the same toggle,
+//! plus the alternative "cover 2-cycles separately, then cover 3..k" strategy
+//! the paper alludes to.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_bench::bench_support::small_proxy;
+use tdb_core::prelude::*;
+use tdb_datasets::Dataset;
+
+fn bench_table4(c: &mut Criterion) {
+    for (dataset, edges) in [(Dataset::Slashdot0902, 4000), (Dataset::AsCaida, 4000)] {
+        let g = small_proxy(dataset, edges);
+        let mut group = c.benchmark_group(format!("table4/{}", dataset.spec().code));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
+
+        group.bench_function(BenchmarkId::from_parameter("no-2-cycles"), |b| {
+            b.iter(|| {
+                black_box(
+                    top_down_cover(&g, &HopConstraint::new(5), &TopDownConfig::tdb_plus_plus())
+                        .cover_size(),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("with-2-cycles"), |b| {
+            b.iter(|| {
+                black_box(
+                    top_down_cover(
+                        &g,
+                        &HopConstraint::with_two_cycles(5),
+                        &TopDownConfig::tdb_plus_plus(),
+                    )
+                    .cover_size(),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("separate-2-cycle-pass"), |b| {
+            b.iter(|| black_box(combined_cover(&g, 5, &TopDownConfig::tdb_plus_plus()).cover_size()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

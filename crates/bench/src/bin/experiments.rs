@@ -1,0 +1,172 @@
+//! Regenerate the tables and figures of the TDB paper's evaluation section on
+//! synthetic dataset proxies.
+//!
+//! ```text
+//! cargo run --release -p tdb-bench --bin experiments -- all --scale 0.05
+//! cargo run --release -p tdb-bench --bin experiments -- table3
+//! cargo run --release -p tdb-bench --bin experiments -- figure6 --scale 0.01 --seed 7
+//! ```
+//!
+//! Subcommands: `table2`, `table3`, `table4`, `figure6`, `figure7`, `figure8`,
+//! `figure9`, `figure10`, `large`, `all`. Options: `--scale <f64>`,
+//! `--seed <u64>`, `--slow-limit <edges>`, `--verify`, `--k <list>` (comma
+//! separated, default `3,4,5,6,7`).
+
+use std::process::ExitCode;
+
+use tdb_bench::{
+    figure10_rows, figure67_rows, figure89_rows, format_rows, proxy, run_cell, table2_rows,
+    table3_rows, table4_rows, ExperimentConfig,
+};
+use tdb_core::{Algorithm, HopConstraint};
+use tdb_datasets::{Dataset, SynthesisConfig};
+use tdb_graph::Graph;
+
+struct Options {
+    command: String,
+    config: ExperimentConfig,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut scale = 0.05f64;
+    let mut seed = 42u64;
+    let mut slow_limit = 60_000usize;
+    let mut verify = false;
+    let mut ks = vec![3usize, 4, 5, 6, 7];
+
+    let mut it = args.into_iter().peekable();
+    if let Some(first) = it.peek() {
+        if !first.starts_with("--") {
+            command = it.next().unwrap();
+        }
+    }
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--scale" => scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--slow-limit" => {
+                slow_limit = value("--slow-limit")?
+                    .parse()
+                    .map_err(|e| format!("--slow-limit: {e}"))?
+            }
+            "--verify" => verify = true,
+            "--k" => {
+                ks = value("--k")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("--k: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    Ok(Options {
+        command,
+        config: ExperimentConfig {
+            synthesis: SynthesisConfig {
+                scale,
+                seed,
+                ..SynthesisConfig::harness_default()
+            },
+            ks,
+            slow_algorithm_edge_limit: slow_limit,
+            verify,
+        },
+    })
+}
+
+fn print_block(title: &str, lines: &[String]) {
+    println!("\n=== {title} ===");
+    for line in lines {
+        println!("{line}");
+    }
+}
+
+fn figure67(config: &ExperimentConfig, runtime: bool) {
+    let rows = figure67_rows(config, &Dataset::small_and_medium());
+    let title = if runtime {
+        "Figure 6: runtime (s) vs k — DARC-DV / BUR+ / TDB++"
+    } else {
+        "Figure 7: cover size vs k — DARC-DV / BUR+ / TDB++"
+    };
+    print_block(title, &format_rows(&rows));
+}
+
+fn large_scale(config: &ExperimentConfig) {
+    // The lower block of Table III: the four largest proxies, TDB++ only.
+    let constraint = HopConstraint::new(5);
+    let mut lines = Vec::new();
+    for dataset in Dataset::large_scale() {
+        let g = proxy(dataset, config);
+        if let Some(r) = run_cell(&g, dataset, Algorithm::TdbPlusPlus, &constraint, config) {
+            lines.push(format!(
+                "{:<5} |V|={:<10} |E|={:<12} TDB++ size={:<10} time={:.3}s",
+                r.dataset,
+                g.num_vertices(),
+                g.num_edges(),
+                r.cover_size,
+                r.seconds()
+            ));
+        }
+    }
+    print_block("Table III (large-scale block): TDB++ only, k = 5", &lines);
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = &options.config;
+    println!(
+        "# TDB experiment harness — scale {}, seed {}, ks {:?}, slow-limit {} edges, verify {}",
+        cfg.synthesis.scale, cfg.synthesis.seed, cfg.ks, cfg.slow_algorithm_edge_limit, cfg.verify
+    );
+
+    match options.command.as_str() {
+        "table2" => print_block("Table II: dataset statistics (paper vs proxy)", &table2_rows(cfg)),
+        "table3" => print_block("Table III: cover size and runtime, k = 5", &table3_rows(cfg)),
+        "table4" => print_block("Table IV: cover size with / without 2-cycles, k = 5", &table4_rows(cfg)),
+        "figure6" => figure67(cfg, true),
+        "figure7" => figure67(cfg, false),
+        "figure8" | "figure9" => print_block(
+            "Figures 8–9: BUR vs BUR+ (runtime and cover size) on WKV / WGO",
+            &format_rows(&figure89_rows(cfg)),
+        ),
+        "figure10" => print_block(
+            "Figure 10: TDB vs TDB+ vs TDB++ runtime on WKV / WGO",
+            &format_rows(&figure10_rows(cfg)),
+        ),
+        "large" => large_scale(cfg),
+        "all" => {
+            print_block("Table II: dataset statistics (paper vs proxy)", &table2_rows(cfg));
+            print_block("Table III: cover size and runtime, k = 5", &table3_rows(cfg));
+            print_block("Table IV: cover size with / without 2-cycles, k = 5", &table4_rows(cfg));
+            figure67(cfg, true);
+            print_block(
+                "Figures 8–9: BUR vs BUR+ (runtime and cover size) on WKV / WGO",
+                &format_rows(&figure89_rows(cfg)),
+            );
+            print_block(
+                "Figure 10: TDB vs TDB+ vs TDB++ runtime on WKV / WGO",
+                &format_rows(&figure10_rows(cfg)),
+            );
+            large_scale(cfg);
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

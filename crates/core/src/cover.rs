@@ -1,0 +1,226 @@
+//! Cover result types shared by every algorithm in the crate.
+
+use std::time::Duration;
+
+use tdb_graph::{ActiveSet, VertexId};
+
+/// A hop-constrained cycle cover: a set of vertices intersecting every
+/// constrained cycle of the graph it was computed for (Definition 2).
+///
+/// The vertex list is kept sorted and deduplicated so that membership tests are
+/// binary searches and covers can be compared structurally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CycleCover {
+    vertices: Vec<VertexId>,
+}
+
+impl CycleCover {
+    /// Build a cover from an arbitrary vertex list (sorted and deduplicated).
+    pub fn from_vertices(mut vertices: Vec<VertexId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        CycleCover { vertices }
+    }
+
+    /// The empty cover.
+    pub fn empty() -> Self {
+        CycleCover {
+            vertices: Vec::new(),
+        }
+    }
+
+    /// Number of cover vertices (the paper's "cover size").
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the cover is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Whether `v` is in the cover.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// The cover vertices, sorted ascending.
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Iterate over the cover vertices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices.iter().copied()
+    }
+
+    /// Consume into the sorted vertex list.
+    pub fn into_vertices(self) -> Vec<VertexId> {
+        self.vertices
+    }
+
+    /// The activation mask of the *reduced* graph `G − C`: cover vertices are
+    /// inactive, everything else active. This is the graph that must be free of
+    /// hop-constrained cycles for the cover to be valid.
+    pub fn reduced_active_set(&self, num_vertices: usize) -> ActiveSet {
+        let mut active = ActiveSet::all_active(num_vertices);
+        for &v in &self.vertices {
+            active.deactivate(v);
+        }
+        active
+    }
+
+    /// Remove a vertex from the cover (no-op if absent). Used by the minimal
+    /// pruning pass.
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        match self.vertices.binary_search(&v) {
+            Ok(idx) => {
+                self.vertices.remove(idx);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Set-difference size against another cover (`|self \ other|`).
+    pub fn difference_size(&self, other: &CycleCover) -> usize {
+        self.iter().filter(|&v| !other.contains(v)).count()
+    }
+}
+
+impl FromIterator<VertexId> for CycleCover {
+    fn from_iter<T: IntoIterator<Item = VertexId>>(iter: T) -> Self {
+        CycleCover::from_vertices(iter.into_iter().collect())
+    }
+}
+
+/// Counters and timings collected while computing a cover.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunMetrics {
+    /// Name of the algorithm that produced the cover (`"BUR"`, `"TDB++"`, ...).
+    pub algorithm: String,
+    /// Hop constraint `k` used.
+    pub k: usize,
+    /// Whether 2-cycles were included in the constraint.
+    pub include_two_cycles: bool,
+    /// Wall-clock time of the computation.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    pub elapsed: Duration,
+    /// Number of cycle-existence queries (DFS searches) issued.
+    pub cycle_queries: u64,
+    /// Vertices released without a DFS thanks to the BFS filter.
+    pub filter_released: u64,
+    /// Vertices released without a DFS thanks to the SCC pre-filter.
+    pub scc_released: u64,
+    /// Vertices removed by the minimal-pruning pass (Algorithm 7).
+    pub minimal_pruned: u64,
+    /// Edges of the working graph (the line graph for DARC-DV).
+    pub working_edges: usize,
+}
+
+impl RunMetrics {
+    /// Create metrics labelled with an algorithm name and constraint.
+    pub fn new(algorithm: impl Into<String>, k: usize, include_two_cycles: bool) -> Self {
+        RunMetrics {
+            algorithm: algorithm.into(),
+            k,
+            include_two_cycles,
+            ..Default::default()
+        }
+    }
+
+    /// Elapsed time in seconds as a float (convenience for reporting).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+/// The result of a cover computation: the cover plus its run metrics.
+#[derive(Debug, Clone)]
+pub struct CoverRun {
+    /// The computed cover.
+    pub cover: CycleCover,
+    /// Metrics describing how it was computed.
+    pub metrics: RunMetrics,
+}
+
+impl CoverRun {
+    /// Cover size (number of vertices), the headline quantity of the paper's
+    /// tables.
+    pub fn cover_size(&self) -> usize {
+        self.cover.len()
+    }
+
+    /// One-line summary in the style of Table III rows.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<10} k={:<2} size={:<10} time={:>10.3}s queries={:<10} filtered={:<8}",
+            self.metrics.algorithm,
+            self.metrics.k,
+            self.cover.len(),
+            self.metrics.elapsed_secs(),
+            self.metrics.cycle_queries,
+            self.metrics.filter_released + self.metrics.scc_released,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_is_sorted_and_deduplicated() {
+        let c = CycleCover::from_vertices(vec![5, 1, 3, 1, 5]);
+        assert_eq!(c.as_slice(), &[1, 3, 5]);
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(3));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn reduced_active_set_deactivates_cover() {
+        let c = CycleCover::from_vertices(vec![0, 2]);
+        let active = c.reduced_active_set(4);
+        assert!(!active.is_active(0));
+        assert!(active.is_active(1));
+        assert!(!active.is_active(2));
+        assert_eq!(active.num_active(), 2);
+    }
+
+    #[test]
+    fn remove_and_difference() {
+        let mut c = CycleCover::from_vertices(vec![1, 2, 3]);
+        assert!(c.remove(2));
+        assert!(!c.remove(2));
+        assert_eq!(c.as_slice(), &[1, 3]);
+        let other = CycleCover::from_vertices(vec![3, 4]);
+        assert_eq!(c.difference_size(&other), 1);
+        assert_eq!(other.difference_size(&c), 1);
+    }
+
+    #[test]
+    fn from_iterator_and_empty() {
+        let c: CycleCover = [4u32, 2, 4].into_iter().collect();
+        assert_eq!(c.as_slice(), &[2, 4]);
+        assert!(CycleCover::empty().is_empty());
+        assert_eq!(CycleCover::empty().len(), 0);
+    }
+
+    #[test]
+    fn metrics_and_summary() {
+        let mut m = RunMetrics::new("TDB++", 5, false);
+        m.elapsed = Duration::from_millis(1500);
+        assert!((m.elapsed_secs() - 1.5).abs() < 1e-9);
+        let run = CoverRun {
+            cover: CycleCover::from_vertices(vec![1, 2]),
+            metrics: m,
+        };
+        assert_eq!(run.cover_size(), 2);
+        let line = run.summary_line();
+        assert!(line.contains("TDB++"));
+        assert!(line.contains("size=2"));
+    }
+}

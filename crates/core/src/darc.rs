@@ -1,0 +1,342 @@
+//! The DARC baseline (Algorithms 1–3) and its vertex adaptation DARC-DV.
+//!
+//! DARC (Kuhnle, Crawford, Thai — "Scalable approximations to k-cycle
+//! transversal problems on dynamic networks", KAIS 2019) computes a minimal
+//! *edge* set intersecting every hop-constrained cycle. It is the
+//! state-of-the-art the paper compares against. The algorithm keeps three edge
+//! sets:
+//!
+//! * `S` — the current transversal,
+//! * `W` — edges that were in the transversal but proved removable,
+//! * `P` — the prune queue of edges that entered `S`.
+//!
+//! `AUGMENT(e)` repeatedly finds a hop-constrained cycle through `e` that is
+//! disjoint from `S` and covers it (preferring to recycle a `W` edge on the
+//! cycle, otherwise inserting the whole cycle), and `PRUNE()` then removes every
+//! edge whose removal does not re-expose a cycle.
+//!
+//! The paper's baseline **DARC-DV** converts the *vertex* cover problem to this
+//! edge problem through the directed line graph (Section III-B): every edge of
+//! `G` becomes a vertex of `L(G)`, every length-2 path of `G` becomes an edge of
+//! `L(G)` identified with its middle vertex, DARC runs on `L(G)`, and the
+//! selected line-graph edges are mapped back to the middle vertices. The line
+//! graph has `Σ_v in(v)·out(v)` edges, which is what makes DARC-DV blow up on
+//! hub-heavy graphs — the effect Table III and Figure 6 of the paper quantify.
+
+use std::collections::{HashSet, VecDeque};
+
+use tdb_cycle::enumerate::find_cycle_through_edge;
+use tdb_cycle::HopConstraint;
+use tdb_graph::line_graph::LineGraph;
+use tdb_graph::{ActiveSet, CsrGraph, Edge, Graph};
+
+use crate::cover::{CoverRun, CycleCover, RunMetrics};
+use crate::stats::Timer;
+
+/// Result of the edge-level k-cycle transversal.
+#[derive(Debug, Clone)]
+pub struct EdgeTransversal {
+    /// The selected edges, sorted.
+    pub edges: Vec<Edge>,
+    /// Number of cycle searches issued.
+    pub cycle_queries: u64,
+}
+
+/// Run DARC (Algorithms 1–3) on `g`, producing a minimal hop-constrained
+/// *edge* cycle transversal.
+pub fn darc_edge_transversal<G: Graph>(g: &G, constraint: &HopConstraint) -> EdgeTransversal {
+    let active = ActiveSet::all_active(g.num_vertices());
+    let mut s: HashSet<Edge> = HashSet::new();
+    let mut w: HashSet<Edge> = HashSet::new();
+    let mut p: VecDeque<Edge> = VecDeque::new();
+    let mut cycle_queries = 0u64;
+
+    // Algorithm 1: AUGMENT every edge not already covered.
+    for e in g.edges() {
+        if s.contains(&e) {
+            continue;
+        }
+        augment(g, &active, constraint, e, &mut s, &mut w, &mut p, &mut cycle_queries);
+    }
+
+    // Algorithm 3: PRUNE.
+    while let Some(e) = p.pop_front() {
+        if !s.contains(&e) {
+            continue;
+        }
+        cycle_queries += 1;
+        let still_needed =
+            find_cycle_through_edge(g, &active, e, constraint, |x| x == e || !s.contains(&x))
+                .is_some();
+        if !still_needed {
+            s.remove(&e);
+            w.insert(e);
+        }
+    }
+
+    let mut edges: Vec<Edge> = s.into_iter().collect();
+    edges.sort_unstable();
+    EdgeTransversal {
+        edges,
+        cycle_queries,
+    }
+}
+
+/// Algorithm 2: cover every not-yet-covered cycle through `e`.
+#[allow(clippy::too_many_arguments)]
+fn augment<G: Graph>(
+    g: &G,
+    active: &ActiveSet,
+    constraint: &HopConstraint,
+    e: Edge,
+    s: &mut HashSet<Edge>,
+    w: &mut HashSet<Edge>,
+    p: &mut VecDeque<Edge>,
+    cycle_queries: &mut u64,
+) {
+    if s.contains(&e) {
+        return;
+    }
+    if w.remove(&e) {
+        s.insert(e);
+        p.push_back(e);
+        return;
+    }
+    loop {
+        *cycle_queries += 1;
+        let Some(cycle_edges) =
+            find_cycle_through_edge(g, active, e, constraint, |x| !s.contains(&x))
+        else {
+            break;
+        };
+        if let Some(&w_edge) = cycle_edges.iter().find(|x| w.contains(x)) {
+            // Recycle an edge that used to be in the transversal (lines 12–13).
+            w.remove(&w_edge);
+            s.insert(w_edge);
+            p.push_back(w_edge);
+        } else {
+            // Cover the whole cycle (lines 10–11).
+            for ce in cycle_edges {
+                if s.insert(ce) {
+                    p.push_back(ce);
+                }
+            }
+        }
+    }
+}
+
+/// Run the paper's baseline **DARC-DV**: DARC on the directed line graph,
+/// mapped back to a vertex cover of `g`.
+pub fn darc_dv_cover(g: &CsrGraph, constraint: &HopConstraint) -> CoverRun {
+    let timer = Timer::start();
+    let mut metrics = RunMetrics::new("DARC-DV", constraint.max_hops, constraint.include_two_cycles);
+
+    let lg = LineGraph::build(g);
+    metrics.working_edges = lg.graph().num_edges();
+
+    let transversal = darc_edge_transversal(lg.graph(), constraint);
+    metrics.cycle_queries = transversal.cycle_queries;
+
+    let vertices = lg.middle_vertices(&transversal.edges);
+    metrics.elapsed = timer.elapsed();
+    CoverRun {
+        cover: CycleCover::from_vertices(vertices),
+        metrics,
+    }
+}
+
+/// Extension: a direct vertex-level analogue of DARC that skips the line-graph
+/// blow-up (augment with whole cycles of *vertices*, then prune). Not part of
+/// the paper; included to separate how much of DARC-DV's cost is the line graph
+/// versus the augment/prune paradigm itself.
+pub fn darc_vertex_direct<G: Graph>(g: &G, constraint: &HopConstraint) -> CoverRun {
+    use tdb_cycle::find_cycle::find_cycle_through;
+
+    let timer = Timer::start();
+    let mut metrics = RunMetrics::new("DARC-V", constraint.max_hops, constraint.include_two_cycles);
+    metrics.working_edges = g.num_edges();
+
+    let n = g.num_vertices();
+    let mut active = ActiveSet::all_active(n);
+    let mut prune_queue: VecDeque<tdb_graph::VertexId> = VecDeque::new();
+
+    // Augment: scan vertices; whenever an uncovered cycle through the vertex
+    // exists, move the whole cycle into the cover.
+    for v in 0..n as tdb_graph::VertexId {
+        if !active.is_active(v) {
+            continue;
+        }
+        loop {
+            metrics.cycle_queries += 1;
+            let Some(cycle) = find_cycle_through(g, &active, v, constraint) else {
+                break;
+            };
+            for &c in &cycle {
+                if active.deactivate(c) {
+                    prune_queue.push_back(c);
+                }
+            }
+        }
+    }
+
+    // Prune: re-admit vertices whose removal from the cover is safe.
+    while let Some(v) = prune_queue.pop_front() {
+        active.activate(v);
+        metrics.cycle_queries += 1;
+        if find_cycle_through(g, &active, v, constraint).is_some() {
+            active.deactivate(v);
+        }
+    }
+
+    let cover: Vec<tdb_graph::VertexId> = active.iter_inactive().collect();
+    metrics.elapsed = timer.elapsed();
+    CoverRun {
+        cover: CycleCover::from_vertices(cover),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{is_valid_cover, verify_cover};
+    use tdb_graph::builder::graph_from_edges;
+    use tdb_graph::gen::{complete_digraph, directed_cycle, erdos_renyi_gnm, layered_dag};
+
+    #[test]
+    fn edge_transversal_covers_a_triangle_with_one_edge() {
+        let g = directed_cycle(3);
+        let t = darc_edge_transversal(&g, &HopConstraint::new(3));
+        assert_eq!(t.edges.len(), 1);
+    }
+
+    #[test]
+    fn edge_transversal_ignores_cycles_longer_than_k() {
+        let g = directed_cycle(6);
+        let t = darc_edge_transversal(&g, &HopConstraint::new(5));
+        assert!(t.edges.is_empty());
+        let t = darc_edge_transversal(&g, &HopConstraint::new(6));
+        assert_eq!(t.edges.len(), 1);
+    }
+
+    #[test]
+    fn edge_transversal_is_minimal_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = erdos_renyi_gnm(25, 90, seed);
+            let constraint = HopConstraint::new(4);
+            let t = darc_edge_transversal(&g, &constraint);
+            let active = ActiveSet::all_active(g.num_vertices());
+            let s: HashSet<Edge> = t.edges.iter().copied().collect();
+            // Valid: no constrained cycle avoids S.
+            for e in g.edges() {
+                if !s.contains(&e) {
+                    assert!(
+                        find_cycle_through_edge(&g, &active, e, &constraint, |x| !s.contains(&x))
+                            .is_none(),
+                        "uncovered cycle through {e:?} (seed {seed})"
+                    );
+                }
+            }
+            // Minimal: every selected edge has a witness cycle of its own.
+            for &e in &t.edges {
+                assert!(
+                    find_cycle_through_edge(&g, &active, e, &constraint, |x| x == e
+                        || !s.contains(&x))
+                    .is_some(),
+                    "redundant edge {e:?} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn darc_dv_covers_simple_graphs() {
+        let g = directed_cycle(4);
+        let constraint = HopConstraint::new(4);
+        let run = darc_dv_cover(&g, &constraint);
+        assert_eq!(run.cover_size(), 1);
+        assert!(is_valid_cover(&g, &run.cover, &constraint));
+        assert_eq!(run.metrics.algorithm, "DARC-DV");
+    }
+
+    #[test]
+    fn darc_dv_empty_on_acyclic_graphs() {
+        let g = layered_dag(4, 3);
+        let run = darc_dv_cover(&g, &HopConstraint::new(5));
+        assert!(run.cover.is_empty());
+    }
+
+    #[test]
+    fn darc_dv_is_valid_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = erdos_renyi_gnm(30, 120, seed + 3);
+            for k in [3usize, 4] {
+                let constraint = HopConstraint::new(k);
+                let run = darc_dv_cover(&g, &constraint);
+                assert!(
+                    is_valid_cover(&g, &run.cover, &constraint),
+                    "seed {seed}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn darc_dv_handles_two_cycle_mode() {
+        let g = graph_from_edges(&[(0, 1), (1, 0), (1, 2), (2, 0)]);
+        let without = darc_dv_cover(&g, &HopConstraint::new(4));
+        let with = darc_dv_cover(&g, &HopConstraint::with_two_cycles(4));
+        assert!(is_valid_cover(&g, &without.cover, &HopConstraint::new(4)));
+        assert!(is_valid_cover(
+            &g,
+            &with.cover,
+            &HopConstraint::with_two_cycles(4)
+        ));
+        assert!(with.cover_size() >= without.cover_size());
+    }
+
+    #[test]
+    fn darc_dv_line_graph_size_is_recorded() {
+        let g = complete_digraph(5);
+        let run = darc_dv_cover(&g, &HopConstraint::new(3));
+        let expected: usize = g
+            .vertices()
+            .map(|v| g.in_degree(v) * g.out_degree(v))
+            .sum();
+        assert_eq!(run.metrics.working_edges, expected);
+        assert!(is_valid_cover(&g, &run.cover, &HopConstraint::new(3)));
+    }
+
+    #[test]
+    fn direct_vertex_variant_is_valid_and_minimal() {
+        for seed in 0..4u64 {
+            let g = erdos_renyi_gnm(30, 130, seed + 40);
+            let constraint = HopConstraint::new(4);
+            let run = darc_vertex_direct(&g, &constraint);
+            let v = verify_cover(&g, &run.cover, &constraint);
+            assert!(v.is_valid, "seed {seed}");
+            assert!(v.is_minimal, "seed {seed}: {:?}", v.redundant);
+        }
+    }
+
+    #[test]
+    fn darc_dv_cover_size_is_at_least_top_down_quality_band() {
+        // Table III / Figure 7: DARC-DV returns the worst (largest) covers of
+        // the three compared algorithms. We check the weaker, robust property
+        // that it is never *smaller* than half the TDB++ cover (it is a valid
+        // cover, so it cannot be arbitrarily small either).
+        use crate::top_down::{top_down_cover, TopDownConfig};
+        for seed in 0..3u64 {
+            let g = erdos_renyi_gnm(35, 150, seed + 11);
+            let constraint = HopConstraint::new(4);
+            let dv = darc_dv_cover(&g, &constraint);
+            let td = top_down_cover(&g, &constraint, &TopDownConfig::tdb_plus_plus());
+            assert!(
+                2 * dv.cover_size() + 1 >= td.cover_size(),
+                "seed {seed}: DARC-DV {} vs TDB++ {}",
+                dv.cover_size(),
+                td.cover_size()
+            );
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Parallel extension of TDB++ (not part of the paper).
+//!
+//! The top-down scan is inherently sequential — every release decision changes
+//! the working graph seen by later vertices — but two large fractions of the
+//! work are embarrassingly parallel:
+//!
+//! 1. **Global pre-filtering.** Whether a vertex lies on *any* hop-constrained
+//!    cycle of the full graph `G` is independent of the scan. Vertices that do
+//!    not can be released unconditionally (the cycle test during the scan would
+//!    have been run on a subgraph of `G` and found nothing either), so the
+//!    sequential scan only needs to touch the remaining candidates. This phase
+//!    is sharded across worker threads, each with its own
+//!    [`BlockSearcher`]/[`BfsFilter`] scratch state.
+//! 2. **Verification.** Checking a finished cover is a read-only sweep and is
+//!    parallelized the same way.
+//!
+//! Because the pre-filter never releases a vertex the sequential scan would
+//! have kept, the parallel variant returns **exactly** the same cover as
+//! sequential TDB++ with the same scan order (asserted by the tests below).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use tdb_cycle::bfs_filter::BfsFilter;
+use tdb_cycle::{BlockSearcher, HopConstraint};
+use tdb_graph::{ActiveSet, Graph, VertexId};
+
+use crate::cover::{CoverRun, CycleCover, RunMetrics};
+use crate::stats::Timer;
+use crate::top_down::{top_down_cover, ScanOrder, TopDownConfig};
+
+/// Configuration of the parallel TDB++ extension.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Worker threads for the parallel phases. `0` means "number of CPUs".
+    pub num_threads: usize,
+    /// Scan order of the sequential phase.
+    pub scan_order: ScanOrder,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            num_threads: 0,
+            scan_order: ScanOrder::Ascending,
+        }
+    }
+}
+
+impl ParallelConfig {
+    fn resolved_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Compute, in parallel, which vertices lie on at least one hop-constrained
+/// cycle of the full graph.
+///
+/// The returned mask has `true` for vertices that are *candidates* (may lie on
+/// a cycle) and `false` for vertices proven cycle-free.
+pub fn parallel_cycle_candidates<G: Graph + Sync>(
+    g: &G,
+    constraint: &HopConstraint,
+    num_threads: usize,
+) -> Vec<bool> {
+    let n = g.num_vertices();
+    let threads = num_threads.max(1).min(n.max(1));
+    let mut candidates = vec![false; n];
+    if n == 0 {
+        return candidates;
+    }
+    let active = ActiveSet::all_active(n);
+    let queries = AtomicU64::new(0);
+
+    let chunk_size = n.div_ceil(threads);
+    let chunks: Vec<(usize, &mut [bool])> = candidates
+        .chunks_mut(chunk_size)
+        .enumerate()
+        .map(|(i, c)| (i * chunk_size, c))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (offset, chunk) in chunks {
+            let active = &active;
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut searcher = BlockSearcher::new(n);
+                let mut filter = BfsFilter::new(n);
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let v = (offset + i) as VertexId;
+                    // Cheap filter first, full search only when inconclusive.
+                    let walk = filter.shortest_closed_walk(g, active, v, constraint.max_hops);
+                    *slot = match walk {
+                        None => false,
+                        Some(len) if constraint.covers_len(len) => true,
+                        Some(_) => {
+                            queries.fetch_add(1, Ordering::Relaxed);
+                            searcher.is_on_constrained_cycle(g, active, v, constraint)
+                        }
+                    };
+                }
+            });
+        }
+    });
+
+    candidates
+}
+
+/// Parallel TDB++: parallel global pre-filter followed by the sequential
+/// top-down scan restricted to the surviving candidates.
+pub fn parallel_top_down_cover<G: Graph + Sync>(
+    g: &G,
+    constraint: &HopConstraint,
+    config: &ParallelConfig,
+) -> CoverRun {
+    let timer = Timer::start();
+    let threads = config.resolved_threads();
+    let n = g.num_vertices();
+
+    let candidates = parallel_cycle_candidates(g, constraint, threads);
+    let precleared = candidates.iter().filter(|&&c| !c).count();
+
+    // Sequential scan over the candidates only. Vertices cleared by the
+    // pre-filter start out released (active) exactly as if the scan had tested
+    // and released them.
+    let mut metrics = RunMetrics::new("TDB++/par", constraint.max_hops, constraint.include_two_cycles);
+    metrics.working_edges = g.num_edges();
+    metrics.scc_released = precleared as u64;
+
+    let mut active = ActiveSet::all_inactive(n);
+    for v in 0..n as VertexId {
+        if !candidates[v as usize] {
+            active.activate(v);
+        }
+    }
+
+    let mut searcher = BlockSearcher::new(n);
+    let mut filter = BfsFilter::new(n);
+    let mut cover_vertices: Vec<VertexId> = Vec::new();
+
+    let order: Vec<VertexId> = match config.scan_order {
+        ScanOrder::Ascending => (0..n as VertexId).collect(),
+        other => {
+            // Delegate the permutation logic to the sequential implementation
+            // by mirroring its public behaviour: recompute the order here.
+            let cfg = TopDownConfig::tdb_plus_plus().with_scan_order(other);
+            // scan_permutation is private; reproduce via a throwaway run on an
+            // empty graph is not possible, so sort locally.
+            let mut vs: Vec<VertexId> = (0..n as VertexId).collect();
+            match cfg.scan_order {
+                ScanOrder::DegreeDescending => {
+                    vs.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)))
+                }
+                ScanOrder::DegreeAscending => {
+                    vs.sort_by_key(|&v| g.out_degree(v) + g.in_degree(v))
+                }
+                ScanOrder::Random(seed) => {
+                    tdb_graph::gen::Xoshiro256::seed_from_u64(seed).shuffle(&mut vs)
+                }
+                ScanOrder::Ascending => {}
+            }
+            vs
+        }
+    };
+
+    for v in order {
+        if !candidates[v as usize] {
+            continue;
+        }
+        active.activate(v);
+        match filter.shortest_closed_walk(g, &active, v, constraint.max_hops) {
+            None => {
+                metrics.filter_released += 1;
+                continue;
+            }
+            Some(_) => {}
+        }
+        metrics.cycle_queries += 1;
+        if searcher.is_on_constrained_cycle(g, &active, v, constraint) {
+            cover_vertices.push(v);
+            active.deactivate(v);
+        }
+    }
+
+    metrics.elapsed = timer.elapsed();
+    CoverRun {
+        cover: CycleCover::from_vertices(cover_vertices),
+        metrics,
+    }
+}
+
+/// Parallel validity check of a cover: shard the per-vertex searches of the
+/// reduced graph across threads. Returns `true` when no uncovered constrained
+/// cycle exists.
+pub fn parallel_is_valid_cover<G: Graph + Sync>(
+    g: &G,
+    cover: &CycleCover,
+    constraint: &HopConstraint,
+    num_threads: usize,
+) -> bool {
+    let n = g.num_vertices();
+    if n == 0 {
+        return true;
+    }
+    let threads = num_threads.max(1).min(n);
+    let active = cover.reduced_active_set(n);
+    let violation: Mutex<Option<VertexId>> = Mutex::new(None);
+
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let active = &active;
+            let violation = &violation;
+            scope.spawn(move || {
+                let mut searcher = BlockSearcher::new(n);
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                for v in lo..hi {
+                    if violation.lock().is_some() {
+                        return;
+                    }
+                    let v = v as VertexId;
+                    if active.is_active(v)
+                        && searcher.is_on_constrained_cycle(g, active, v, constraint)
+                    {
+                        *violation.lock() = Some(v);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    violation.into_inner().is_none()
+}
+
+/// Convenience: sequential verification fallback used in tests to compare
+/// against the parallel path.
+pub fn sequential_reference_cover<G: Graph>(g: &G, constraint: &HopConstraint) -> CoverRun {
+    top_down_cover(g, constraint, &TopDownConfig::tdb_plus_plus())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_valid_cover;
+    use tdb_graph::gen::{erdos_renyi_gnm, preferential_attachment, PreferentialConfig};
+
+    #[test]
+    fn parallel_matches_sequential_cover_exactly() {
+        for seed in 0..4u64 {
+            let g = erdos_renyi_gnm(80, 400, seed);
+            let constraint = HopConstraint::new(4);
+            let seq = sequential_reference_cover(&g, &constraint);
+            for threads in [1usize, 2, 4] {
+                let par = parallel_top_down_cover(
+                    &g,
+                    &constraint,
+                    &ParallelConfig {
+                        num_threads: threads,
+                        scan_order: ScanOrder::Ascending,
+                    },
+                );
+                assert_eq!(
+                    par.cover, seq.cover,
+                    "seed {seed}, threads {threads}: parallel differs from sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cover_is_valid() {
+        let g = preferential_attachment(&PreferentialConfig {
+            num_vertices: 300,
+            out_degree: 3,
+            reciprocity: 0.2,
+            random_rewire: 0.1,
+            seed: 13,
+        });
+        let constraint = HopConstraint::new(5);
+        let run = parallel_top_down_cover(&g, &constraint, &ParallelConfig::default());
+        assert!(is_valid_cover(&g, &run.cover, &constraint));
+        assert!(parallel_is_valid_cover(&g, &run.cover, &constraint, 4));
+    }
+
+    #[test]
+    fn candidate_mask_is_sound() {
+        // A vertex marked non-candidate must not be on any constrained cycle.
+        let g = erdos_renyi_gnm(60, 200, 9);
+        let constraint = HopConstraint::new(4);
+        let candidates = parallel_cycle_candidates(&g, &constraint, 3);
+        let active = ActiveSet::all_active(g.num_vertices());
+        let mut searcher = BlockSearcher::new(g.num_vertices());
+        for v in g.vertices() {
+            let really = searcher.is_on_constrained_cycle(&g, &active, v, &constraint);
+            if !candidates[v as usize] {
+                assert!(!really, "vertex {v} wrongly cleared");
+            } else {
+                // Candidates are allowed to be false positives of the filter,
+                // but with the block search in the pipeline they are exact.
+                assert!(really, "vertex {v} wrongly kept as candidate");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_verifier_detects_bad_covers() {
+        let g = tdb_graph::gen::complete_digraph(6);
+        let constraint = HopConstraint::new(3);
+        let empty = CycleCover::empty();
+        assert!(!parallel_is_valid_cover(&g, &empty, &constraint, 2));
+        let good = sequential_reference_cover(&g, &constraint).cover;
+        assert!(parallel_is_valid_cover(&g, &good, &constraint, 2));
+    }
+
+    #[test]
+    fn zero_thread_config_resolves_to_available_parallelism() {
+        let cfg = ParallelConfig::default();
+        assert!(cfg.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = tdb_graph::CsrGraph::empty(0);
+        let constraint = HopConstraint::new(3);
+        let run = parallel_top_down_cover(&g, &constraint, &ParallelConfig::default());
+        assert!(run.cover.is_empty());
+        assert!(parallel_is_valid_cover(&g, &run.cover, &constraint, 2));
+    }
+}

@@ -1,0 +1,125 @@
+//! Small timing utilities used by the algorithms and the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic stopwatch.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Start a new timer.
+    pub fn start() -> Self {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since the timer was started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Restart the timer and return the time elapsed before the restart.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.start.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+/// Format a duration the way the paper's tables do: seconds with millisecond
+/// precision below 100 s, whole seconds above.
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 100.0 {
+        format!("{secs:.3}s")
+    } else {
+        format!("{secs:.0}s")
+    }
+}
+
+/// A simple accumulator for repeated measurements (used by the ablation
+/// benches to report mean / min / max without pulling in a statistics crate).
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    values: Vec<f64>,
+}
+
+impl Accumulator {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a value.
+    pub fn record(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Minimum recorded value.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum recorded value.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_measures_time() {
+        let mut t = Timer::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(t.elapsed() >= Duration::from_millis(4));
+        let lap = t.lap();
+        assert!(lap >= Duration::from_millis(4));
+        assert!(t.elapsed() < lap);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_millis(1234)), "1.234s");
+        assert_eq!(format_duration(Duration::from_secs(250)), "250s");
+    }
+
+    #[test]
+    fn accumulator_statistics() {
+        let mut a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), None);
+        for v in [2.0, 4.0, 6.0] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(a.min(), Some(2.0));
+        assert_eq!(a.max(), Some(6.0));
+    }
+}

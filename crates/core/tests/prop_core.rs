@@ -1,0 +1,103 @@
+//! Property-based tests for the cover algorithms, at the crate level: validity
+//! and minimality against brute-force enumeration, and structural relations
+//! between the algorithm families.
+
+use proptest::prelude::*;
+
+use tdb_core::prelude::*;
+use tdb_core::verify::verify_by_enumeration;
+use tdb_cycle::enumerate::enumerate_cycles;
+use tdb_graph::builder::graph_from_edges;
+use tdb_graph::{ActiveSet, CsrGraph, Graph};
+
+fn arb_graph(n: u32, m: usize) -> impl Strategy<Value = CsrGraph> {
+    prop::collection::vec((0..n, 0..n), 0..m).prop_map(|edges| graph_from_edges(&edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The top-down cover is brute-force valid, minimal, and never larger than
+    /// the total number of constrained cycles (each kept vertex kills at least
+    /// one otherwise-uncovered cycle).
+    #[test]
+    fn top_down_structural_bounds(g in arb_graph(16, 60), k in 3usize..6) {
+        let constraint = HopConstraint::new(k);
+        let run = top_down_cover(&g, &constraint, &TopDownConfig::tdb_plus_plus());
+        prop_assert!(verify_by_enumeration(&g, &run.cover, &constraint, 1_000_000).is_ok());
+        prop_assert!(verify_cover(&g, &run.cover, &constraint).is_minimal);
+        let active = ActiveSet::all_active(g.num_vertices());
+        let total_cycles = enumerate_cycles(&g, &active, &constraint, 1_000_000).len();
+        prop_assert!(run.cover_size() <= total_cycles,
+            "cover {} larger than cycle count {}", run.cover_size(), total_cycles);
+        if total_cycles == 0 {
+            prop_assert!(run.cover.is_empty());
+        } else {
+            prop_assert!(!run.cover.is_empty());
+        }
+    }
+
+    /// BUR+ equals BUR followed by the stand-alone minimal pruning pass.
+    #[test]
+    fn bur_plus_is_bur_plus_pruning(g in arb_graph(14, 50), k in 3usize..6) {
+        let constraint = HopConstraint::new(k);
+        let plain = bottom_up_cover(&g, &constraint, &BottomUpConfig::bur());
+        let plus = bottom_up_cover(&g, &constraint, &BottomUpConfig::bur_plus());
+        let mut manual = plain.cover.clone();
+        let mut metrics = RunMetrics::new("manual", k, false);
+        minimal_prune(&g, &mut manual, &constraint, SearchEngine::Naive, &mut metrics);
+        prop_assert_eq!(&manual, &plus.cover);
+        prop_assert!(plus.cover_size() <= plain.cover_size());
+    }
+
+    /// The DARC-DV baseline is valid (brute force) even though it is allowed to
+    /// be larger than the other covers.
+    #[test]
+    fn darc_dv_brute_force_valid(g in arb_graph(12, 40), k in 3usize..5) {
+        let constraint = HopConstraint::new(k);
+        let run = darc_dv_cover(&g, &constraint);
+        prop_assert!(verify_by_enumeration(&g, &run.cover, &constraint, 1_000_000).is_ok());
+    }
+
+    /// Every vertex the verifier reports as redundant really can be removed on
+    /// its own without exposing a cycle.
+    #[test]
+    fn reported_redundancy_is_real(g in arb_graph(14, 50), k in 3usize..6) {
+        let constraint = HopConstraint::new(k);
+        // Deliberately oversized cover: every vertex with positive degree.
+        let oversized: CycleCover = g
+            .vertices()
+            .filter(|&v| g.out_degree(v) > 0 || g.in_degree(v) > 0)
+            .collect();
+        for v in tdb_core::minimal::redundant_vertices(&g, &oversized, &constraint) {
+            let mut without = oversized.clone();
+            without.remove(v);
+            prop_assert!(
+                verify_by_enumeration(&g, &without, &constraint, 1_000_000).is_ok(),
+                "removing {} was reported safe but exposes a cycle", v
+            );
+        }
+    }
+
+    /// The combined 2-cycle + top-down strategy always yields a cover valid for
+    /// the 2..=k constraint.
+    #[test]
+    fn combined_two_cycle_strategy_valid(g in arb_graph(14, 50), k in 3usize..6) {
+        let run = combined_cover(&g, k, &TopDownConfig::tdb_plus_plus());
+        prop_assert!(verify_by_enumeration(&g, &run.cover, &HopConstraint::with_two_cycles(k), 1_000_000).is_ok());
+    }
+
+    /// The parallel candidate mask is exactly the set of vertices lying on some
+    /// constrained cycle of the full graph.
+    #[test]
+    fn parallel_candidates_exact(g in arb_graph(16, 60), k in 3usize..6) {
+        let constraint = HopConstraint::new(k);
+        let candidates = tdb_core::parallel::parallel_cycle_candidates(&g, &constraint, 3);
+        let active = ActiveSet::all_active(g.num_vertices());
+        let cycles = enumerate_cycles(&g, &active, &constraint, 1_000_000);
+        for v in g.vertices() {
+            let on_cycle = cycles.iter().any(|c| c.contains(&v));
+            prop_assert_eq!(candidates[v as usize], on_cycle, "vertex {}", v);
+        }
+    }
+}

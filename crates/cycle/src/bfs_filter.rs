@@ -1,0 +1,264 @@
+//! The BFS upper-bound filter of Algorithm 11 (`BFS-Filter`).
+//!
+//! Before running the (comparatively expensive) block DFS on a vertex `v`, the
+//! TDB++ variant runs a single hop-bounded breadth-first search to compute the
+//! length of the *shortest closed walk* through `v` in the active subgraph. If
+//! no closed walk of length at most `k` exists, no simple cycle of length at
+//! most `k` through `v` can exist either, so `v` is pruned without any DFS.
+//!
+//! The implementation walks the reverse direction from `v` (distance *to* `v`)
+//! up to `k − 1` hops and then inspects `v`'s out-neighbors: the shortest closed
+//! walk is `1 + min_w sd(w → v)` over active out-neighbors `w`. Because BFS
+//! shortest paths are simple and never pass through the (already settled)
+//! source, the returned length is in fact achieved by a *simple* cycle — the
+//! filter is exact except for the excluded 2-cycles, which is why a `2` result
+//! still requires the DFS verification in the default (no-2-cycle) mode.
+
+use tdb_graph::{ActiveSet, Graph, VertexId};
+
+use crate::reach::{BoundedBfs, Direction};
+use crate::HopConstraint;
+
+/// Outcome of the BFS filter for one vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterDecision {
+    /// No closed walk of length `<= k` exists: the vertex cannot lie on any
+    /// hop-constrained cycle and is pruned without further work.
+    Prune,
+    /// A simple cycle within the constraint provably exists (shortest closed
+    /// walk length `l` with `min_len <= l <= k`), so the vertex is necessary
+    /// and the DFS can be skipped. Only reported when
+    /// [`BfsFilter::decide_exact`] is used.
+    ProvenNecessary(usize),
+    /// The filter is inconclusive; the block DFS must verify the vertex.
+    NeedsVerification,
+}
+
+/// Reusable BFS filter (Algorithm 11).
+#[derive(Debug, Clone)]
+pub struct BfsFilter {
+    bfs: BoundedBfs,
+    /// Number of filter evaluations.
+    pub evaluations: u64,
+    /// Number of evaluations that pruned the vertex.
+    pub pruned: u64,
+}
+
+impl BfsFilter {
+    /// Create a filter for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BfsFilter {
+            bfs: BoundedBfs::new(n),
+            evaluations: 0,
+            pruned: 0,
+        }
+    }
+
+    /// Length of the shortest closed walk through `v` of length at most
+    /// `max_hops` in the active subgraph, or `None` if there is none.
+    ///
+    /// Self-loops are ignored (they are excluded from the problem definition).
+    pub fn shortest_closed_walk<G: Graph>(
+        &mut self,
+        g: &G,
+        active: &ActiveSet,
+        v: VertexId,
+        max_hops: usize,
+    ) -> Option<usize> {
+        if !active.is_active(v) || max_hops == 0 {
+            return None;
+        }
+        // Distances *to* v within max_hops - 1 hops.
+        self.bfs
+            .run(g, active, v, max_hops.saturating_sub(1), Direction::Backward);
+        let mut best: Option<usize> = None;
+        for &w in g.out_neighbors(v) {
+            if w == v || !active.is_active(w) {
+                continue;
+            }
+            if let Some(d) = self.bfs.distance(w) {
+                let len = d as usize + 1;
+                if len <= max_hops {
+                    best = Some(best.map_or(len, |b| b.min(len)));
+                    if len == 2 {
+                        break; // cannot do better
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The paper's filter (Algorithm 11): prune `v` iff no closed walk of
+    /// length at most `k` exists; otherwise hand the vertex to the DFS.
+    pub fn decide<G: Graph>(
+        &mut self,
+        g: &G,
+        active: &ActiveSet,
+        v: VertexId,
+        constraint: &HopConstraint,
+    ) -> FilterDecision {
+        self.evaluations += 1;
+        match self.shortest_closed_walk(g, active, v, constraint.max_hops) {
+            None => {
+                self.pruned += 1;
+                FilterDecision::Prune
+            }
+            Some(_) => FilterDecision::NeedsVerification,
+        }
+    }
+
+    /// Extension beyond the paper: also classify vertices as *proven necessary*
+    /// when the shortest closed walk is itself an admissible simple cycle
+    /// (length within `[min_len, k]`), skipping the DFS for them too. With
+    /// 2-cycles excluded, a result of exactly 2 stays inconclusive.
+    pub fn decide_exact<G: Graph>(
+        &mut self,
+        g: &G,
+        active: &ActiveSet,
+        v: VertexId,
+        constraint: &HopConstraint,
+    ) -> FilterDecision {
+        self.evaluations += 1;
+        match self.shortest_closed_walk(g, active, v, constraint.max_hops) {
+            None => {
+                self.pruned += 1;
+                FilterDecision::Prune
+            }
+            Some(len) if constraint.covers_len(len) => FilterDecision::ProvenNecessary(len),
+            Some(_) => FilterDecision::NeedsVerification,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_cycle::find_cycle_through;
+    use tdb_graph::builder::graph_from_edges;
+    use tdb_graph::gen::{directed_cycle, directed_path, erdos_renyi_gnm};
+
+    fn all_active(g: &impl Graph) -> ActiveSet {
+        ActiveSet::all_active(g.num_vertices())
+    }
+
+    #[test]
+    fn walk_length_on_a_plain_cycle() {
+        let g = directed_cycle(5);
+        let active = all_active(&g);
+        let mut f = BfsFilter::new(5);
+        assert_eq!(f.shortest_closed_walk(&g, &active, 0, 10), Some(5));
+        assert_eq!(f.shortest_closed_walk(&g, &active, 0, 5), Some(5));
+        assert_eq!(f.shortest_closed_walk(&g, &active, 0, 4), None);
+    }
+
+    #[test]
+    fn two_cycle_reports_length_two() {
+        let g = graph_from_edges(&[(0, 1), (1, 0)]);
+        let active = all_active(&g);
+        let mut f = BfsFilter::new(2);
+        assert_eq!(f.shortest_closed_walk(&g, &active, 0, 5), Some(2));
+    }
+
+    #[test]
+    fn acyclic_vertices_are_pruned() {
+        let g = directed_path(8);
+        let active = all_active(&g);
+        let mut f = BfsFilter::new(8);
+        let c = HopConstraint::new(6);
+        for v in g.vertices() {
+            assert_eq!(f.decide(&g, &active, v, &c), FilterDecision::Prune);
+        }
+        assert_eq!(f.evaluations, 8);
+        assert_eq!(f.pruned, 8);
+    }
+
+    #[test]
+    fn filter_never_prunes_a_vertex_with_a_constrained_cycle() {
+        // Soundness: pruning must only happen when the exhaustive search also
+        // finds nothing.
+        for seed in 0..10u64 {
+            let g = erdos_renyi_gnm(35, 100, seed);
+            let active = all_active(&g);
+            let mut f = BfsFilter::new(g.num_vertices());
+            for k in [3usize, 4, 5] {
+                let c = HopConstraint::new(k);
+                for v in g.vertices() {
+                    if f.decide(&g, &active, v, &c) == FilterDecision::Prune {
+                        assert!(
+                            find_cycle_through(&g, &active, v, &c).is_none(),
+                            "seed {seed}, k {k}, v {v} pruned but has a cycle"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_proofs_are_correct() {
+        for seed in 0..10u64 {
+            let g = erdos_renyi_gnm(35, 110, seed + 100);
+            let active = all_active(&g);
+            let mut f = BfsFilter::new(g.num_vertices());
+            for k in [3usize, 5] {
+                let c = HopConstraint::new(k);
+                for v in g.vertices() {
+                    match f.decide_exact(&g, &active, v, &c) {
+                        FilterDecision::Prune => {
+                            assert!(find_cycle_through(&g, &active, v, &c).is_none());
+                        }
+                        FilterDecision::ProvenNecessary(len) => {
+                            let cycle = find_cycle_through(&g, &active, v, &c)
+                                .expect("proven-necessary vertex must have a cycle");
+                            assert!(cycle.len() >= 3);
+                            assert!(len >= 3 && len <= k);
+                        }
+                        FilterDecision::NeedsVerification => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deactivated_vertices_are_pruned_immediately() {
+        let g = directed_cycle(4);
+        let mut active = all_active(&g);
+        active.deactivate(1);
+        let mut f = BfsFilter::new(4);
+        let c = HopConstraint::new(6);
+        assert_eq!(f.decide(&g, &active, 1, &c), FilterDecision::Prune);
+        // The hole also breaks the only cycle through 0.
+        assert_eq!(f.decide(&g, &active, 0, &c), FilterDecision::Prune);
+    }
+
+    #[test]
+    fn shortest_walk_prefers_the_shorter_cycle() {
+        // Vertex 0 sits on both a triangle and a 5-cycle.
+        let g = graph_from_edges(&[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (0, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 0),
+        ]);
+        let active = all_active(&g);
+        let mut f = BfsFilter::new(g.num_vertices());
+        assert_eq!(f.shortest_closed_walk(&g, &active, 0, 10), Some(3));
+    }
+
+    #[test]
+    fn max_hops_zero_and_inactive_source() {
+        let g = directed_cycle(3);
+        let active = all_active(&g);
+        let mut f = BfsFilter::new(3);
+        assert_eq!(f.shortest_closed_walk(&g, &active, 0, 0), None);
+        let mut inactive = all_active(&g);
+        inactive.deactivate(0);
+        assert_eq!(f.shortest_closed_walk(&g, &inactive, 0, 5), None);
+    }
+}

@@ -1,0 +1,357 @@
+//! Bounded simple-cycle enumeration.
+//!
+//! Two consumers need more than a single witness cycle:
+//!
+//! * the DARC baseline (Algorithms 1–3) repeatedly asks for a hop-constrained
+//!   cycle *through a specific edge* that avoids an evolving set of covered
+//!   edges ([`find_cycle_through_edge`]), and
+//! * the brute-force verifier and the property tests enumerate *all*
+//!   hop-constrained cycles of small graphs to cross-check the fast algorithms
+//!   ([`enumerate_cycles`]).
+//!
+//! Enumeration is exponential by nature; every entry point takes an explicit
+//! limit so that a misbehaving caller cannot hang the test suite.
+
+use tdb_graph::{ActiveSet, Edge, Graph, VertexId};
+
+use crate::HopConstraint;
+
+/// Enumerate all hop-constrained simple cycles of the active subgraph.
+///
+/// Each cycle is reported exactly once, as a vertex sequence rotated so that
+/// its minimum vertex id comes first (the closing edge back to the first vertex
+/// is implicit). Enumeration stops after `limit` cycles.
+///
+/// Intended for verification on small graphs; the running time is exponential.
+pub fn enumerate_cycles<G: Graph>(
+    g: &G,
+    active: &ActiveSet,
+    constraint: &HopConstraint,
+    limit: usize,
+) -> Vec<Vec<VertexId>> {
+    let mut results = Vec::new();
+    let n = g.num_vertices();
+    let mut on_path = vec![false; n];
+    for start in 0..n as VertexId {
+        if results.len() >= limit {
+            break;
+        }
+        if !active.is_active(start) {
+            continue;
+        }
+        let mut path = vec![start];
+        on_path[start as usize] = true;
+        // Only allow vertices with id > start on the rest of the path so each
+        // cycle is discovered exactly once (rooted at its minimum vertex).
+        enumerate_from(
+            g,
+            active,
+            start,
+            constraint,
+            &mut path,
+            &mut on_path,
+            &mut results,
+            limit,
+        );
+        on_path[start as usize] = false;
+    }
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_from<G: Graph>(
+    g: &G,
+    active: &ActiveSet,
+    start: VertexId,
+    constraint: &HopConstraint,
+    path: &mut Vec<VertexId>,
+    on_path: &mut [bool],
+    results: &mut Vec<Vec<VertexId>>,
+    limit: usize,
+) {
+    if results.len() >= limit {
+        return;
+    }
+    let current = *path.last().expect("path never empty");
+    let len = path.len();
+    for &next in g.out_neighbors(current) {
+        if results.len() >= limit {
+            return;
+        }
+        if !active.is_active(next) {
+            continue;
+        }
+        if next == start {
+            if constraint.covers_len(len) {
+                results.push(path.clone());
+            }
+            continue;
+        }
+        if next < start || on_path[next as usize] || len >= constraint.max_hops {
+            continue;
+        }
+        path.push(next);
+        on_path[next as usize] = true;
+        enumerate_from(g, active, start, constraint, path, on_path, results, limit);
+        on_path[next as usize] = false;
+        path.pop();
+    }
+}
+
+/// Count all hop-constrained simple cycles (up to `limit`).
+pub fn count_cycles<G: Graph>(
+    g: &G,
+    active: &ActiveSet,
+    constraint: &HopConstraint,
+    limit: usize,
+) -> usize {
+    enumerate_cycles(g, active, constraint, limit).len()
+}
+
+/// Find one hop-constrained simple cycle that traverses the directed edge
+/// `through`, uses only edges accepted by `edge_allowed`, and only active
+/// vertices. Returns the cycle as a sequence of edges, starting with `through`.
+///
+/// This is the search primitive behind DARC's `AUGMENT` (find an uncovered
+/// cycle through the edge being processed) and `PRUNE` (check whether removing
+/// an edge from the transversal re-exposes a cycle).
+pub fn find_cycle_through_edge<G, F>(
+    g: &G,
+    active: &ActiveSet,
+    through: Edge,
+    constraint: &HopConstraint,
+    edge_allowed: F,
+) -> Option<Vec<Edge>>
+where
+    G: Graph,
+    F: Fn(Edge) -> bool,
+{
+    let (u, v) = (through.source, through.target);
+    if u == v || !active.is_active(u) || !active.is_active(v) {
+        return None;
+    }
+    if !edge_allowed(through) {
+        return None;
+    }
+    // A cycle of length l through (u, v) is the edge plus a simple path from v
+    // back to u of length l - 1 that avoids u and v internally.
+    let mut on_path = vec![false; g.num_vertices()];
+    on_path[u as usize] = true;
+    on_path[v as usize] = true;
+    let mut path_edges = vec![through];
+    if edge_dfs(
+        g,
+        active,
+        u,
+        v,
+        constraint,
+        &edge_allowed,
+        &mut path_edges,
+        &mut on_path,
+    ) {
+        Some(path_edges)
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn edge_dfs<G, F>(
+    g: &G,
+    active: &ActiveSet,
+    target: VertexId,
+    current: VertexId,
+    constraint: &HopConstraint,
+    edge_allowed: &F,
+    path_edges: &mut Vec<Edge>,
+    on_path: &mut [bool],
+) -> bool
+where
+    G: Graph,
+    F: Fn(Edge) -> bool,
+{
+    let len = path_edges.len(); // edges used so far
+    for &next in g.out_neighbors(current) {
+        if !active.is_active(next) {
+            continue;
+        }
+        let e = Edge::new(current, next);
+        if !edge_allowed(e) {
+            continue;
+        }
+        if next == target {
+            // Closing the cycle: total length = len + 1 edges.
+            if constraint.covers_len(len + 1) {
+                path_edges.push(e);
+                return true;
+            }
+            continue;
+        }
+        if on_path[next as usize] || len + 1 >= constraint.max_hops {
+            continue;
+        }
+        path_edges.push(e);
+        on_path[next as usize] = true;
+        if edge_dfs(
+            g,
+            active,
+            target,
+            next,
+            constraint,
+            edge_allowed,
+            path_edges,
+            on_path,
+        ) {
+            return true;
+        }
+        on_path[next as usize] = false;
+        path_edges.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_graph::builder::graph_from_edges;
+    use tdb_graph::gen::{complete_digraph, directed_cycle, directed_path};
+
+    fn all_active(g: &impl Graph) -> ActiveSet {
+        ActiveSet::all_active(g.num_vertices())
+    }
+
+    #[test]
+    fn single_cycle_enumerated_once() {
+        let g = directed_cycle(4);
+        let cycles = enumerate_cycles(&g, &all_active(&g), &HopConstraint::new(6), 100);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn triangle_counts_in_complete_graphs() {
+        // K4 has 8 directed triangles and 6 directed 4-cycles; with k = 3 only
+        // the triangles count.
+        let g = complete_digraph(4);
+        let active = all_active(&g);
+        assert_eq!(count_cycles(&g, &active, &HopConstraint::new(3), 1000), 8);
+        assert_eq!(
+            count_cycles(&g, &active, &HopConstraint::new(4), 1000),
+            8 + 6
+        );
+        // Including 2-cycles adds the 6 bidirectional pairs.
+        assert_eq!(
+            count_cycles(&g, &active, &HopConstraint::with_two_cycles(3), 1000),
+            8 + 6
+        );
+    }
+
+    #[test]
+    fn acyclic_graphs_enumerate_nothing() {
+        let g = directed_path(6);
+        assert!(enumerate_cycles(&g, &all_active(&g), &HopConstraint::new(5), 10).is_empty());
+    }
+
+    #[test]
+    fn limit_truncates_enumeration() {
+        let g = complete_digraph(5);
+        let cycles = enumerate_cycles(&g, &all_active(&g), &HopConstraint::new(4), 7);
+        assert_eq!(cycles.len(), 7);
+    }
+
+    #[test]
+    fn deactivation_removes_cycles() {
+        let g = complete_digraph(4);
+        let mut active = all_active(&g);
+        active.deactivate(0);
+        // Remaining K3 has 2 directed triangles.
+        assert_eq!(count_cycles(&g, &active, &HopConstraint::new(3), 100), 2);
+    }
+
+    #[test]
+    fn every_enumerated_cycle_is_canonical_and_valid() {
+        let g = complete_digraph(5);
+        let active = all_active(&g);
+        let constraint = HopConstraint::new(5);
+        let cycles = enumerate_cycles(&g, &active, &constraint, 10_000);
+        let mut seen = std::collections::HashSet::new();
+        for c in &cycles {
+            assert!(crate::find_cycle::is_valid_cycle(&g, &active, c, &constraint));
+            // First vertex is the minimum -> canonical rotation -> no duplicates.
+            assert_eq!(*c.iter().min().unwrap(), c[0]);
+            assert!(seen.insert(c.clone()), "duplicate cycle {c:?}");
+        }
+    }
+
+    #[test]
+    fn edge_cycle_search_finds_and_respects_filter() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (1, 3), (3, 0)]);
+        let active = all_active(&g);
+        let c = HopConstraint::new(4);
+        let through = Edge::new(0, 1);
+        let cycle = find_cycle_through_edge(&g, &active, through, &c, |_| true).unwrap();
+        assert_eq!(cycle[0], through);
+        assert!(cycle.len() == 3 || cycle.len() == 4);
+        // Forbid the edge (2, 0): only the 0 -> 1 -> 3 -> 0 cycle remains.
+        let banned = Edge::new(2, 0);
+        let cycle = find_cycle_through_edge(&g, &active, through, &c, |e| e != banned).unwrap();
+        assert_eq!(cycle.len(), 3);
+        assert_eq!(cycle, vec![through, Edge::new(1, 3), Edge::new(3, 0)]);
+        assert!(!cycle.contains(&banned));
+        // Forbid both closing edges: nothing remains.
+        let banned2 = Edge::new(3, 0);
+        assert!(find_cycle_through_edge(&g, &active, through, &c, |e| e != banned
+            && e != banned2)
+        .is_none());
+    }
+
+    #[test]
+    fn edge_cycle_search_honours_hop_constraint() {
+        let g = directed_cycle(5);
+        let active = all_active(&g);
+        let through = Edge::new(0, 1);
+        assert!(
+            find_cycle_through_edge(&g, &active, through, &HopConstraint::new(4), |_| true)
+                .is_none()
+        );
+        let found =
+            find_cycle_through_edge(&g, &active, through, &HopConstraint::new(5), |_| true)
+                .unwrap();
+        assert_eq!(found.len(), 5);
+    }
+
+    #[test]
+    fn edge_cycle_search_excludes_two_cycles_by_default() {
+        let g = graph_from_edges(&[(0, 1), (1, 0)]);
+        let active = all_active(&g);
+        let through = Edge::new(0, 1);
+        assert!(
+            find_cycle_through_edge(&g, &active, through, &HopConstraint::new(5), |_| true)
+                .is_none()
+        );
+        let c2 = find_cycle_through_edge(
+            &g,
+            &active,
+            through,
+            &HopConstraint::with_two_cycles(5),
+            |_| true,
+        )
+        .unwrap();
+        assert_eq!(c2.len(), 2);
+    }
+
+    #[test]
+    fn edge_cycle_search_rejects_filtered_seed_edge() {
+        let g = directed_cycle(3);
+        let active = all_active(&g);
+        let through = Edge::new(0, 1);
+        assert!(find_cycle_through_edge(
+            &g,
+            &active,
+            through,
+            &HopConstraint::new(3),
+            |e| e != through
+        )
+        .is_none());
+    }
+}

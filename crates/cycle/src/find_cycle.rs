@@ -1,0 +1,234 @@
+//! Naive bounded-DFS cycle search (`FindCycle`, Algorithm 5 of the paper).
+//!
+//! This is the search used inside the bottom-up approach (Section V) and the
+//! reference oracle for the block-based search: it explores every simple path
+//! of length at most `k` starting at the query vertex and reports the first one
+//! that closes back on the start. The worst case is `O(n^k)`, which is exactly
+//! the complexity the paper attributes to the bottom-up family.
+
+use tdb_graph::{ActiveSet, Graph, VertexId};
+
+use crate::HopConstraint;
+
+/// Find one hop-constrained simple cycle through `start` in the subgraph
+/// induced by `active` vertices.
+///
+/// Returns the cycle as a vertex sequence `[start, v1, ..., v_{l-1}]` (the
+/// closing edge back to `start` is implicit), or `None` if no cycle through
+/// `start` satisfies the constraint.
+///
+/// `start` itself must be active; inactive query vertices trivially return
+/// `None`.
+pub fn find_cycle_through<G: Graph>(
+    g: &G,
+    active: &ActiveSet,
+    start: VertexId,
+    constraint: &HopConstraint,
+) -> Option<Vec<VertexId>> {
+    if !active.is_active(start) {
+        return None;
+    }
+    let mut on_path = vec![false; g.num_vertices()];
+    let mut path: Vec<VertexId> = Vec::with_capacity(constraint.max_hops + 1);
+    path.push(start);
+    on_path[start as usize] = true;
+    if dfs(g, active, start, constraint, &mut path, &mut on_path) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+fn dfs<G: Graph>(
+    g: &G,
+    active: &ActiveSet,
+    start: VertexId,
+    constraint: &HopConstraint,
+    path: &mut Vec<VertexId>,
+    on_path: &mut [bool],
+) -> bool {
+    let current = *path.last().expect("path never empty");
+    let len = path.len(); // number of vertices on the open path
+    for &next in g.out_neighbors(current) {
+        if !active.is_active(next) {
+            continue;
+        }
+        if next == start {
+            // Closing the cycle: its length equals the number of vertices on
+            // the path.
+            if constraint.covers_len(len) {
+                return true;
+            }
+            continue;
+        }
+        if on_path[next as usize] {
+            continue;
+        }
+        if len >= constraint.max_hops {
+            // Extending would exceed the hop budget even before closing.
+            continue;
+        }
+        path.push(next);
+        on_path[next as usize] = true;
+        if dfs(g, active, start, constraint, path, on_path) {
+            return true;
+        }
+        on_path[next as usize] = false;
+        path.pop();
+    }
+    false
+}
+
+/// Check whether the returned vertex sequence really is a hop-constrained
+/// simple cycle of the graph. Used by tests and by the verifier to validate
+/// witnesses produced by any of the search routines.
+pub fn is_valid_cycle<G: Graph>(
+    g: &G,
+    active: &ActiveSet,
+    cycle: &[VertexId],
+    constraint: &HopConstraint,
+) -> bool {
+    let len = cycle.len();
+    if !constraint.covers_len(len) {
+        return false;
+    }
+    // All vertices distinct and active.
+    let mut seen = std::collections::HashSet::with_capacity(len);
+    for &v in cycle {
+        if (v as usize) >= g.num_vertices() || !active.is_active(v) || !seen.insert(v) {
+            return false;
+        }
+    }
+    // All consecutive edges (including the closing edge) present.
+    for i in 0..len {
+        let u = cycle[i];
+        let v = cycle[(i + 1) % len];
+        if !g.has_edge(u, v) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_graph::builder::graph_from_edges;
+    use tdb_graph::gen::{directed_cycle, directed_path, layered_dag};
+
+    fn all_active(g: &impl Graph) -> ActiveSet {
+        ActiveSet::all_active(g.num_vertices())
+    }
+
+    #[test]
+    fn finds_triangle_from_every_vertex() {
+        let g = directed_cycle(3);
+        let active = all_active(&g);
+        let k = HopConstraint::new(5);
+        for v in g.vertices() {
+            let c = find_cycle_through(&g, &active, v, &k).expect("triangle must be found");
+            assert_eq!(c.len(), 3);
+            assert_eq!(c[0], v);
+            assert!(is_valid_cycle(&g, &active, &c, &k));
+        }
+    }
+
+    #[test]
+    fn respects_hop_constraint_boundary() {
+        let g = directed_cycle(6);
+        let active = all_active(&g);
+        assert!(find_cycle_through(&g, &active, 0, &HopConstraint::new(5)).is_none());
+        assert!(find_cycle_through(&g, &active, 0, &HopConstraint::new(6)).is_some());
+    }
+
+    #[test]
+    fn excludes_two_cycles_by_default() {
+        let g = graph_from_edges(&[(0, 1), (1, 0)]);
+        let active = all_active(&g);
+        assert!(find_cycle_through(&g, &active, 0, &HopConstraint::new(5)).is_none());
+        let with2 = HopConstraint::with_two_cycles(5);
+        let c = find_cycle_through(&g, &active, 0, &with2).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(is_valid_cycle(&g, &active, &c, &with2));
+    }
+
+    #[test]
+    fn acyclic_graphs_have_no_cycles() {
+        for g in [directed_path(10), layered_dag(4, 3)] {
+            let active = all_active(&g);
+            for v in g.vertices() {
+                assert!(find_cycle_through(&g, &active, v, &HopConstraint::new(6)).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn deactivated_vertices_break_the_cycle() {
+        let g = directed_cycle(4);
+        let mut active = all_active(&g);
+        let k = HopConstraint::new(5);
+        assert!(find_cycle_through(&g, &active, 0, &k).is_some());
+        active.deactivate(2);
+        assert!(find_cycle_through(&g, &active, 0, &k).is_none());
+        // Query on the deactivated vertex itself.
+        assert!(find_cycle_through(&g, &active, 2, &k).is_none());
+    }
+
+    #[test]
+    fn finds_shorter_of_two_cycles_when_long_one_exceeds_k() {
+        // start 0 is on a 3-cycle (0,1,2) and a 5-cycle (0,3,4,5,6).
+        let g = graph_from_edges(&[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (0, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 0),
+        ]);
+        let active = all_active(&g);
+        let c = find_cycle_through(&g, &active, 0, &HopConstraint::new(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        // With k = 7, either cycle is acceptable.
+        let c = find_cycle_through(&g, &active, 0, &HopConstraint::new(7)).unwrap();
+        assert!(c.len() == 3 || c.len() == 5);
+    }
+
+    #[test]
+    fn cycle_not_through_start_is_ignored() {
+        // Triangle on 1,2,3; vertex 0 only feeds into it.
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 3), (3, 1)]);
+        let active = all_active(&g);
+        assert!(find_cycle_through(&g, &active, 0, &HopConstraint::new(6)).is_none());
+        assert!(find_cycle_through(&g, &active, 1, &HopConstraint::new(6)).is_some());
+    }
+
+    #[test]
+    fn is_valid_cycle_rejects_malformed_witnesses() {
+        let g = directed_cycle(4);
+        let active = all_active(&g);
+        let k = HopConstraint::new(5);
+        assert!(is_valid_cycle(&g, &active, &[0, 1, 2, 3], &k));
+        // Wrong order: edge 0 -> 2 missing.
+        assert!(!is_valid_cycle(&g, &active, &[0, 2, 1, 3], &k));
+        // Repeated vertex.
+        assert!(!is_valid_cycle(&g, &active, &[0, 1, 0, 1], &k));
+        // Too short under the default constraint.
+        assert!(!is_valid_cycle(&g, &active, &[0, 1], &k));
+        // Too long for k = 3.
+        assert!(!is_valid_cycle(&g, &active, &[0, 1, 2, 3], &HopConstraint::new(3)));
+    }
+
+    #[test]
+    fn self_loop_is_never_a_cycle() {
+        let mut b = tdb_graph::GraphBuilder::new();
+        b.keep_self_loops(true);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        let active = ActiveSet::all_active(2);
+        assert!(find_cycle_through(&g, &active, 0, &HopConstraint::new(5)).is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! Hop-bounded reachability over active subgraphs.
+//!
+//! A reusable BFS engine with epoch-stamped visitation arrays so that a single
+//! allocation serves millions of queries without `O(n)` clearing between them.
+//! Both search directions are supported: the BFS-filter walks the *reverse*
+//! direction (distance *to* the query vertex), while the verifier and some
+//! examples walk forward.
+
+use tdb_graph::{ActiveSet, Graph, VertexId};
+
+/// Direction of a BFS traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges: distances *from* the source.
+    Forward,
+    /// Follow in-edges: distances *to* the source.
+    Backward,
+}
+
+/// Reusable hop-bounded BFS engine.
+///
+/// All scratch state is epoch-stamped: starting a new query bumps a counter
+/// instead of clearing the arrays, so a query costs `O(visited)` rather than
+/// `O(n)`.
+#[derive(Debug, Clone)]
+pub struct BoundedBfs {
+    dist: Vec<u32>,
+    epoch_of: Vec<u32>,
+    epoch: u32,
+    queue: Vec<VertexId>,
+}
+
+impl BoundedBfs {
+    /// Create an engine for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BoundedBfs {
+            dist: vec![0; n],
+            epoch_of: vec![0; n],
+            epoch: 0,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Number of vertices this engine was sized for.
+    pub fn capacity(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Run a hop-bounded BFS from `source` over active vertices.
+    ///
+    /// After the call, [`BoundedBfs::distance`] reports distances (in hops) of
+    /// vertices reached within `max_hops`; unreached vertices report `None`.
+    /// Returns the number of vertices reached (including the source).
+    pub fn run<G: Graph>(
+        &mut self,
+        g: &G,
+        active: &ActiveSet,
+        source: VertexId,
+        max_hops: usize,
+        direction: Direction,
+    ) -> usize {
+        debug_assert_eq!(g.num_vertices(), self.dist.len());
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap-around: fall back to a full reset.
+            self.epoch_of.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+        if !active.is_active(source) {
+            return 0;
+        }
+        self.visit(source, 0);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let d = self.dist[u as usize];
+            if d as usize >= max_hops {
+                continue;
+            }
+            let neighbors = match direction {
+                Direction::Forward => g.out_neighbors(u),
+                Direction::Backward => g.in_neighbors(u),
+            };
+            for &v in neighbors {
+                if active.is_active(v) && self.epoch_of[v as usize] != self.epoch {
+                    self.visit(v, d + 1);
+                }
+            }
+        }
+        self.queue.len()
+    }
+
+    #[inline]
+    fn visit(&mut self, v: VertexId, d: u32) {
+        self.epoch_of[v as usize] = self.epoch;
+        self.dist[v as usize] = d;
+        self.queue.push(v);
+    }
+
+    /// Distance of `v` from the most recent query's source, if reached.
+    #[inline]
+    pub fn distance(&self, v: VertexId) -> Option<u32> {
+        if self.epoch_of[v as usize] == self.epoch {
+            Some(self.dist[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Vertices reached by the most recent query, in BFS order.
+    pub fn reached(&self) -> &[VertexId] {
+        &self.queue
+    }
+}
+
+/// Convenience wrapper: hop-bounded distance from `u` to `v` over active
+/// vertices, or `None` if `v` is unreachable within `max_hops`.
+pub fn bounded_distance<G: Graph>(
+    g: &G,
+    active: &ActiveSet,
+    u: VertexId,
+    v: VertexId,
+    max_hops: usize,
+) -> Option<u32> {
+    let mut bfs = BoundedBfs::new(g.num_vertices());
+    bfs.run(g, active, u, max_hops, Direction::Forward);
+    bfs.distance(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_graph::builder::graph_from_edges;
+    use tdb_graph::gen::{directed_cycle, directed_path};
+
+    #[test]
+    fn forward_distances_on_a_path() {
+        let g = directed_path(6);
+        let active = ActiveSet::all_active(6);
+        let mut bfs = BoundedBfs::new(6);
+        let reached = bfs.run(&g, &active, 0, 10, Direction::Forward);
+        assert_eq!(reached, 6);
+        for v in 0..6u32 {
+            assert_eq!(bfs.distance(v), Some(v));
+        }
+    }
+
+    #[test]
+    fn hop_bound_truncates_search() {
+        let g = directed_path(6);
+        let active = ActiveSet::all_active(6);
+        let mut bfs = BoundedBfs::new(6);
+        bfs.run(&g, &active, 0, 2, Direction::Forward);
+        assert_eq!(bfs.distance(2), Some(2));
+        assert_eq!(bfs.distance(3), None);
+    }
+
+    #[test]
+    fn backward_distances_follow_in_edges() {
+        let g = directed_path(4);
+        let active = ActiveSet::all_active(4);
+        let mut bfs = BoundedBfs::new(4);
+        bfs.run(&g, &active, 3, 10, Direction::Backward);
+        assert_eq!(bfs.distance(0), Some(3));
+        assert_eq!(bfs.distance(3), Some(0));
+        // Forward from the sink reaches nothing else.
+        bfs.run(&g, &active, 3, 10, Direction::Forward);
+        assert_eq!(bfs.distance(0), None);
+    }
+
+    #[test]
+    fn inactive_vertices_block_traversal() {
+        let g = directed_cycle(5);
+        let mut active = ActiveSet::all_active(5);
+        active.deactivate(2);
+        let mut bfs = BoundedBfs::new(5);
+        bfs.run(&g, &active, 0, 10, Direction::Forward);
+        assert_eq!(bfs.distance(1), Some(1));
+        assert_eq!(bfs.distance(3), None); // cut off behind the hole
+        // Inactive source reaches nothing.
+        assert_eq!(bfs.run(&g, &active, 2, 10, Direction::Forward), 0);
+        assert_eq!(bfs.distance(2), None);
+    }
+
+    #[test]
+    fn epoch_reuse_does_not_leak_previous_query() {
+        let g = graph_from_edges(&[(0, 1), (2, 3)]);
+        let active = ActiveSet::all_active(4);
+        let mut bfs = BoundedBfs::new(4);
+        bfs.run(&g, &active, 0, 5, Direction::Forward);
+        assert_eq!(bfs.distance(1), Some(1));
+        bfs.run(&g, &active, 2, 5, Direction::Forward);
+        assert_eq!(bfs.distance(1), None, "stale result from earlier query");
+        assert_eq!(bfs.distance(3), Some(1));
+        assert_eq!(bfs.reached(), &[2, 3]);
+    }
+
+    #[test]
+    fn bounded_distance_helper() {
+        let g = directed_cycle(6);
+        let active = ActiveSet::all_active(6);
+        assert_eq!(bounded_distance(&g, &active, 0, 3, 10), Some(3));
+        assert_eq!(bounded_distance(&g, &active, 0, 3, 2), None);
+        assert_eq!(bounded_distance(&g, &active, 0, 0, 10), Some(0));
+    }
+
+    #[test]
+    fn many_queries_with_epoch_wrap_protection() {
+        let g = directed_cycle(4);
+        let active = ActiveSet::all_active(4);
+        let mut bfs = BoundedBfs::new(4);
+        for _ in 0..10_000 {
+            bfs.run(&g, &active, 1, 4, Direction::Forward);
+        }
+        assert_eq!(bfs.distance(0), Some(3));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the cycle-search primitives: the fast engines must
+//! agree with exhaustive ground truth on arbitrary graphs and activation masks.
+
+use proptest::prelude::*;
+
+use tdb_cycle::bfs_filter::{BfsFilter, FilterDecision};
+use tdb_cycle::enumerate::enumerate_cycles;
+use tdb_cycle::find_cycle::{find_cycle_through, is_valid_cycle};
+use tdb_cycle::reach::{BoundedBfs, Direction};
+use tdb_cycle::{BlockSearcher, HopConstraint};
+use tdb_graph::builder::graph_from_edges;
+use tdb_graph::{ActiveSet, CsrGraph, Graph};
+
+fn arb_graph_and_mask(n: u32, m: usize) -> impl Strategy<Value = (CsrGraph, Vec<bool>)> {
+    (
+        prop::collection::vec((0..n, 0..n), 0..m),
+        prop::collection::vec(any::<bool>(), n as usize),
+    )
+        .prop_map(|(edges, mut mask)| {
+            let g = graph_from_edges(&edges);
+            mask.resize(g.num_vertices(), true);
+            (g, mask)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Block DFS == naive DFS on arbitrary graphs, activation masks, hop
+    /// bounds, and 2-cycle modes; witnesses must be genuine cycles.
+    #[test]
+    fn block_dfs_equals_naive_dfs((g, mask) in arb_graph_and_mask(20, 80), k in 2usize..7, include2 in any::<bool>()) {
+        let active = ActiveSet::from_mask(mask);
+        let constraint = if include2 { HopConstraint::with_two_cycles(k) } else { HopConstraint::new(k) };
+        let mut searcher = BlockSearcher::new(g.num_vertices());
+        for v in g.vertices() {
+            let naive = find_cycle_through(&g, &active, v, &constraint);
+            let fast = searcher.find_cycle_through(&g, &active, v, &constraint);
+            prop_assert_eq!(naive.is_some(), fast.is_some(), "vertex {}", v);
+            if let Some(cycle) = fast {
+                prop_assert_eq!(cycle[0], v);
+                prop_assert!(is_valid_cycle(&g, &active, &cycle, &constraint), "bad witness {:?}", cycle);
+            }
+        }
+    }
+
+    /// The BFS filter never prunes a vertex that has a constrained cycle, and
+    /// its exact mode never proves a vertex that has none.
+    #[test]
+    fn bfs_filter_is_sound((g, mask) in arb_graph_and_mask(20, 80), k in 2usize..7) {
+        let active = ActiveSet::from_mask(mask);
+        let constraint = HopConstraint::new(k);
+        let mut filter = BfsFilter::new(g.num_vertices());
+        for v in g.vertices() {
+            let truth = find_cycle_through(&g, &active, v, &constraint).is_some();
+            match filter.decide_exact(&g, &active, v, &constraint) {
+                FilterDecision::Prune => prop_assert!(!truth, "vertex {} pruned despite a cycle", v),
+                FilterDecision::ProvenNecessary(len) => {
+                    prop_assert!(truth, "vertex {} proven despite no cycle", v);
+                    prop_assert!(constraint.covers_len(len));
+                }
+                FilterDecision::NeedsVerification => {}
+            }
+        }
+    }
+
+    /// The shortest closed walk reported by the filter is never longer than the
+    /// shortest enumerated cycle through the vertex.
+    #[test]
+    fn shortest_walk_lower_bounds_cycles((g, mask) in arb_graph_and_mask(16, 60), k in 3usize..6) {
+        let active = ActiveSet::from_mask(mask);
+        let constraint = HopConstraint::with_two_cycles(k);
+        let mut filter = BfsFilter::new(g.num_vertices());
+        let cycles = enumerate_cycles(&g, &active, &constraint, 100_000);
+        for v in g.vertices() {
+            let shortest_cycle = cycles
+                .iter()
+                .filter(|c| c.contains(&v))
+                .map(|c| c.len())
+                .min();
+            if let Some(len) = shortest_cycle {
+                let walk = filter.shortest_closed_walk(&g, &active, v, k);
+                prop_assert!(walk.is_some(), "no walk though a cycle of length {} exists", len);
+                prop_assert!(walk.unwrap() <= len);
+            }
+        }
+    }
+
+    /// Enumerated cycles are exactly the distinct constrained simple cycles:
+    /// none is missed (every cycle the per-vertex DFS can find is listed) and
+    /// none is duplicated.
+    #[test]
+    fn enumeration_is_complete_and_duplicate_free((g, mask) in arb_graph_and_mask(14, 50), k in 3usize..6) {
+        let active = ActiveSet::from_mask(mask);
+        let constraint = HopConstraint::new(k);
+        let cycles = enumerate_cycles(&g, &active, &constraint, 1_000_000);
+        let set: std::collections::HashSet<_> = cycles.iter().cloned().collect();
+        prop_assert_eq!(set.len(), cycles.len(), "duplicate cycles reported");
+        for c in &cycles {
+            prop_assert!(is_valid_cycle(&g, &active, c, &constraint));
+        }
+        // Existence agreement per vertex.
+        for v in g.vertices() {
+            let listed = cycles.iter().any(|c| c.contains(&v));
+            let exists = find_cycle_through(&g, &active, v, &constraint).is_some();
+            prop_assert_eq!(listed, exists, "vertex {}", v);
+        }
+    }
+
+    /// Hop-bounded BFS distances match a brute-force Bellman-Ford-style
+    /// relaxation over active vertices.
+    #[test]
+    fn bounded_bfs_distances_are_exact((g, mask) in arb_graph_and_mask(18, 70), source in 0u32..18, max_hops in 0usize..6) {
+        let active = ActiveSet::from_mask(mask);
+        let n = g.num_vertices();
+        prop_assume!(n > 0);
+        let source = source % n as u32;
+        let mut bfs = BoundedBfs::new(n);
+        bfs.run(&g, &active, source, max_hops, Direction::Forward);
+
+        // Brute force: dist[v] = min hops over <= max_hops rounds.
+        let inf = usize::MAX;
+        let mut dist = vec![inf; n];
+        if active.is_active(source) {
+            dist[source as usize] = 0;
+            for _ in 0..max_hops {
+                let snapshot = dist.clone();
+                for u in g.vertices() {
+                    if snapshot[u as usize] == inf || !active.is_active(u) {
+                        continue;
+                    }
+                    for &w in g.out_neighbors(u) {
+                        if active.is_active(w) {
+                            dist[w as usize] = dist[w as usize].min(snapshot[u as usize] + 1);
+                        }
+                    }
+                }
+            }
+        }
+        for v in g.vertices() {
+            let expected = if dist[v as usize] == inf { None } else { Some(dist[v as usize] as u32) };
+            prop_assert_eq!(bfs.distance(v), expected, "vertex {}", v);
+        }
+    }
+}

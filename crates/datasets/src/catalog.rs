@@ -1,0 +1,356 @@
+//! The dataset catalog: Table II of the paper as data.
+
+/// Broad structural class of a dataset, used to choose the proxy generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphClass {
+    /// Social / voting / communication networks (skewed in-degree, noticeable
+    /// reciprocity): Wiki-Vote, Slashdot, Wiki-Talk, Flickr, LiveJournal,
+    /// Twitter.
+    Social,
+    /// Web crawls (heavily skewed, low reciprocity, strong locality):
+    /// web-NotreDame, web-Stanford, web-Google, web-BerkStan, Wikipedia links.
+    Web,
+    /// Internet topology / peer-to-peer overlays (flatter degree
+    /// distribution): as-caida, Gnutella.
+    Network,
+    /// Citation graphs (near-acyclic with small cycles from cross-citations):
+    /// citeseer.
+    Citation,
+    /// Financial / transaction networks (dense, hub-heavy, highly cyclic):
+    /// prosper-loans.
+    Financial,
+    /// E-mail interaction graphs: Email-EuAll.
+    Email,
+}
+
+/// Published statistics of one evaluation dataset (one row of Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Short code used throughout the paper's tables (e.g. `"WKV"`).
+    pub code: &'static str,
+    /// Full dataset name (e.g. `"Wiki-Vote"`).
+    pub name: &'static str,
+    /// Published vertex count.
+    pub vertices: usize,
+    /// Published edge count.
+    pub edges: usize,
+    /// Published average degree (`d_avg` column).
+    pub avg_degree: f64,
+    /// Structural class driving proxy synthesis.
+    pub class: GraphClass,
+    /// Estimated fraction of reciprocated edges used for the proxy (2-cycle
+    /// density); derived from the dataset class and the Table IV growth ratios.
+    pub reciprocity: f64,
+    /// Whether the paper could only run TDB++ on it (the four largest graphs in
+    /// Table III).
+    pub large_scale: bool,
+}
+
+impl DatasetSpec {
+    /// Edge/vertex ratio of the published graph.
+    pub fn density(&self) -> f64 {
+        if self.vertices == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.vertices as f64
+        }
+    }
+}
+
+/// The sixteen datasets of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Dataset {
+    WikiVote,
+    AsCaida,
+    Gnutella31,
+    EmailEuAll,
+    Slashdot0902,
+    WebNotreDame,
+    Citeseer,
+    WebStanford,
+    ProsperLoans,
+    WikiTalk,
+    WebGoogle,
+    WebBerkStan,
+    Flickr,
+    LiveJournal,
+    Wikipedia,
+    TwitterWww,
+}
+
+impl Dataset {
+    /// Every dataset, in the order of Table II.
+    pub fn all() -> [Dataset; 16] {
+        use Dataset::*;
+        [
+            WikiVote,
+            AsCaida,
+            Gnutella31,
+            EmailEuAll,
+            Slashdot0902,
+            WebNotreDame,
+            Citeseer,
+            WebStanford,
+            ProsperLoans,
+            WikiTalk,
+            WebGoogle,
+            WebBerkStan,
+            Flickr,
+            LiveJournal,
+            Wikipedia,
+            TwitterWww,
+        ]
+    }
+
+    /// The twelve small/medium datasets on which the paper runs all three
+    /// algorithms (Figures 6–9, the upper block of Table III).
+    pub fn small_and_medium() -> Vec<Dataset> {
+        Dataset::all()
+            .into_iter()
+            .filter(|d| !d.spec().large_scale)
+            .collect()
+    }
+
+    /// The four billion-scale-class graphs only TDB++ completes (FLK, LJ, WKP,
+    /// TW).
+    pub fn large_scale() -> Vec<Dataset> {
+        Dataset::all()
+            .into_iter()
+            .filter(|d| d.spec().large_scale)
+            .collect()
+    }
+
+    /// The two datasets used for the technique ablations (Figures 8–10): WKV
+    /// and WGO.
+    pub fn ablation_pair() -> [Dataset; 2] {
+        [Dataset::WikiVote, Dataset::WebGoogle]
+    }
+
+    /// Look a dataset up by its paper code (`"WKV"`, `"WGO"`, ...).
+    pub fn from_code(code: &str) -> Option<Dataset> {
+        Dataset::all()
+            .into_iter()
+            .find(|d| d.spec().code.eq_ignore_ascii_case(code))
+    }
+
+    /// The published statistics of this dataset.
+    pub fn spec(&self) -> DatasetSpec {
+        use GraphClass::*;
+        match self {
+            Dataset::WikiVote => DatasetSpec {
+                code: "WKV",
+                name: "Wiki-Vote",
+                vertices: 7_000,
+                edges: 104_000,
+                avg_degree: 29.1,
+                class: Social,
+                reciprocity: 0.06,
+                large_scale: false,
+            },
+            Dataset::AsCaida => DatasetSpec {
+                code: "ASC",
+                name: "as-caida",
+                vertices: 26_000,
+                edges: 107_000,
+                avg_degree: 8.1,
+                class: Network,
+                reciprocity: 0.55,
+                large_scale: false,
+            },
+            Dataset::Gnutella31 => DatasetSpec {
+                code: "GNU",
+                name: "Gnutella31",
+                vertices: 63_000,
+                edges: 148_000,
+                avg_degree: 4.7,
+                class: Network,
+                reciprocity: 0.02,
+                large_scale: false,
+            },
+            Dataset::EmailEuAll => DatasetSpec {
+                code: "EU",
+                name: "Email-EuAll",
+                vertices: 265_000,
+                edges: 420_000,
+                avg_degree: 3.2,
+                class: Email,
+                reciprocity: 0.15,
+                large_scale: false,
+            },
+            Dataset::Slashdot0902 => DatasetSpec {
+                code: "SAD",
+                name: "Slashdot0902",
+                vertices: 82_000,
+                edges: 948_000,
+                avg_degree: 23.1,
+                class: Social,
+                reciprocity: 0.55,
+                large_scale: false,
+            },
+            Dataset::WebNotreDame => DatasetSpec {
+                code: "WND",
+                name: "web-NotreDame",
+                vertices: 325_000,
+                edges: 1_500_000,
+                avg_degree: 9.2,
+                class: Web,
+                reciprocity: 0.25,
+                large_scale: false,
+            },
+            Dataset::Citeseer => DatasetSpec {
+                code: "CT",
+                name: "citeseer",
+                vertices: 384_000,
+                edges: 1_700_000,
+                avg_degree: 9.1,
+                class: Citation,
+                reciprocity: 0.05,
+                large_scale: false,
+            },
+            Dataset::WebStanford => DatasetSpec {
+                code: "WST",
+                name: "web-Stanford",
+                vertices: 281_000,
+                edges: 2_300_000,
+                avg_degree: 16.4,
+                class: Web,
+                reciprocity: 0.25,
+                large_scale: false,
+            },
+            Dataset::ProsperLoans => DatasetSpec {
+                code: "LOAN",
+                name: "prosper-loans",
+                vertices: 89_000,
+                edges: 3_400_000,
+                avg_degree: 76.1,
+                class: Financial,
+                reciprocity: 0.01,
+                large_scale: false,
+            },
+            Dataset::WikiTalk => DatasetSpec {
+                code: "WIT",
+                name: "Wiki-Talk",
+                vertices: 2_400_000,
+                edges: 5_000_000,
+                avg_degree: 4.2,
+                class: Social,
+                reciprocity: 0.12,
+                large_scale: false,
+            },
+            Dataset::WebGoogle => DatasetSpec {
+                code: "WGO",
+                name: "web-Google",
+                vertices: 875_000,
+                edges: 5_100_000,
+                avg_degree: 11.7,
+                class: Web,
+                reciprocity: 0.3,
+                large_scale: false,
+            },
+            Dataset::WebBerkStan => DatasetSpec {
+                code: "WBS",
+                name: "web-BerkStan",
+                vertices: 685_000,
+                edges: 7_600_000,
+                avg_degree: 22.2,
+                class: Web,
+                reciprocity: 0.25,
+                large_scale: false,
+            },
+            Dataset::Flickr => DatasetSpec {
+                code: "FLK",
+                name: "Flickr",
+                vertices: 2_300_000,
+                edges: 33_100_000,
+                avg_degree: 28.8,
+                class: Social,
+                reciprocity: 0.45,
+                large_scale: true,
+            },
+            Dataset::LiveJournal => DatasetSpec {
+                code: "LJ",
+                name: "LiveJournal",
+                vertices: 10_600_000,
+                edges: 112_000_000,
+                avg_degree: 21.0,
+                class: Social,
+                reciprocity: 0.6,
+                large_scale: true,
+            },
+            Dataset::Wikipedia => DatasetSpec {
+                code: "WKP",
+                name: "Wikipedia",
+                vertices: 18_200_000,
+                edges: 172_000_000,
+                avg_degree: 18.85,
+                class: Web,
+                reciprocity: 0.1,
+                large_scale: true,
+            },
+            Dataset::TwitterWww => DatasetSpec {
+                code: "TW",
+                name: "Twitter(WWW)",
+                vertices: 41_600_000,
+                edges: 1_470_000_000,
+                avg_degree: 70.5,
+                class: Social,
+                reciprocity: 0.2,
+                large_scale: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_sixteen_unique_codes() {
+        let all = Dataset::all();
+        assert_eq!(all.len(), 16);
+        let codes: std::collections::HashSet<_> = all.iter().map(|d| d.spec().code).collect();
+        assert_eq!(codes.len(), 16);
+    }
+
+    #[test]
+    fn split_matches_table_three() {
+        assert_eq!(Dataset::small_and_medium().len(), 12);
+        let large = Dataset::large_scale();
+        assert_eq!(large.len(), 4);
+        let codes: Vec<&str> = large.iter().map(|d| d.spec().code).collect();
+        assert_eq!(codes, vec!["FLK", "LJ", "WKP", "TW"]);
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        assert_eq!(Dataset::from_code("WKV"), Some(Dataset::WikiVote));
+        assert_eq!(Dataset::from_code("wgo"), Some(Dataset::WebGoogle));
+        assert_eq!(Dataset::from_code("nope"), None);
+    }
+
+    #[test]
+    fn specs_are_internally_consistent() {
+        for d in Dataset::all() {
+            let s = d.spec();
+            assert!(s.vertices > 0 && s.edges > 0);
+            assert!(s.reciprocity >= 0.0 && s.reciprocity <= 1.0);
+            assert!(s.density() > 0.5, "{}: density {}", s.code, s.density());
+        }
+    }
+
+    #[test]
+    fn ablation_pair_is_wkv_and_wgo() {
+        let pair = Dataset::ablation_pair();
+        assert_eq!(pair[0].spec().code, "WKV");
+        assert_eq!(pair[1].spec().code, "WGO");
+    }
+
+    #[test]
+    fn twitter_is_billion_scale() {
+        let tw = Dataset::TwitterWww.spec();
+        assert!(tw.edges > 1_000_000_000);
+        assert!(tw.large_scale);
+    }
+}

@@ -1,0 +1,234 @@
+//! Vertex activation masks — the cheap "vertex deletion" used by every cover
+//! algorithm in the workspace.
+//!
+//! The paper's algorithms repeatedly work on *reduced* graphs:
+//!
+//! * the bottom-up approach (Algorithm 4) removes the in- and out-edges of every
+//!   chosen cover vertex,
+//! * the minimal-pruning pass (Algorithm 7) searches `G − R + {v}`,
+//! * the top-down approach (Algorithm 8) grows `G0` by re-inserting the edges of
+//!   vertices that were released from the cover.
+//!
+//! Materializing those subgraphs would cost `O(m)` per update. Instead, all of
+//! them are expressed as an [`ActiveSet`]: a boolean mask over vertices. An edge
+//! `(u, v)` is *present* in the reduced graph iff both `u` and `v` are active.
+//! Deactivating a vertex therefore removes exactly its in- and out-edges, which
+//! is precisely the operation the paper needs.
+
+use crate::types::VertexId;
+
+/// Dense boolean activation mask over the vertices of a graph.
+///
+/// ```
+/// use tdb_graph::ActiveSet;
+///
+/// let mut a = ActiveSet::all_active(4);
+/// assert_eq!(a.num_active(), 4);
+/// a.deactivate(2);
+/// assert!(!a.is_active(2));
+/// assert_eq!(a.num_active(), 3);
+/// a.activate(2);
+/// assert_eq!(a.num_active(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSet {
+    active: Vec<bool>,
+    num_active: usize,
+}
+
+impl ActiveSet {
+    /// All vertices active.
+    pub fn all_active(n: usize) -> Self {
+        ActiveSet {
+            active: vec![true; n],
+            num_active: n,
+        }
+    }
+
+    /// No vertex active.
+    pub fn all_inactive(n: usize) -> Self {
+        ActiveSet {
+            active: vec![false; n],
+            num_active: 0,
+        }
+    }
+
+    /// Build from an explicit mask.
+    pub fn from_mask(mask: Vec<bool>) -> Self {
+        let num_active = mask.iter().filter(|&&b| b).count();
+        ActiveSet {
+            active: mask,
+            num_active,
+        }
+    }
+
+    /// Number of vertices covered by the mask (active + inactive).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether the mask is empty (zero vertices).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Whether vertex `v` is active.
+    #[inline]
+    pub fn is_active(&self, v: VertexId) -> bool {
+        self.active[v as usize]
+    }
+
+    /// Number of active vertices.
+    #[inline]
+    pub fn num_active(&self) -> usize {
+        self.num_active
+    }
+
+    /// Number of inactive vertices.
+    #[inline]
+    pub fn num_inactive(&self) -> usize {
+        self.active.len() - self.num_active
+    }
+
+    /// Activate `v`. Returns `true` if the state changed.
+    #[inline]
+    pub fn activate(&mut self, v: VertexId) -> bool {
+        let slot = &mut self.active[v as usize];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.num_active += 1;
+            true
+        }
+    }
+
+    /// Deactivate `v`. Returns `true` if the state changed.
+    #[inline]
+    pub fn deactivate(&mut self, v: VertexId) -> bool {
+        let slot = &mut self.active[v as usize];
+        if *slot {
+            *slot = false;
+            self.num_active -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Set the state of `v` explicitly.
+    #[inline]
+    pub fn set(&mut self, v: VertexId, active: bool) {
+        if active {
+            self.activate(v);
+        } else {
+            self.deactivate(v);
+        }
+    }
+
+    /// Iterator over the active vertex ids in ascending order.
+    pub fn iter_active(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| i as VertexId)
+    }
+
+    /// Iterator over the inactive vertex ids in ascending order.
+    pub fn iter_inactive(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| !a)
+            .map(|(i, _)| i as VertexId)
+    }
+
+    /// Borrow the raw mask.
+    pub fn as_mask(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Consume into the raw mask.
+    pub fn into_mask(self) -> Vec<bool> {
+        self.active
+    }
+
+    /// Reset every vertex to active.
+    pub fn reset_all_active(&mut self) {
+        self.active.iter_mut().for_each(|b| *b = true);
+        self.num_active = self.active.len();
+    }
+
+    /// Reset every vertex to inactive.
+    pub fn reset_all_inactive(&mut self) {
+        self.active.iter_mut().for_each(|b| *b = false);
+        self.num_active = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_bookkeeping_is_exact() {
+        let mut a = ActiveSet::all_active(5);
+        assert_eq!(a.num_active(), 5);
+        assert!(a.deactivate(3));
+        assert!(!a.deactivate(3)); // already inactive
+        assert_eq!(a.num_active(), 4);
+        assert_eq!(a.num_inactive(), 1);
+        assert!(a.activate(3));
+        assert!(!a.activate(3));
+        assert_eq!(a.num_active(), 5);
+    }
+
+    #[test]
+    fn from_mask_counts_active() {
+        let a = ActiveSet::from_mask(vec![true, false, true, false]);
+        assert_eq!(a.num_active(), 2);
+        assert_eq!(a.iter_active().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(a.iter_inactive().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn all_inactive_then_activate() {
+        let mut a = ActiveSet::all_inactive(3);
+        assert_eq!(a.num_active(), 0);
+        a.set(1, true);
+        assert!(a.is_active(1));
+        assert!(!a.is_active(0));
+        assert_eq!(a.num_active(), 1);
+    }
+
+    #[test]
+    fn resets_restore_uniform_state() {
+        let mut a = ActiveSet::all_active(4);
+        a.deactivate(0);
+        a.deactivate(2);
+        a.reset_all_active();
+        assert_eq!(a.num_active(), 4);
+        a.reset_all_inactive();
+        assert_eq!(a.num_active(), 0);
+        assert!(a.iter_active().next().is_none());
+    }
+
+    #[test]
+    fn empty_mask_behaves() {
+        let a = ActiveSet::all_active(0);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.num_active(), 0);
+    }
+
+    #[test]
+    fn into_mask_round_trips() {
+        let a = ActiveSet::from_mask(vec![false, true]);
+        let mask = a.clone().into_mask();
+        assert_eq!(ActiveSet::from_mask(mask), a);
+        assert_eq!(a.as_mask(), &[false, true]);
+    }
+}

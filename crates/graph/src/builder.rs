@@ -1,0 +1,204 @@
+//! Incremental construction of [`CsrGraph`]s from edge streams.
+
+use crate::csr::CsrGraph;
+use crate::types::{Edge, VertexId};
+
+/// Builder that accumulates directed edges and materializes a [`CsrGraph`].
+///
+/// The builder accepts edges in any order, tolerates duplicates and self-loops,
+/// and normalizes everything at [`GraphBuilder::build`] time:
+///
+/// * duplicate parallel edges are collapsed,
+/// * self-loops are dropped by default (the paper excludes them from the
+///   hop-constrained cycle cover problem; see Section III of the paper) but can
+///   be kept with [`GraphBuilder::keep_self_loops`],
+/// * adjacency lists are sorted ascending so that membership tests are
+///   `O(log d)` binary searches.
+///
+/// The number of vertices is `max(explicit reservation, max vertex id + 1)`.
+///
+/// ```
+/// use tdb_graph::{GraphBuilder, Graph};
+///
+/// let mut b = GraphBuilder::with_capacity(4, 5);
+/// b.add_edge(0, 1);
+/// b.add_edge(0, 1);      // duplicate, collapsed
+/// b.add_edge(2, 2);      // self-loop, dropped by default
+/// b.add_edge(1, 3);
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+    min_vertices: usize,
+    keep_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder with pre-reserved capacity.
+    ///
+    /// `num_vertices` is a lower bound on the vertex count of the built graph —
+    /// useful when isolated trailing vertices must be preserved.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(num_edges),
+            min_vertices: num_vertices,
+            keep_self_loops: false,
+        }
+    }
+
+    /// Keep self-loop edges instead of silently dropping them.
+    ///
+    /// Self-loops never participate in hop-constrained cycles of length `>= 2`
+    /// but some substrates (e.g. lock graphs in the deadlock example) want them
+    /// preserved for reporting.
+    pub fn keep_self_loops(&mut self, keep: bool) -> &mut Self {
+        self.keep_self_loops = keep;
+        self
+    }
+
+    /// Ensure the built graph has at least `n` vertices.
+    pub fn reserve_vertices(&mut self, n: usize) -> &mut Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Add the directed edge `(u, v)`.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.edges.push(Edge::new(u, v));
+        self
+    }
+
+    /// Add both `(u, v)` and `(v, u)`.
+    #[inline]
+    pub fn add_bidirectional_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.add_edge(u, v);
+        self.add_edge(v, u)
+    }
+
+    /// Add every edge from an iterator of `(source, target)` pairs.
+    pub fn extend_edges<I>(&mut self, iter: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        self.edges.extend(iter.into_iter().map(Edge::from));
+        self
+    }
+
+    /// Number of edges currently buffered (before dedup / self-loop removal).
+    pub fn buffered_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Materialize the [`CsrGraph`].
+    pub fn build(mut self) -> CsrGraph {
+        if !self.keep_self_loops {
+            self.edges.retain(|e| !e.is_self_loop());
+        }
+        let n_from_edges = self
+            .edges
+            .iter()
+            .map(|e| e.source.max(e.target) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n = n_from_edges.max(self.min_vertices);
+        CsrGraph::from_edges(n, &mut self.edges)
+    }
+}
+
+/// Convenience constructor: build a graph from a slice of `(u, v)` pairs.
+///
+/// Self-loops are dropped, duplicates collapsed.
+pub fn graph_from_edges(edges: &[(VertexId, VertexId)]) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(0, edges.len());
+    b.extend_edges(edges.iter().copied());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let g = graph_from_edges(&[(0, 1), (0, 1), (0, 1), (1, 0)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let g = graph_from_edges(&[(0, 0), (1, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn self_loops_kept_when_requested() {
+        let mut b = GraphBuilder::new();
+        b.keep_self_loops(true);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn reserve_vertices_creates_isolated_vertices() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.reserve_vertices(10);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.out_degree(9), 0);
+        assert_eq!(g.in_degree(9), 0);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let g = graph_from_edges(&[(0, 5), (0, 2), (0, 9), (0, 1)]);
+        assert_eq!(g.out_neighbors(0), &[1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn bidirectional_edge_adds_both_directions() {
+        let mut b = GraphBuilder::new();
+        b.add_bidirectional_edge(3, 4);
+        let g = b.build();
+        assert!(g.has_edge(3, 4));
+        assert!(g.has_edge(4, 3));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let b = GraphBuilder::new();
+        assert!(b.is_empty());
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn buffered_edges_counts_raw_additions() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        assert_eq!(b.buffered_edges(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Classic deterministic topologies used in tests, examples, and ablations.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::gen::rng::Xoshiro256;
+use crate::types::VertexId;
+
+/// Directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+///
+/// For `n >= 3` the graph contains exactly one simple cycle of length `n`; it is
+/// the canonical witness for hop-constraint boundary tests (`k = n` vs
+/// `k = n - 1`).
+pub fn directed_cycle(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    if n > 1 {
+        for i in 0..n {
+            b.add_edge(i as VertexId, ((i + 1) % n) as VertexId);
+        }
+    }
+    b.reserve_vertices(n);
+    b.build()
+}
+
+/// Directed path `0 -> 1 -> ... -> n-1` (acyclic).
+pub fn directed_path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge((i - 1) as VertexId, i as VertexId);
+    }
+    b.reserve_vertices(n);
+    b.build()
+}
+
+/// Complete directed graph on `n` vertices: every ordered pair `(u, v)` with
+/// `u != v` is an edge. Contains `n (n - 1) / 2` 2-cycles and a dense supply of
+/// longer cycles — the stress test for cover-size correctness.
+pub fn complete_digraph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1));
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.reserve_vertices(n);
+    b.build()
+}
+
+/// Layered DAG with `layers` layers of `width` vertices; every vertex has an
+/// edge to every vertex of the next layer. Acyclic by construction, so any
+/// correct cover algorithm must return the empty cover on it.
+pub fn layered_dag(layers: usize, width: usize) -> CsrGraph {
+    let n = layers * width;
+    let mut b = GraphBuilder::with_capacity(n, n * width);
+    for l in 1..layers {
+        for a in 0..width {
+            for bix in 0..width {
+                let u = ((l - 1) * width + a) as VertexId;
+                let v = (l * width + bix) as VertexId;
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.reserve_vertices(n);
+    b.build()
+}
+
+/// Random DAG: each ordered pair `(u, v)` with `u < v` becomes an edge with
+/// probability `p`. Acyclic by construction.
+pub fn random_dag(n: usize, p: f64, seed: u64) -> CsrGraph {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, ((n * n) as f64 * p * 0.5) as usize + 1);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.next_bool(p) {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.reserve_vertices(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn cycle_has_n_edges_and_degree_one() {
+        let g = directed_cycle(6);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+        assert!(g.has_edge(5, 0));
+    }
+
+    #[test]
+    fn tiny_cycles_degenerate_gracefully() {
+        assert_eq!(directed_cycle(0).num_vertices(), 0);
+        assert_eq!(directed_cycle(1).num_edges(), 0);
+        // n = 2 yields the 2-cycle pair.
+        let g = directed_cycle(2);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.count_bidirectional_pairs(), 1);
+    }
+
+    #[test]
+    fn path_is_acyclic_and_linear() {
+        let g = directed_path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(4, 0));
+    }
+
+    #[test]
+    fn complete_digraph_edge_count() {
+        let g = complete_digraph(5);
+        assert_eq!(g.num_edges(), 20);
+        assert_eq!(g.count_bidirectional_pairs(), 10);
+    }
+
+    #[test]
+    fn layered_dag_shape() {
+        let g = layered_dag(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 2 * 16);
+        // No edge goes backwards.
+        for e in g.edges() {
+            assert!(e.source / 4 < e.target / 4);
+        }
+    }
+
+    #[test]
+    fn random_dag_has_only_forward_edges() {
+        let g = random_dag(30, 0.2, 99);
+        for e in g.edges() {
+            assert!(e.source < e.target);
+        }
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn random_dag_is_deterministic() {
+        let a = random_dag(20, 0.3, 7);
+        let b = random_dag(20, 0.3, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(a.edges().zip(b.edges()).all(|(x, y)| x == y));
+    }
+}

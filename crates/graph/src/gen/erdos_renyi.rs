@@ -1,0 +1,102 @@
+//! Erdős–Rényi uniform random directed graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::gen::rng::Xoshiro256;
+use crate::types::VertexId;
+
+/// `G(n, p)`: every ordered pair `(u, v)` with `u != v` becomes an edge with
+/// probability `p`, independently.
+///
+/// Suitable for small and medium `n`; the loop is `O(n^2)`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let expected = ((n * n) as f64 * p) as usize + 1;
+    let mut b = GraphBuilder::with_capacity(n, expected);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.next_bool(p) {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.reserve_vertices(n);
+    b.build()
+}
+
+/// `G(n, m)`: exactly up to `m` distinct uniform random directed edges
+/// (self-loops excluded, duplicates retried a bounded number of times).
+///
+/// This is the generator of choice for matching the published `|V|`/`|E|` of a
+/// dataset when no skew is required; it runs in `O(m)` expected time and is
+/// usable at tens of millions of edges.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    if n >= 2 {
+        let max_edges = n.saturating_mul(n - 1);
+        let target = m.min(max_edges);
+        let mut seen = std::collections::HashSet::with_capacity(target * 2);
+        let mut attempts = 0usize;
+        // Cap attempts so that dense requests near n(n-1) cannot loop forever.
+        let attempt_cap = target.saturating_mul(20).max(1024);
+        while seen.len() < target && attempts < attempt_cap {
+            attempts += 1;
+            let u = rng.next_index(n) as VertexId;
+            let v = rng.next_index(n) as VertexId;
+            if u == v {
+                continue;
+            }
+            if seen.insert(((u as u64) << 32) | v as u64) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.reserve_vertices(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn gnp_expected_density() {
+        let g = erdos_renyi_gnp(100, 0.05, 1);
+        let expected = 100.0 * 99.0 * 0.05;
+        let m = g.num_edges() as f64;
+        assert!((m - expected).abs() < expected * 0.5, "m = {m}");
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn gnm_hits_requested_edge_count() {
+        let g = erdos_renyi_gnm(1000, 5000, 2);
+        assert_eq!(g.num_edges(), 5000);
+        assert_eq!(g.num_vertices(), 1000);
+    }
+
+    #[test]
+    fn gnm_deterministic_per_seed() {
+        let a = erdos_renyi_gnm(200, 800, 3);
+        let b = erdos_renyi_gnm(200, 800, 3);
+        assert!(a.edges().zip(b.edges()).all(|(x, y)| x == y));
+        let c = erdos_renyi_gnm(200, 800, 4);
+        assert!(a.edges().zip(c.edges()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn gnm_caps_at_maximum_possible_edges() {
+        let g = erdos_renyi_gnm(4, 1000, 5);
+        assert!(g.num_edges() <= 12);
+        assert!(g.num_edges() >= 10, "should get close to complete");
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(erdos_renyi_gnm(0, 10, 1).num_vertices(), 0);
+        assert_eq!(erdos_renyi_gnm(1, 10, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(1, 0.9, 1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on 16 real-world SNAP/KONECT graphs (Table II). Those
+//! datasets cannot be redistributed with this repository, so the experiment
+//! harness synthesizes *proxy* graphs whose size, degree skew, and reciprocity
+//! (2-cycle density) match the published statistics. This module provides the
+//! generator families used for that, plus classic topologies used heavily in
+//! unit and property tests:
+//!
+//! * [`erdos_renyi`] — `G(n, m)` uniform random directed graphs,
+//! * [`preferential`] — directed preferential-attachment (scale-free) graphs
+//!   with a tunable reciprocity probability,
+//! * [`rmat`] — R-MAT power-law graphs (the standard stand-in for social /
+//!   web graphs such as Twitter or LiveJournal),
+//! * [`classic`] — rings, complete graphs, DAGs, paths, layered grids,
+//! * [`small_world`] — a directed Watts–Strogatz rewiring model.
+
+pub mod classic;
+pub mod erdos_renyi;
+pub mod preferential;
+pub mod rmat;
+pub mod rng;
+pub mod small_world;
+
+pub use classic::{complete_digraph, directed_cycle, directed_path, layered_dag, random_dag};
+pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use preferential::{preferential_attachment, PreferentialConfig};
+pub use rmat::{rmat, RmatConfig};
+pub use rng::Xoshiro256;
+pub use small_world::small_world;

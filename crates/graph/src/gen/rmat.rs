@@ -1,0 +1,204 @@
+//! R-MAT recursive-matrix power-law graph generator (Chakrabarti et al., 2004).
+//!
+//! R-MAT is the standard synthetic stand-in for large web / social graphs
+//! (Graph500 uses it); it produces the heavy-tailed degree distributions and
+//! community-like edge clustering that drive the performance differences the
+//! paper reports between DARC-DV, BUR+ and TDB++. The experiment harness uses
+//! it for the largest dataset proxies (Flickr, LiveJournal, Wikipedia,
+//! Twitter-WWW).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::gen::rng::Xoshiro256;
+use crate::types::VertexId;
+
+/// Configuration for the [`rmat`] generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices (the generator produces `2^scale` ids).
+    pub scale: u32,
+    /// Number of edges to sample (duplicates and self-loops are removed, so the
+    /// final count is slightly lower).
+    pub num_edges: usize,
+    /// Recursive quadrant probabilities; must sum to ~1.0. Graph500 defaults are
+    /// `(0.57, 0.19, 0.19, 0.05)`.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Probability that a sampled edge is also added reversed (2-cycle knob).
+    pub reciprocity: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 14,
+            num_edges: 1 << 18,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            reciprocity: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+impl RmatConfig {
+    /// Number of vertices implied by `scale`.
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+/// Sample a single R-MAT edge.
+#[inline]
+fn sample_edge(cfg: &RmatConfig, rng: &mut Xoshiro256) -> (VertexId, VertexId) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    // Per-level noise on the quadrant probabilities keeps the generated graph
+    // from having the exact fractal artifacts of noiseless R-MAT.
+    for _ in 0..cfg.scale {
+        u <<= 1;
+        v <<= 1;
+        let r = rng.next_f64();
+        let a = cfg.a;
+        let b = cfg.b;
+        let c = cfg.c;
+        if r < a {
+            // top-left: no bits set
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u as VertexId, v as VertexId)
+}
+
+/// Generate an R-MAT graph per [`RmatConfig`].
+pub fn rmat(cfg: &RmatConfig) -> CsrGraph {
+    assert!(cfg.scale <= 31, "scale must fit in a u32 vertex id");
+    let sum = cfg.a + cfg.b + cfg.c;
+    assert!(sum <= 1.0 + 1e-9, "quadrant probabilities exceed 1.0");
+    let n = cfg.num_vertices();
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::with_capacity(n, cfg.num_edges + 16);
+    for _ in 0..cfg.num_edges {
+        let (u, v) = sample_edge(cfg, &mut rng);
+        if u == v {
+            continue;
+        }
+        b.add_edge(u, v);
+        if cfg.reciprocity > 0.0 && rng.next_bool(cfg.reciprocity) {
+            b.add_edge(v, u);
+        }
+    }
+    b.reserve_vertices(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn generates_requested_scale() {
+        let cfg = RmatConfig {
+            scale: 10,
+            num_edges: 8000,
+            ..Default::default()
+        };
+        let g = rmat(&cfg);
+        assert_eq!(g.num_vertices(), 1024);
+        // Duplicates get collapsed; still expect the bulk of the edges.
+        assert!(g.num_edges() > 5000, "got {}", g.num_edges());
+        assert!(g.num_edges() <= 8000);
+    }
+
+    #[test]
+    fn skewed_parameters_produce_hubs() {
+        let cfg = RmatConfig {
+            scale: 11,
+            num_edges: 20_000,
+            ..Default::default()
+        };
+        let g = rmat(&cfg);
+        let max_out = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.average_degree();
+        assert!(max_out as f64 > avg * 10.0, "max {max_out}, avg {avg}");
+    }
+
+    #[test]
+    fn uniform_parameters_produce_flat_graph() {
+        let cfg = RmatConfig {
+            scale: 10,
+            num_edges: 10_000,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            ..Default::default()
+        };
+        let g = rmat(&cfg);
+        let max_out = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max_out < 60, "uniform R-MAT should not have giant hubs");
+    }
+
+    #[test]
+    fn reciprocity_knob_adds_two_cycles() {
+        let base = RmatConfig {
+            scale: 10,
+            num_edges: 10_000,
+            ..Default::default()
+        };
+        let rec = RmatConfig {
+            reciprocity: 0.5,
+            ..base
+        };
+        assert!(
+            rmat(&rec).count_bidirectional_pairs() > rmat(&base).count_bidirectional_pairs() + 200
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RmatConfig {
+            scale: 9,
+            num_edges: 4000,
+            ..Default::default()
+        };
+        let a = rmat(&cfg);
+        let b = rmat(&cfg);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(a.edges().zip(b.edges()).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let cfg = RmatConfig {
+            scale: 9,
+            num_edges: 4000,
+            ..Default::default()
+        };
+        assert!(rmat(&cfg).edges().all(|e| !e.is_self_loop()));
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant probabilities")]
+    fn invalid_probabilities_panic() {
+        let cfg = RmatConfig {
+            a: 0.8,
+            b: 0.3,
+            c: 0.2,
+            ..Default::default()
+        };
+        rmat(&cfg);
+    }
+}

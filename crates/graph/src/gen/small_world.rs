@@ -1,0 +1,88 @@
+//! Directed Watts–Strogatz small-world generator.
+//!
+//! Small-world graphs have abundant short cycles (every ring neighborhood is a
+//! cycle) which makes them a useful adversarial workload for the hop-constrained
+//! cover algorithms: nearly every vertex participates in some cycle of length
+//! `<= k`, so the cover is large and the pruning filters get little traction.
+//! The ablation benches use this family to expose worst-case behaviour.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::gen::rng::Xoshiro256;
+use crate::types::VertexId;
+
+/// Directed small-world graph: each vertex `i` gets edges to its `degree`
+/// clockwise ring successors, and each edge's target is rewired to a uniform
+/// random vertex with probability `rewire_p`.
+pub fn small_world(n: usize, degree: usize, rewire_p: f64, seed: u64) -> CsrGraph {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * degree);
+    if n > 1 {
+        for i in 0..n {
+            for d in 1..=degree {
+                let mut target = ((i + d) % n) as VertexId;
+                if rng.next_bool(rewire_p) {
+                    // Redraw until we avoid a self-loop (bounded in expectation).
+                    for _ in 0..8 {
+                        let cand = rng.next_index(n) as VertexId;
+                        if cand != i as VertexId {
+                            target = cand;
+                            break;
+                        }
+                    }
+                }
+                if target != i as VertexId {
+                    b.add_edge(i as VertexId, target);
+                }
+            }
+        }
+    }
+    b.reserve_vertices(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn unrewired_graph_is_a_ring_lattice() {
+        let g = small_world(20, 3, 0.0, 1);
+        assert_eq!(g.num_edges(), 60);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(19, 2)); // wraps around
+    }
+
+    #[test]
+    fn rewiring_changes_some_edges() {
+        let lattice = small_world(200, 2, 0.0, 3);
+        let rewired = small_world(200, 2, 0.5, 3);
+        let lattice_edges: std::collections::HashSet<_> = lattice.edges().collect();
+        let moved = rewired
+            .edges()
+            .filter(|e| !lattice_edges.contains(e))
+            .count();
+        assert!(moved > 20, "expected rewired edges, got {moved}");
+    }
+
+    #[test]
+    fn no_self_loops_even_with_heavy_rewiring() {
+        let g = small_world(100, 4, 0.9, 7);
+        assert!(g.edges().all(|e| !e.is_self_loop()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small_world(150, 3, 0.3, 11);
+        let b = small_world(150, 3, 0.3, 11);
+        assert!(a.edges().zip(b.edges()).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(small_world(0, 2, 0.1, 1).num_vertices(), 0);
+        assert_eq!(small_world(1, 2, 0.1, 1).num_edges(), 0);
+    }
+}

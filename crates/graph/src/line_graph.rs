@@ -1,0 +1,189 @@
+//! Directed line-graph transform used by the DARC-DV baseline.
+//!
+//! The state-of-the-art baseline DARC (Kuhnle et al. 2019) computes an *edge*
+//! k-cycle transversal. The paper adapts it to the vertex problem (Section
+//! III-B) by converting `G(V, E)` into `G'(V', E')`:
+//!
+//! * every edge `e_{u,v} ∈ E` becomes a vertex `v_{u,v} ∈ V'`,
+//! * an edge runs from `v_{u,v}` to `v_{v,w}` for every length-2 path
+//!   `u → v → w` in `G` — i.e. the line-graph edge *is* the shared middle
+//!   vertex `v`.
+//!
+//! A cycle `v_1 → v_2 → … → v_ℓ → v_1` in `G` corresponds to a cycle of the
+//! same length in `L(G)` over the edge-vertices, and covering it by choosing a
+//! line-graph edge picks the middle vertex of `G` sitting on the cycle. The
+//! mapping kept by [`LineGraph`] translates the DARC edge result back to a
+//! vertex cover of `G`.
+
+use crate::csr::CsrGraph;
+use crate::types::{Edge, VertexId};
+use crate::Graph;
+
+/// The directed line graph of a [`CsrGraph`], with the bookkeeping needed to
+/// translate line-graph entities back to the original graph.
+#[derive(Debug, Clone)]
+pub struct LineGraph {
+    /// The line graph itself; vertex `i` of this graph is `edge_of[i]` of `G`.
+    graph: CsrGraph,
+    /// For every line-graph vertex, the original edge it represents.
+    edge_of: Vec<Edge>,
+}
+
+impl LineGraph {
+    /// Build the line graph of `g`.
+    ///
+    /// The number of vertices equals `g.num_edges()`; the number of edges equals
+    /// `Σ_v in_degree(v) · out_degree(v)`, which can be quadratic in skewed
+    /// graphs — exactly the blow-up that makes DARC-DV slow on hub-heavy
+    /// networks (Section VII of the paper).
+    pub fn build(g: &CsrGraph) -> LineGraph {
+        // Assign ids to original edges in iteration order (sorted by source,
+        // then target, matching `Graph::edges`).
+        let mut edge_of = Vec::with_capacity(g.num_edges());
+        // edge_id_start[u] = id of the first edge whose source is u.
+        let mut edge_id_start = vec![0usize; g.num_vertices() + 1];
+        for u in g.vertices() {
+            edge_id_start[u as usize + 1] = edge_id_start[u as usize] + g.out_degree(u);
+            for &v in g.out_neighbors(u) {
+                edge_of.push(Edge::new(u, v));
+            }
+        }
+
+        let mut line_edges: Vec<Edge> = Vec::new();
+        for (id, e) in edge_of.iter().enumerate() {
+            // Successors of edge (u, v) are the edges (v, w).
+            let v = e.target;
+            let first = edge_id_start[v as usize];
+            for (offset, &w) in g.out_neighbors(v).iter().enumerate() {
+                let succ_id = first + offset;
+                debug_assert_eq!(edge_of[succ_id], Edge::new(v, w));
+                // Exclude the degenerate successor that walks straight back on a
+                // 2-cycle only when it would be a self-loop in L(G) (can't
+                // happen: ids differ unless the edge equals itself).
+                if succ_id != id {
+                    line_edges.push(Edge::new(id as VertexId, succ_id as VertexId));
+                }
+            }
+        }
+        let n = edge_of.len();
+        let graph = CsrGraph::from_edges(n, &mut line_edges);
+        LineGraph { graph, edge_of }
+    }
+
+    /// The line graph as a plain [`CsrGraph`].
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The original edge represented by line-graph vertex `lv`.
+    pub fn original_edge(&self, lv: VertexId) -> Edge {
+        self.edge_of[lv as usize]
+    }
+
+    /// Number of line-graph vertices (= original edges).
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Translate a line-graph edge `(a, b)` back to the original middle vertex.
+    ///
+    /// The edge `(v_{u,v}, v_{v,w})` corresponds to vertex `v` of `G`.
+    pub fn middle_vertex(&self, line_edge: Edge) -> VertexId {
+        let first = self.edge_of[line_edge.source as usize];
+        let second = self.edge_of[line_edge.target as usize];
+        debug_assert_eq!(first.target, second.source);
+        first.target
+    }
+
+    /// Translate a set of selected line-graph edges to a vertex set of `G`
+    /// (sorted, deduplicated).
+    pub fn middle_vertices(&self, line_edges: &[Edge]) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = line_edges.iter().map(|&e| self.middle_vertex(e)).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn triangle_line_graph_is_a_triangle() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0)]);
+        let lg = LineGraph::build(&g);
+        assert_eq!(lg.num_vertices(), 3);
+        assert_eq!(lg.graph().num_edges(), 3);
+        // The line graph of a directed 3-cycle is again a directed 3-cycle.
+        for lv in lg.graph().vertices() {
+            assert_eq!(lg.graph().out_degree(lv), 1);
+            assert_eq!(lg.graph().in_degree(lv), 1);
+        }
+    }
+
+    #[test]
+    fn middle_vertex_translation() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0)]);
+        let lg = LineGraph::build(&g);
+        for le in lg.graph().edges() {
+            let mid = lg.middle_vertex(le);
+            let first = lg.original_edge(le.source);
+            let second = lg.original_edge(le.target);
+            assert_eq!(first.target, mid);
+            assert_eq!(second.source, mid);
+        }
+    }
+
+    #[test]
+    fn line_edge_count_matches_in_out_products() {
+        let g = graph_from_edges(&[(0, 1), (2, 1), (1, 3), (1, 4), (3, 0)]);
+        let lg = LineGraph::build(&g);
+        let expected: usize = g
+            .vertices()
+            .map(|v| g.in_degree(v) * g.out_degree(v))
+            .sum();
+        assert_eq!(lg.graph().num_edges(), expected);
+    }
+
+    #[test]
+    fn two_cycle_maps_to_two_cycle() {
+        let g = graph_from_edges(&[(0, 1), (1, 0)]);
+        let lg = LineGraph::build(&g);
+        assert_eq!(lg.num_vertices(), 2);
+        assert_eq!(lg.graph().num_edges(), 2);
+        assert_eq!(lg.graph().count_bidirectional_pairs(), 1);
+    }
+
+    #[test]
+    fn cycle_length_is_preserved() {
+        for len in 3..8 {
+            let g = crate::gen::directed_cycle(len);
+            let lg = LineGraph::build(&g);
+            assert_eq!(lg.num_vertices(), len);
+            assert_eq!(lg.graph().num_edges(), len);
+        }
+    }
+
+    #[test]
+    fn middle_vertices_dedup() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (3, 1), (1, 4)]);
+        let lg = LineGraph::build(&g);
+        let all_line_edges: Vec<Edge> = lg.graph().edges().collect();
+        let mids = lg.middle_vertices(&all_line_edges);
+        // Middle vertices are exactly those with both in- and out-degree > 0.
+        assert!(mids.windows(2).all(|w| w[0] < w[1]));
+        for &v in &mids {
+            assert!(g.in_degree(v) > 0 && g.out_degree(v) > 0);
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_line_graph_is_acyclic_shaped() {
+        let g = crate::gen::directed_path(5);
+        let lg = LineGraph::build(&g);
+        assert_eq!(lg.num_vertices(), 4);
+        assert_eq!(lg.graph().num_edges(), 3);
+    }
+}

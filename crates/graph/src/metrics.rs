@@ -1,0 +1,181 @@
+//! Graph statistics used to reproduce Table II of the paper and to sanity-check
+//! the synthetic dataset proxies against the published numbers.
+
+use crate::Graph;
+
+/// Summary statistics of a directed graph.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of directed edges.
+    pub num_edges: usize,
+    /// Average degree `m / n` (the paper's `d_avg`).
+    pub average_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Number of vertices with no incident edge at all.
+    pub isolated_vertices: usize,
+    /// Number of reciprocated edge pairs (2-cycles).
+    pub bidirectional_pairs: usize,
+    /// Reciprocity: fraction of edges whose reverse is also present.
+    pub reciprocity: f64,
+}
+
+impl GraphStats {
+    /// Render as a single human-readable line, in the format the experiment
+    /// harness prints for Table II rows.
+    pub fn summary_line(&self, name: &str) -> String {
+        format!(
+            "{name:<12} |V|={:<12} |E|={:<14} d_avg={:<8.2} max_out={:<8} max_in={:<8} recip={:.3}",
+            format_count(self.num_vertices),
+            format_count(self.num_edges),
+            self.average_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.reciprocity
+        )
+    }
+}
+
+/// Format a count using the paper's K/M/B suffixes.
+pub fn format_count(x: usize) -> String {
+    if x >= 1_000_000_000 {
+        format!("{:.2}B", x as f64 / 1e9)
+    } else if x >= 1_000_000 {
+        format!("{:.1}M", x as f64 / 1e6)
+    } else if x >= 1_000 {
+        format!("{:.0}K", x as f64 / 1e3)
+    } else {
+        x.to_string()
+    }
+}
+
+/// Compute summary statistics for a graph.
+pub fn graph_stats<G: Graph>(g: &G) -> GraphStats {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut max_out = 0usize;
+    let mut max_in = 0usize;
+    let mut isolated = 0usize;
+    let mut reciprocated_edges = 0usize;
+    let mut bidirectional_pairs = 0usize;
+    for v in g.vertices() {
+        let out_d = g.out_degree(v);
+        let in_d = g.in_degree(v);
+        max_out = max_out.max(out_d);
+        max_in = max_in.max(in_d);
+        if out_d == 0 && in_d == 0 {
+            isolated += 1;
+        }
+        for &w in g.out_neighbors(v) {
+            if w != v && g.has_edge(w, v) {
+                reciprocated_edges += 1;
+                if w > v {
+                    bidirectional_pairs += 1;
+                }
+            }
+        }
+    }
+    GraphStats {
+        num_vertices: n,
+        num_edges: m,
+        average_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        isolated_vertices: isolated,
+        bidirectional_pairs,
+        reciprocity: if m == 0 {
+            0.0
+        } else {
+            reciprocated_edges as f64 / m as f64
+        },
+    }
+}
+
+/// Out-degree histogram: `hist[d]` = number of vertices with out-degree `d`,
+/// capped at `max_bucket` (larger degrees land in the last bucket).
+pub fn out_degree_histogram<G: Graph>(g: &G, max_bucket: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_bucket + 1];
+    for v in g.vertices() {
+        let d = g.out_degree(v).min(max_bucket);
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::gen::{complete_digraph, directed_cycle};
+
+    #[test]
+    fn stats_on_a_cycle() {
+        let g = directed_cycle(5);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 5);
+        assert!((s.average_degree - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.isolated_vertices, 0);
+        assert_eq!(s.bidirectional_pairs, 0);
+        assert_eq!(s.reciprocity, 0.0);
+    }
+
+    #[test]
+    fn stats_on_complete_graph() {
+        let g = complete_digraph(4);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_edges, 12);
+        assert_eq!(s.bidirectional_pairs, 6);
+        assert!((s.reciprocity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_vertices_are_counted() {
+        let g = graph_from_edges(&[(0, 1)]);
+        // vertex universe is {0, 1}; add isolated ones explicitly
+        let mut b = crate::GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.reserve_vertices(5);
+        let g2 = b.build();
+        assert_eq!(graph_stats(&g).isolated_vertices, 0);
+        assert_eq!(graph_stats(&g2).isolated_vertices, 3);
+    }
+
+    #[test]
+    fn histogram_sums_to_vertex_count() {
+        let g = complete_digraph(6);
+        let hist = out_degree_histogram(&g, 10);
+        assert_eq!(hist.iter().sum::<usize>(), 6);
+        assert_eq!(hist[5], 6);
+    }
+
+    #[test]
+    fn histogram_caps_large_degrees() {
+        let g = complete_digraph(6);
+        let hist = out_degree_histogram(&g, 3);
+        assert_eq!(hist[3], 6);
+    }
+
+    #[test]
+    fn count_formatting_matches_paper_style() {
+        assert_eq!(format_count(950), "950");
+        assert_eq!(format_count(7_000), "7K");
+        assert_eq!(format_count(5_100_000), "5.1M");
+        assert_eq!(format_count(1_470_000_000), "1.47B");
+    }
+
+    #[test]
+    fn summary_line_contains_name_and_counts() {
+        let s = graph_stats(&directed_cycle(5));
+        let line = s.summary_line("WKV");
+        assert!(line.contains("WKV"));
+        assert!(line.contains("|V|=5"));
+    }
+}

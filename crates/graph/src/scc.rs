@@ -1,0 +1,203 @@
+//! Strongly connected components (iterative Tarjan) and cycle-vertex pruning.
+//!
+//! Every simple cycle lies entirely inside one strongly connected component, so
+//! vertices whose SCC is a singleton (and which have no self-loop) can never be
+//! part of any hop-constrained cycle. The top-down algorithms use this as an
+//! optional pre-filter (an ablation in the bench suite): such vertices can be
+//! released from the cover without running any cycle search at all.
+
+use crate::types::{VertexId, INVALID_VERTEX};
+use crate::Graph;
+
+/// Result of an SCC decomposition.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// `component[v]` is the component id of vertex `v` (0-based, reverse
+    /// topological order: an edge between components always goes from a higher
+    /// id to a lower id is *not* guaranteed by Tarjan; ids are discovery order).
+    pub component: Vec<u32>,
+    /// Size of each component.
+    pub sizes: Vec<u32>,
+}
+
+impl SccResult {
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether `u` and `v` are in the same component.
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.component[u as usize] == self.component[v as usize]
+    }
+
+    /// Size of the component containing `v`.
+    pub fn component_size(&self, v: VertexId) -> u32 {
+        self.sizes[self.component[v as usize] as usize]
+    }
+
+    /// Vertices that can possibly lie on a simple cycle of length `>= 2`:
+    /// exactly those whose component has size `>= 2`.
+    pub fn cycle_candidates(&self) -> Vec<bool> {
+        self.component
+            .iter()
+            .map(|&c| self.sizes[c as usize] >= 2)
+            .collect()
+    }
+
+    /// Size of the largest component.
+    pub fn largest_component_size(&self) -> u32 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Compute strongly connected components with an iterative Tarjan algorithm.
+///
+/// The implementation is fully iterative (explicit DFS stack) so that deep
+/// graphs — e.g. long directed paths in the synthetic proxies — cannot overflow
+/// the call stack.
+pub fn tarjan_scc<G: Graph>(g: &G) -> SccResult {
+    let n = g.num_vertices();
+    let mut index = vec![INVALID_VERTEX; n]; // discovery index
+    let mut lowlink = vec![0 as VertexId; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![u32::MAX; n];
+    let mut sizes: Vec<u32> = Vec::new();
+
+    let mut stack: Vec<VertexId> = Vec::new();
+    let mut next_index: VertexId = 0;
+
+    // Explicit DFS frame: (vertex, next child position in its out-neighbors).
+    let mut call_stack: Vec<(VertexId, usize)> = Vec::new();
+
+    for root in 0..n as VertexId {
+        if index[root as usize] != INVALID_VERTEX {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
+            let outs = g.out_neighbors(v);
+            if *child < outs.len() {
+                let w = outs[*child];
+                *child += 1;
+                if index[w as usize] == INVALID_VERTEX {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is the root of a component: pop the stack down to v.
+                    let comp_id = sizes.len() as u32;
+                    let mut size = 0u32;
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = comp_id;
+                        size += 1;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sizes.push(size);
+                }
+            }
+        }
+    }
+
+    SccResult { component, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::gen::{directed_cycle, directed_path, layered_dag};
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = directed_cycle(8);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 1);
+        assert_eq!(scc.largest_component_size(), 8);
+        assert!(scc.cycle_candidates().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn path_is_all_singletons() {
+        let g = directed_path(6);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 6);
+        assert!(scc.cycle_candidates().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn dag_has_no_cycle_candidates() {
+        let g = layered_dag(4, 3);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 12);
+        assert_eq!(scc.largest_component_size(), 1);
+    }
+
+    #[test]
+    fn two_components_with_bridge() {
+        // Two triangles joined by a one-way bridge 2 -> 3.
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 2);
+        assert!(scc.same_component(0, 1));
+        assert!(scc.same_component(3, 5));
+        assert!(!scc.same_component(0, 3));
+        assert_eq!(scc.component_size(0), 3);
+        assert_eq!(scc.component_size(4), 3);
+    }
+
+    #[test]
+    fn mixed_cycle_and_tail() {
+        // 0 -> 1 -> 2 -> 0 plus a tail 2 -> 3 -> 4.
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let scc = tarjan_scc(&g);
+        let cand = scc.cycle_candidates();
+        assert_eq!(cand, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // 200k-vertex path: a recursive Tarjan would blow the stack here.
+        let g = directed_path(200_000);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 200_000);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph_from_edges(&[]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 0);
+        assert_eq!(scc.largest_component_size(), 0);
+    }
+
+    #[test]
+    fn two_cycle_is_a_component_of_size_two() {
+        let g = graph_from_edges(&[(0, 1), (1, 0), (1, 2)]);
+        let scc = tarjan_scc(&g);
+        assert!(scc.same_component(0, 1));
+        assert_eq!(scc.component_size(0), 2);
+        assert_eq!(scc.component_size(2), 1);
+    }
+}

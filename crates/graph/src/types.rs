@@ -1,0 +1,164 @@
+//! Fundamental identifier and error types shared across the workspace.
+
+use std::fmt;
+
+/// Vertex identifier.
+///
+/// Vertices are dense integers `0..n`. `u32` keeps adjacency arrays at half the
+/// size of `usize` indices, which matters for the billion-edge-scale graphs the
+/// paper targets (the Twitter-WWW graph has 41.6 M vertices and 1.47 B edges).
+pub type VertexId = u32;
+
+/// Sentinel value used for "no vertex" slots in internal scratch arrays.
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// A directed edge `(source, target)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    /// Source vertex.
+    pub source: VertexId,
+    /// Target vertex.
+    pub target: VertexId,
+}
+
+impl Edge {
+    /// Create a new directed edge.
+    #[inline]
+    pub const fn new(source: VertexId, target: VertexId) -> Self {
+        Edge { source, target }
+    }
+
+    /// Whether the edge is a self-loop.
+    #[inline]
+    pub const fn is_self_loop(&self) -> bool {
+        self.source == self.target
+    }
+
+    /// The same edge with source and target swapped.
+    #[inline]
+    pub const fn reversed(&self) -> Self {
+        Edge::new(self.target, self.source)
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.source, self.target)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -> {})", self.source, self.target)
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((source, target): (VertexId, VertexId)) -> Self {
+        Edge::new(source, target)
+    }
+}
+
+/// Errors produced by graph construction and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id referenced by an operation is out of range.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The binary graph format header or payload is malformed.
+    Format(String),
+    /// Underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Format(msg) => write!(f, "malformed graph data: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_constructors_and_predicates() {
+        let e = Edge::new(3, 7);
+        assert_eq!(e.source, 3);
+        assert_eq!(e.target, 7);
+        assert!(!e.is_self_loop());
+        assert!(Edge::new(5, 5).is_self_loop());
+        assert_eq!(e.reversed(), Edge::new(7, 3));
+        assert_eq!(Edge::from((1, 2)), Edge::new(1, 2));
+    }
+
+    #[test]
+    fn edge_ordering_is_lexicographic() {
+        let mut edges = vec![Edge::new(2, 0), Edge::new(0, 5), Edge::new(0, 1)];
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![Edge::new(0, 1), Edge::new(0, 5), Edge::new(2, 0)]
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        assert!(e.to_string().contains("vertex 9"));
+        let p = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(p.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn edge_display_formats() {
+        assert_eq!(format!("{}", Edge::new(1, 2)), "(1 -> 2)");
+        assert_eq!(format!("{:?}", Edge::new(1, 2)), "1->2");
+    }
+}

@@ -1,0 +1,102 @@
+//! Deadlock-potential analysis of a lock graph (application (3) of the paper's
+//! introduction).
+//!
+//! In a lock-order graph, vertices are locks and a directed edge `(a, b)` means
+//! some thread acquired `b` while holding `a`. A cycle signals a potential
+//! deadlock; long cycles are of little practical interest because they require
+//! many threads to interleave exactly, so the analysis is naturally
+//! hop-constrained. A minimal hop-constrained cycle cover is a smallest set of
+//! locks whose acquisition discipline must be refactored (e.g. replaced by a
+//! single coarser lock or given a global order) to rule out every short
+//! deadlock pattern.
+//!
+//! ```text
+//! cargo run --release --example deadlock_detection
+//! ```
+
+use std::collections::HashMap;
+
+use tdb::prelude::*;
+
+/// A recorded lock-acquisition trace: each entry is (thread, ordered list of
+/// locks it held simultaneously, outermost first).
+fn synthetic_traces() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("worker-1", vec!["accounts", "ledger", "audit"]),
+        ("worker-2", vec!["ledger", "accounts"]), // classic AB-BA with worker-1
+        ("worker-3", vec!["cache", "accounts", "metrics"]),
+        ("worker-4", vec!["metrics", "cache"]), // AB-BA with worker-3
+        ("worker-5", vec!["scheduler", "queue", "cache"]),
+        ("worker-6", vec!["queue", "scheduler"]),
+        ("worker-7", vec!["audit", "ledger"]),
+        ("worker-8", vec!["config", "logging"]),
+        ("worker-9", vec!["logging", "metrics", "config"]),
+        ("reporter", vec!["ledger", "audit", "accounts"]),
+    ]
+}
+
+fn main() {
+    // Build the lock graph from the traces.
+    let traces = synthetic_traces();
+    let mut lock_ids: HashMap<&str, VertexId> = HashMap::new();
+    let mut names: Vec<&str> = Vec::new();
+    let mut id_of = |name: &'static str, names: &mut Vec<&'static str>| -> VertexId {
+        *lock_ids.entry(name).or_insert_with(|| {
+            names.push(name);
+            (names.len() - 1) as VertexId
+        })
+    };
+    let mut builder = GraphBuilder::new();
+    for (_, held) in &traces {
+        for window in held.windows(2) {
+            let a = id_of(window[0], &mut names);
+            let b = id_of(window[1], &mut names);
+            builder.add_edge(a, b);
+        }
+    }
+    let lock_graph = builder.build();
+    println!(
+        "lock graph: {} locks, {} acquisition-order edges",
+        lock_graph.num_vertices(),
+        lock_graph.num_edges()
+    );
+
+    // Deadlock patterns involving up to 4 locks are the ones worth fixing;
+    // 2-lock AB-BA cycles are included (this is exactly the `with_two_cycles`
+    // mode, since a 2-cycle in the lock graph is already a deadlock).
+    let constraint = HopConstraint::with_two_cycles(4);
+    let run = top_down_cover(&lock_graph, &constraint, &TopDownConfig::tdb_plus_plus());
+    let verification = verify_cover(&lock_graph, &run.cover, &constraint);
+    assert!(verification.is_valid_and_minimal());
+
+    println!(
+        "\n{} lock(s) must be refactored to eliminate every deadlock pattern of <= 4 locks:",
+        run.cover_size()
+    );
+    for v in run.cover.iter() {
+        println!("  - {}", names[v as usize]);
+    }
+
+    // Show the deadlock patterns that motivated each refactoring target.
+    let all_active = ActiveSet::all_active(lock_graph.num_vertices());
+    let cycles =
+        tdb::cycle::enumerate::enumerate_cycles(&lock_graph, &all_active, &constraint, 1000);
+    println!("\nall {} short deadlock patterns (each hits the refactor set):", cycles.len());
+    for cycle in &cycles {
+        let pretty: Vec<&str> = cycle.iter().map(|&v| names[v as usize]).collect();
+        let covered = cycle.iter().any(|&v| run.cover.contains(v));
+        assert!(covered);
+        println!("  {} -> (back to {})", pretty.join(" -> "), pretty[0]);
+    }
+
+    // After "refactoring" (removing the covered locks), no short pattern remains.
+    let remaining = lock_graph.remove_vertices(
+        &(0..lock_graph.num_vertices())
+            .map(|v| run.cover.contains(v as VertexId))
+            .collect::<Vec<_>>(),
+    );
+    let leftover =
+        tdb::cycle::enumerate::enumerate_cycles(&remaining, &ActiveSet::all_active(remaining.num_vertices()), &constraint, 10);
+    assert!(leftover.is_empty());
+    println!("\nafter refactoring the selected locks the lock graph has no short cycles left.");
+}

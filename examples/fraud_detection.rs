@@ -1,0 +1,102 @@
+//! Fraud detection on an e-commerce transaction network (application (2) of the
+//! paper's introduction).
+//!
+//! Accounts are vertices, money transfers are directed edges. Short transfer
+//! cycles are strong indicators of money laundering; a *minimal hop-constrained
+//! cycle cover* is a smallest-effort set of accounts whose audit breaks every
+//! suspicious cycle. This example:
+//!
+//! 1. synthesizes a transaction network (scale-free, with a known planted
+//!    laundering ring),
+//! 2. computes covers for the "suspicious length" thresholds k = 3..=6,
+//! 3. ranks the covered accounts by how many short cycles they sit on, and
+//! 4. confirms the planted ring is caught.
+//!
+//! ```text
+//! cargo run --release --example fraud_detection
+//! ```
+
+use tdb::prelude::*;
+use tdb_graph::gen::{preferential_attachment, PreferentialConfig};
+use tdb_graph::GraphBuilder;
+
+/// Build the transaction network: a realistic scale-free background plus one
+/// planted laundering ring of 4 mule accounts cycling funds.
+fn build_network(num_accounts: usize) -> (tdb_graph::CsrGraph, Vec<VertexId>) {
+    let background = preferential_attachment(&PreferentialConfig {
+        num_vertices: num_accounts,
+        out_degree: 3,
+        reciprocity: 0.05,
+        random_rewire: 0.2,
+        seed: 2023,
+    });
+    // Re-add the background edges plus the planted ring.
+    let ring: Vec<VertexId> = vec![
+        (num_accounts - 1) as VertexId,
+        (num_accounts - 2) as VertexId,
+        (num_accounts - 3) as VertexId,
+        (num_accounts - 4) as VertexId,
+    ];
+    let mut builder = GraphBuilder::with_capacity(num_accounts, background.num_edges() + 8);
+    builder.extend_edges(background.edges().map(|e| (e.source, e.target)));
+    for w in ring.windows(2) {
+        builder.add_edge(w[0], w[1]);
+    }
+    builder.add_edge(ring[ring.len() - 1], ring[0]);
+    (builder.build(), ring)
+}
+
+fn main() {
+    let (network, ring) = build_network(5_000);
+    println!(
+        "transaction network: {} accounts, {} transfers (planted laundering ring: {:?})",
+        network.num_vertices(),
+        network.num_edges(),
+        ring
+    );
+
+    // Sweep the suspicious-cycle length threshold like a fraud team would.
+    for k in 3..=6usize {
+        let constraint = HopConstraint::new(k);
+        let run = top_down_cover(&network, &constraint, &TopDownConfig::tdb_plus_plus());
+        let verification = verify_cover(&network, &run.cover, &constraint);
+        assert!(verification.is_valid_and_minimal());
+        println!(
+            "k = {k}: audit set of {:>4} accounts breaks every transfer cycle of length <= {k} \
+             ({} cycle checks, {:.3}s)",
+            run.cover_size(),
+            run.metrics.cycle_queries,
+            run.metrics.elapsed_secs()
+        );
+
+        // The planted ring has length 4: from k = 4 on, the cover must touch it.
+        if k >= 4 {
+            let caught = ring.iter().any(|&v| run.cover.contains(v));
+            assert!(caught, "the laundering ring escaped the k = {k} audit set");
+        }
+    }
+
+    // Rank the k = 5 audit set by how many short cycles each account covers —
+    // this is the "most suspicious individuals" ranking from the paper's
+    // Figure 1 discussion.
+    let constraint = HopConstraint::new(5);
+    let run = top_down_cover(&network, &constraint, &TopDownConfig::tdb_plus_plus());
+    let mut ranked: Vec<(VertexId, usize)> = run
+        .cover
+        .iter()
+        .map(|v| {
+            let mut active = run.cover.reduced_active_set(network.num_vertices());
+            active.activate(v);
+            let cycles = tdb::cycle::enumerate::enumerate_cycles(&network, &active, &constraint, 200)
+                .into_iter()
+                .filter(|c| c.contains(&v))
+                .count();
+            (v, cycles)
+        })
+        .collect();
+    ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("\ntop suspicious accounts (k = 5 audit set, by residual cycle count):");
+    for (account, cycles) in ranked.iter().take(5) {
+        println!("  account {account:>6} — on {cycles:>3} otherwise-uncovered short cycles");
+    }
+}

@@ -1,0 +1,69 @@
+//! # tdb — breaking all hop-constrained cycles in billion-scale directed graphs
+//!
+//! A Rust implementation of the algorithms from *"TDB: Breaking All
+//! Hop-Constrained Cycles in Billion-Scale Directed Graphs"* (ICDE 2023):
+//! computing a small, minimal set of vertices that intersects every simple
+//! cycle of length at most `k` in a directed graph.
+//!
+//! This crate is a façade that re-exports the workspace members:
+//!
+//! * [`graph`] (`tdb-graph`) — the directed-graph substrate: CSR storage,
+//!   builders, activation masks, generators, I/O, line graph, SCC.
+//! * [`cycle`] (`tdb-cycle`) — hop-constrained cycle search primitives: naive
+//!   DFS, block/barrier DFS, BFS filter, bounded enumeration.
+//! * [`core`] (`tdb-core`) — the cover algorithms (`BUR`, `BUR+`, `DARC-DV`,
+//!   `TDB`, `TDB+`, `TDB++`, parallel extension) and the verifier.
+//! * [`datasets`] (`tdb-datasets`) — the paper's Table II catalog and synthetic
+//!   proxy synthesis.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tdb::prelude::*;
+//!
+//! // A small transaction graph with two short money-flow cycles.
+//! let graph = tdb::graph::builder::graph_from_edges(&[
+//!     (0, 1), (1, 2), (2, 0),       // a -> b -> c -> a
+//!     (2, 3), (3, 4), (4, 2),       // c -> d -> e -> c
+//!     (4, 5),                        // dead end
+//! ]);
+//!
+//! let constraint = HopConstraint::new(5);
+//! let run = top_down_cover(&graph, &constraint, &TopDownConfig::tdb_plus_plus());
+//!
+//! // Vertex 2 sits on both cycles, so one vertex suffices.
+//! assert_eq!(run.cover_size(), 1);
+//! assert!(verify_cover(&graph, &run.cover, &constraint).is_valid_and_minimal());
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (fraud detection on an e-commerce
+//! network, deadlock-potential analysis of a lock graph, clocked-register
+//! placement in circuit design) and `crates/bench` for the harness that
+//! regenerates every table and figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tdb_core as core;
+pub use tdb_cycle as cycle;
+pub use tdb_datasets as datasets;
+pub use tdb_graph as graph;
+
+/// The most commonly used items across the workspace, re-exported together.
+pub mod prelude {
+    pub use tdb_core::prelude::*;
+    pub use tdb_cycle::HopConstraint;
+    pub use tdb_graph::{ActiveSet, CsrGraph, Graph, GraphBuilder, VertexId};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let g = crate::graph::gen::directed_cycle(4);
+        let run = top_down_cover(&g, &HopConstraint::new(4), &TopDownConfig::tdb_plus_plus());
+        assert_eq!(run.cover_size(), 1);
+    }
+}
