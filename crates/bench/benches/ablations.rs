@@ -8,177 +8,137 @@
 //! * `ablation_order` — vertex scan order sensitivity.
 //! * `ablation_parallel` — parallel TDB++ with 1/2/4 worker threads.
 //! * `ablation_minimal_engine` — Algorithm 7 driven by the naive vs block DFS.
+//!
+//! Every cover computation goes through the unified [`Solver`] /
+//! [`CoverAlgorithm`] surface; only the raw-query ablation touches the search
+//! primitives directly.
 
-use std::hint::black_box;
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tdb_bench::bench_support::small_proxy;
+use tdb_bench::microbench::Microbench;
 use tdb_core::prelude::*;
 use tdb_cycle::{find_cycle_through, BlockSearcher};
 use tdb_datasets::Dataset;
-use tdb_graph::{ActiveSet, Graph};
+use tdb_graph::{ActiveSet, CsrGraph, Graph};
 
-fn bench_engine_queries(c: &mut Criterion) {
+/// Run a configured algorithm value through the trait, like the harness does.
+fn solve_size(algorithm: &dyn CoverAlgorithm, g: &CsrGraph, constraint: &HopConstraint) -> usize {
+    let mut ctx = SolveContext::new();
+    algorithm
+        .solve(g, constraint, &mut ctx)
+        .expect("unbudgeted solve cannot fail")
+        .cover_size()
+}
+
+fn bench_engine_queries(bench: &Microbench) {
     let g = small_proxy(Dataset::WikiVote, 4000);
     let active = ActiveSet::all_active(g.num_vertices());
     let constraint = HopConstraint::new(5);
-    let mut group = c.benchmark_group("ablation_engine");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
-    group.bench_function("block_dfs_all_vertices", |b| {
-        let mut searcher = BlockSearcher::new(g.num_vertices());
-        b.iter(|| {
-            let mut hits = 0usize;
-            for v in g.vertices() {
-                if searcher.is_on_constrained_cycle(&g, &active, v, &constraint) {
-                    hits += 1;
-                }
+    let mut searcher = BlockSearcher::new(g.num_vertices());
+    bench.bench("ablation_engine/block_dfs_all_vertices", || {
+        let mut hits = 0usize;
+        for v in g.vertices() {
+            if searcher.is_on_constrained_cycle(&g, &active, v, &constraint) {
+                hits += 1;
             }
-            black_box(hits)
-        })
+        }
+        hits
     });
-    group.bench_function("naive_dfs_all_vertices", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for v in g.vertices() {
-                if find_cycle_through(&g, &active, v, &constraint).is_some() {
-                    hits += 1;
-                }
+    bench.bench("ablation_engine/naive_dfs_all_vertices", || {
+        let mut hits = 0usize;
+        for v in g.vertices() {
+            if find_cycle_through(&g, &active, v, &constraint).is_some() {
+                hits += 1;
             }
-            black_box(hits)
-        })
+        }
+        hits
     });
-    group.finish();
 }
 
-fn bench_filters(c: &mut Criterion) {
+fn bench_filters(bench: &Microbench) {
     let g = small_proxy(Dataset::WebGoogle, 8000);
     let constraint = HopConstraint::new(5);
-    let mut group = c.benchmark_group("ablation_filter");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
     for (label, config) in [
         ("tdb_plus_no_filter", TopDownConfig::tdb_plus()),
         ("tdb_plus_plus_bfs_filter", TopDownConfig::tdb_plus_plus()),
         ("tdb_extended_exact_filter", TopDownConfig::extended()),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| black_box(top_down_cover(&g, &constraint, &config).cover_size()))
+        bench.bench(&format!("ablation_filter/{label}"), || {
+            solve_size(&config, &g, &constraint)
         });
     }
-    group.finish();
 }
 
-fn bench_scc_prefilter(c: &mut Criterion) {
+fn bench_scc_prefilter(bench: &Microbench) {
     // Citation-class proxies have a large acyclic fringe, the best case for the
     // SCC pre-filter.
     let g = small_proxy(Dataset::Citeseer, 8000);
     let constraint = HopConstraint::new(5);
-    let mut group = c.benchmark_group("ablation_scc");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
     let without = TopDownConfig::tdb_plus_plus();
     let with = TopDownConfig {
         scc_prefilter: true,
         ..TopDownConfig::tdb_plus_plus()
     };
-    group.bench_function("without_scc_prefilter", |b| {
-        b.iter(|| black_box(top_down_cover(&g, &constraint, &without).cover_size()))
+    bench.bench("ablation_scc/without_scc_prefilter", || {
+        solve_size(&without, &g, &constraint)
     });
-    group.bench_function("with_scc_prefilter", |b| {
-        b.iter(|| black_box(top_down_cover(&g, &constraint, &with).cover_size()))
+    bench.bench("ablation_scc/with_scc_prefilter", || {
+        solve_size(&with, &g, &constraint)
     });
-    group.finish();
 }
 
-fn bench_scan_order(c: &mut Criterion) {
+fn bench_scan_order(bench: &Microbench) {
     let g = small_proxy(Dataset::WikiVote, 4000);
     let constraint = HopConstraint::new(5);
-    let mut group = c.benchmark_group("ablation_order");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
     for (label, order) in [
         ("ascending", ScanOrder::Ascending),
         ("degree_descending", ScanOrder::DegreeDescending),
         ("degree_ascending", ScanOrder::DegreeAscending),
         ("random", ScanOrder::Random(7)),
     ] {
-        let config = TopDownConfig::tdb_plus_plus().with_scan_order(order);
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| black_box(top_down_cover(&g, &constraint, &config).cover_size()))
+        let solver = Solver::new(Algorithm::TdbPlusPlus).with_scan_order(order);
+        bench.bench(&format!("ablation_order/{label}"), || {
+            solver.solve(&g, &constraint).unwrap().cover_size()
         });
     }
-    group.finish();
 }
 
-fn bench_parallel(c: &mut Criterion) {
+fn bench_parallel(bench: &Microbench) {
     let g = small_proxy(Dataset::WebGoogle, 16_000);
     let constraint = HopConstraint::new(5);
-    let mut group = c.benchmark_group("ablation_parallel");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
-    group.bench_function("sequential_tdb_plus_plus", |b| {
-        b.iter(|| {
-            black_box(
-                top_down_cover(&g, &constraint, &TopDownConfig::tdb_plus_plus()).cover_size(),
-            )
-        })
+    let sequential = Solver::new(Algorithm::TdbPlusPlus);
+    bench.bench("ablation_parallel/sequential_tdb_plus_plus", || {
+        sequential.solve(&g, &constraint).unwrap().cover_size()
     });
     for threads in [1usize, 2, 4] {
-        let config = ParallelConfig {
-            num_threads: threads,
-            scan_order: ScanOrder::Ascending,
-        };
-        group.bench_with_input(
-            BenchmarkId::new("parallel_tdb_plus_plus", threads),
-            &threads,
-            |b, _| b.iter(|| black_box(parallel_top_down_cover(&g, &constraint, &config).cover_size())),
+        let solver = Solver::new(Algorithm::TdbParallel).with_threads(threads);
+        bench.bench(
+            &format!("ablation_parallel/parallel_tdb_plus_plus/{threads}"),
+            || solver.solve(&g, &constraint).unwrap().cover_size(),
         );
     }
-    group.finish();
 }
 
-fn bench_minimal_engine(c: &mut Criterion) {
+fn bench_minimal_engine(bench: &Microbench) {
     let g = small_proxy(Dataset::AsCaida, 2500);
     let constraint = HopConstraint::new(4);
-    let mut group = c.benchmark_group("ablation_minimal_engine");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
     for (label, engine) in [
         ("naive_find_cycle", SearchEngine::Naive),
         ("block_dfs", SearchEngine::Block),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                let mut config = BottomUpConfig::bur_plus();
-                config.minimal_engine = engine;
-                black_box(bottom_up_cover(&g, &constraint, &config).cover_size())
-            })
+        let mut config = BottomUpConfig::bur_plus();
+        config.minimal_engine = engine;
+        bench.bench(&format!("ablation_minimal_engine/{label}"), || {
+            solve_size(&config, &g, &constraint)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_engine_queries,
-    bench_filters,
-    bench_scc_prefilter,
-    bench_scan_order,
-    bench_parallel,
-    bench_minimal_engine
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Microbench::new("ablations");
+    bench_engine_queries(&bench);
+    bench_filters(&bench);
+    bench_scc_prefilter(&bench);
+    bench_scan_order(&bench);
+    bench_parallel(&bench);
+    bench_minimal_engine(&bench);
+}

@@ -8,43 +8,34 @@
 //! budget. The expected shape: the exhaustive baselines blow up with `k`, while
 //! TDB++ grows roughly linearly.
 
-use std::hint::black_box;
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tdb_bench::bench_support::small_proxy;
-use tdb_core::{compute_cover, Algorithm, HopConstraint};
+use tdb_bench::microbench::Microbench;
+use tdb_core::{Algorithm, HopConstraint, Solver};
 use tdb_datasets::Dataset;
 
-fn bench_figure6(c: &mut Criterion) {
+fn main() {
+    let bench = Microbench::new("figure6");
     for (dataset, edges) in [(Dataset::WikiVote, 800), (Dataset::WebGoogle, 1500)] {
         let g = small_proxy(dataset, edges);
-        let mut group = c.benchmark_group(format!("figure6/{}", dataset.spec().code));
-        group
-            .sample_size(10)
-            .measurement_time(Duration::from_secs(2))
-            .warm_up_time(Duration::from_millis(300));
         for k in 3..=7usize {
             let constraint = HopConstraint::new(k);
-            for algorithm in [Algorithm::DarcDv, Algorithm::BurPlus, Algorithm::TdbPlusPlus] {
+            for algorithm in [
+                Algorithm::DarcDv,
+                Algorithm::BurPlus,
+                Algorithm::TdbPlusPlus,
+            ] {
                 // Keep the exhaustive baselines to the small k values so the
                 // bench suite stays under a laptop budget; TDB++ runs the full
                 // sweep (this mirrors the INF entries of the paper's plots).
                 if k > 5 && algorithm != Algorithm::TdbPlusPlus {
                     continue;
                 }
-                group.bench_with_input(
-                    BenchmarkId::new(algorithm.name(), k),
-                    &(algorithm, k),
-                    |b, &(algorithm, _)| {
-                        b.iter(|| black_box(compute_cover(&g, &constraint, algorithm).cover_size()))
-                    },
+                let solver = Solver::new(algorithm);
+                bench.bench(
+                    &format!("{}/{}/k={k}", dataset.spec().code, algorithm.name()),
+                    || solver.solve(&g, &constraint).unwrap().cover_size(),
                 );
             }
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_figure6);
-criterion_main!(benches);

@@ -3,43 +3,34 @@
 //!
 //! The paper's Table III reports runtime and cover size at `k = 5` across the
 //! twelve small/medium datasets; this bench times the same three algorithms on
-//! proxies small enough for the exhaustive baselines to finish a Criterion
-//! sample, preserving the ranking (TDB++ ≪ DARC-DV < BUR+).
+//! proxies small enough for the exhaustive baselines to finish a sample,
+//! preserving the ranking (TDB++ ≪ DARC-DV < BUR+).
 
-use std::hint::black_box;
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tdb_bench::bench_support::small_proxy;
-use tdb_core::{compute_cover, Algorithm, HopConstraint};
+use tdb_bench::microbench::Microbench;
+use tdb_core::{Algorithm, HopConstraint, Solver};
 use tdb_datasets::Dataset;
 
-fn bench_table3(c: &mut Criterion) {
+fn main() {
     let constraint = HopConstraint::new(5);
     let datasets = [
         (Dataset::WikiVote, 900),
         (Dataset::AsCaida, 900),
         (Dataset::Gnutella31, 1200),
     ];
+    let bench = Microbench::new("table3_k5");
     for (dataset, edges) in datasets {
         let g = small_proxy(dataset, edges);
-        let mut group = c.benchmark_group(format!("table3_k5/{}", dataset.spec().code));
-        group
-            .sample_size(10)
-            .measurement_time(Duration::from_secs(2))
-            .warm_up_time(Duration::from_millis(300));
-        for algorithm in [Algorithm::DarcDv, Algorithm::BurPlus, Algorithm::TdbPlusPlus] {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(algorithm.name()),
-                &algorithm,
-                |b, &algorithm| {
-                    b.iter(|| black_box(compute_cover(&g, &constraint, algorithm).cover_size()))
-                },
+        for algorithm in [
+            Algorithm::DarcDv,
+            Algorithm::BurPlus,
+            Algorithm::TdbPlusPlus,
+        ] {
+            let solver = Solver::new(algorithm);
+            bench.bench(
+                &format!("{}/{}", dataset.spec().code, algorithm.name()),
+                || solver.solve(&g, &constraint).unwrap().cover_size(),
             );
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

@@ -6,49 +6,32 @@
 //! plus the alternative "cover 2-cycles separately, then cover 3..k" strategy
 //! the paper alludes to.
 
-use std::hint::black_box;
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tdb_bench::bench_support::small_proxy;
+use tdb_bench::microbench::Microbench;
 use tdb_core::prelude::*;
 use tdb_datasets::Dataset;
 
-fn bench_table4(c: &mut Criterion) {
+fn main() {
+    let bench = Microbench::new("table4");
     for (dataset, edges) in [(Dataset::Slashdot0902, 4000), (Dataset::AsCaida, 4000)] {
         let g = small_proxy(dataset, edges);
-        let mut group = c.benchmark_group(format!("table4/{}", dataset.spec().code));
-        group
-            .sample_size(10)
-            .measurement_time(Duration::from_secs(2))
-            .warm_up_time(Duration::from_millis(300));
+        let code = dataset.spec().code;
+        let solver = Solver::new(Algorithm::TdbPlusPlus);
 
-        group.bench_function(BenchmarkId::from_parameter("no-2-cycles"), |b| {
-            b.iter(|| {
-                black_box(
-                    top_down_cover(&g, &HopConstraint::new(5), &TopDownConfig::tdb_plus_plus())
-                        .cover_size(),
-                )
-            })
+        bench.bench(&format!("{code}/no-2-cycles"), || {
+            solver
+                .solve(&g, &HopConstraint::new(5))
+                .unwrap()
+                .cover_size()
         });
-        group.bench_function(BenchmarkId::from_parameter("with-2-cycles"), |b| {
-            b.iter(|| {
-                black_box(
-                    top_down_cover(
-                        &g,
-                        &HopConstraint::with_two_cycles(5),
-                        &TopDownConfig::tdb_plus_plus(),
-                    )
-                    .cover_size(),
-                )
-            })
+        bench.bench(&format!("{code}/with-2-cycles"), || {
+            solver
+                .solve(&g, &HopConstraint::with_two_cycles(5))
+                .unwrap()
+                .cover_size()
         });
-        group.bench_function(BenchmarkId::from_parameter("separate-2-cycle-pass"), |b| {
-            b.iter(|| black_box(combined_cover(&g, 5, &TopDownConfig::tdb_plus_plus()).cover_size()))
+        bench.bench(&format!("{code}/separate-2-cycle-pass"), || {
+            combined_cover(&g, 5, &TopDownConfig::tdb_plus_plus()).cover_size()
         });
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_table4);
-criterion_main!(benches);

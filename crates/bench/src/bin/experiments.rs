@@ -10,7 +10,8 @@
 //! Subcommands: `table2`, `table3`, `table4`, `figure6`, `figure7`, `figure8`,
 //! `figure9`, `figure10`, `large`, `all`. Options: `--scale <f64>`,
 //! `--seed <u64>`, `--slow-limit <edges>`, `--verify`, `--k <list>` (comma
-//! separated, default `3,4,5,6,7`).
+//! separated, default `3,4,5,6,7`), `--budget <seconds>` (wall-clock budget
+//! per cell; overruns print as `-`).
 
 use std::process::ExitCode;
 
@@ -35,6 +36,7 @@ fn parse_args() -> Result<Options, String> {
     let mut slow_limit = 60_000usize;
     let mut verify = false;
     let mut ks = vec![3usize, 4, 5, 6, 7];
+    let mut budget = None;
 
     let mut it = args.into_iter().peekable();
     if let Some(first) = it.peek() {
@@ -47,14 +49,30 @@ fn parse_args() -> Result<Options, String> {
             it.next().ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
-            "--scale" => scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
-            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scale" => {
+                scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--slow-limit" => {
                 slow_limit = value("--slow-limit")?
                     .parse()
                     .map_err(|e| format!("--slow-limit: {e}"))?
             }
             "--verify" => verify = true,
+            "--budget" => {
+                let secs: f64 = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+                budget = Some(std::time::Duration::try_from_secs_f64(secs).map_err(|_| {
+                    format!("--budget: expected a non-negative number of seconds, got {secs}")
+                })?);
+            }
             "--k" => {
                 ks = value("--k")?
                     .split(',')
@@ -77,6 +95,7 @@ fn parse_args() -> Result<Options, String> {
             ks,
             slow_algorithm_edge_limit: slow_limit,
             verify,
+            time_budget: budget,
         },
     })
 }
@@ -123,20 +142,36 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify]");
+            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS]");
             return ExitCode::FAILURE;
         }
     };
     let cfg = &options.config;
     println!(
-        "# TDB experiment harness — scale {}, seed {}, ks {:?}, slow-limit {} edges, verify {}",
-        cfg.synthesis.scale, cfg.synthesis.seed, cfg.ks, cfg.slow_algorithm_edge_limit, cfg.verify
+        "# TDB experiment harness — scale {}, seed {}, ks {:?}, slow-limit {} edges, verify {}, budget {}",
+        cfg.synthesis.scale,
+        cfg.synthesis.seed,
+        cfg.ks,
+        cfg.slow_algorithm_edge_limit,
+        cfg.verify,
+        cfg.time_budget
+            .map(|b| format!("{:.3}s", b.as_secs_f64()))
+            .unwrap_or_else(|| "none".to_string()),
     );
 
     match options.command.as_str() {
-        "table2" => print_block("Table II: dataset statistics (paper vs proxy)", &table2_rows(cfg)),
-        "table3" => print_block("Table III: cover size and runtime, k = 5", &table3_rows(cfg)),
-        "table4" => print_block("Table IV: cover size with / without 2-cycles, k = 5", &table4_rows(cfg)),
+        "table2" => print_block(
+            "Table II: dataset statistics (paper vs proxy)",
+            &table2_rows(cfg),
+        ),
+        "table3" => print_block(
+            "Table III: cover size and runtime, k = 5",
+            &table3_rows(cfg),
+        ),
+        "table4" => print_block(
+            "Table IV: cover size with / without 2-cycles, k = 5",
+            &table4_rows(cfg),
+        ),
         "figure6" => figure67(cfg, true),
         "figure7" => figure67(cfg, false),
         "figure8" | "figure9" => print_block(
@@ -149,9 +184,18 @@ fn main() -> ExitCode {
         ),
         "large" => large_scale(cfg),
         "all" => {
-            print_block("Table II: dataset statistics (paper vs proxy)", &table2_rows(cfg));
-            print_block("Table III: cover size and runtime, k = 5", &table3_rows(cfg));
-            print_block("Table IV: cover size with / without 2-cycles, k = 5", &table4_rows(cfg));
+            print_block(
+                "Table II: dataset statistics (paper vs proxy)",
+                &table2_rows(cfg),
+            );
+            print_block(
+                "Table III: cover size and runtime, k = 5",
+                &table3_rows(cfg),
+            );
+            print_block(
+                "Table IV: cover size with / without 2-cycles, k = 5",
+                &table4_rows(cfg),
+            );
             figure67(cfg, true);
             print_block(
                 "Figures 8–9: BUR vs BUR+ (runtime and cover size) on WKV / WGO",

@@ -9,10 +9,11 @@
 //!   experiments -- all`) prints the rows of Table II, Table III, Table IV and
 //!   the data series behind Figures 6–10 in a plain-text form that
 //!   `EXPERIMENTS.md` quotes verbatim, and
-//! * the Criterion benches (`cargo bench -p tdb-bench`) time the same
-//!   algorithm/dataset/parameter combinations on small proxies, one bench
-//!   target per runtime table or figure plus an `ablations` target for the
-//!   design choices called out in `DESIGN.md` §7.
+//! * the bench targets (`cargo bench -p tdb-bench`, driven by the crate's own
+//!   [`microbench`] harness) time the same algorithm/dataset/parameter
+//!   combinations on small proxies, one bench target per runtime table or
+//!   figure plus an `ablations` target for the design choices called out in
+//!   `DESIGN.md` §7.
 //!
 //! The library part holds the shared plumbing: proxy synthesis, per-row
 //! execution with the same gating the paper applies (the exhaustive baselines
@@ -20,6 +21,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod microbench;
 
 use std::time::Duration;
 
@@ -42,6 +45,9 @@ pub struct ExperimentConfig {
     pub slow_algorithm_edge_limit: usize,
     /// Verify every produced cover (adds a full validity check per row).
     pub verify: bool,
+    /// Optional wall-clock budget per cell: cells whose solve outruns it are
+    /// reported as gated (`-`), like the paper's INF entries.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for ExperimentConfig {
@@ -51,6 +57,7 @@ impl Default for ExperimentConfig {
             ks: vec![3, 4, 5, 6, 7],
             slow_algorithm_edge_limit: 60_000,
             verify: false,
+            time_budget: None,
         }
     }
 }
@@ -63,6 +70,7 @@ impl ExperimentConfig {
             ks: vec![3, 4, 5],
             slow_algorithm_edge_limit: 10_000,
             verify: true,
+            time_budget: None,
         }
     }
 
@@ -129,7 +137,16 @@ pub fn run_cell(
     if !config.algorithm_enabled(algorithm, graph.num_edges()) {
         return None;
     }
-    let run = tdb_core::compute_cover(graph, constraint, algorithm);
+    let mut solver = Solver::new(algorithm);
+    if let Some(budget) = config.time_budget {
+        solver = solver.with_time_budget(budget);
+    }
+    let run = match solver.solve(graph, constraint) {
+        Ok(run) => run,
+        // Budget overruns (and any future failure mode) are reported exactly
+        // like size-gated cells.
+        Err(_) => return None,
+    };
     let verified = if config.verify {
         Some(is_valid_cover(graph, &run.cover, constraint))
     } else {
@@ -155,7 +172,15 @@ pub fn table2_rows(config: &ExperimentConfig) -> Vec<String> {
     let mut rows = Vec::new();
     rows.push(format!(
         "{:<5} {:<15} {:>12} {:>14} {:>8} | {:>12} {:>14} {:>8} {:>8}",
-        "Code", "Dataset", "paper |V|", "paper |E|", "d_avg", "proxy |V|", "proxy |E|", "d_avg", "recip"
+        "Code",
+        "Dataset",
+        "paper |V|",
+        "paper |E|",
+        "d_avg",
+        "proxy |V|",
+        "proxy |E|",
+        "d_avg",
+        "recip"
     ));
     for dataset in Dataset::all() {
         let spec = dataset.spec();
@@ -184,15 +209,24 @@ pub fn table3_rows(config: &ExperimentConfig) -> Vec<String> {
     let mut rows = Vec::new();
     rows.push(format!(
         "{:<5} {:>10} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
-        "Name", "|E|proxy", "DARC size", "DARC t(s)", "BUR+ size", "BUR+ t(s)", "TDB++ size", "TDB++ t(s)"
+        "Name",
+        "|E|proxy",
+        "DARC size",
+        "DARC t(s)",
+        "BUR+ size",
+        "BUR+ t(s)",
+        "TDB++ size",
+        "TDB++ t(s)"
     ));
     for dataset in Dataset::all() {
         let g = proxy(dataset, config);
-        let mut cells: Vec<String> = vec![
-            dataset.spec().code.to_string(),
-            format_count(g.num_edges()),
-        ];
-        for algorithm in [Algorithm::DarcDv, Algorithm::BurPlus, Algorithm::TdbPlusPlus] {
+        let mut cells: Vec<String> =
+            vec![dataset.spec().code.to_string(), format_count(g.num_edges())];
+        for algorithm in [
+            Algorithm::DarcDv,
+            Algorithm::BurPlus,
+            Algorithm::TdbPlusPlus,
+        ] {
             match run_cell(&g, dataset, algorithm, &constraint, config) {
                 Some(r) => {
                     cells.push(r.cover_size.to_string());
@@ -221,8 +255,14 @@ pub fn table4_rows(config: &ExperimentConfig) -> Vec<String> {
     ));
     for dataset in Dataset::small_and_medium() {
         let g = proxy(dataset, config);
-        let without = run_cell(&g, dataset, Algorithm::TdbPlusPlus, &HopConstraint::new(5), config)
-            .expect("TDB++ is never gated");
+        let without = run_cell(
+            &g,
+            dataset,
+            Algorithm::TdbPlusPlus,
+            &HopConstraint::new(5),
+            config,
+        )
+        .expect("TDB++ is never gated");
         let with = run_cell(
             &g,
             dataset,
@@ -371,6 +411,7 @@ mod tests {
             ks: vec![3, 4],
             slow_algorithm_edge_limit: 5_000,
             verify: true,
+            time_budget: None,
         }
     }
 
@@ -416,6 +457,21 @@ mod tests {
     }
 
     #[test]
+    fn zero_time_budget_gates_every_cell() {
+        let mut cfg = tiny_config();
+        cfg.time_budget = Some(Duration::ZERO);
+        let g = proxy(Dataset::WikiVote, &cfg);
+        assert!(run_cell(
+            &g,
+            Dataset::WikiVote,
+            Algorithm::TdbPlusPlus,
+            &HopConstraint::new(3),
+            &cfg
+        )
+        .is_none());
+    }
+
+    #[test]
     fn table2_has_one_row_per_dataset_plus_header() {
         let cfg = tiny_config();
         let rows = table2_rows(&cfg);
@@ -439,7 +495,10 @@ mod tests {
                     .map(|r| r.cover_size)
                     .collect();
                 if sizes.len() > 1 {
-                    assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{dataset} k={k}: {sizes:?}");
+                    assert!(
+                        sizes.windows(2).all(|w| w[0] == w[1]),
+                        "{dataset} k={k}: {sizes:?}"
+                    );
                 }
             }
         }

@@ -1,0 +1,113 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds fully offline, so the bench targets cannot depend on
+//! Criterion; this module provides the small subset the targets need: warm-up,
+//! a fixed number of timed samples, and a mean/min/max report per labelled
+//! case. Every bench target is a plain `main` (`harness = false`) driving a
+//! [`Microbench`].
+//!
+//! Sample count and warm-up can be tuned through environment variables when a
+//! quick smoke run is wanted:
+//!
+//! * `TDB_BENCH_SAMPLES` — timed samples per case (default 10),
+//! * `TDB_BENCH_WARMUP_MS` — minimum warm-up time per case (default 200).
+
+use std::time::{Duration, Instant};
+
+use tdb_core::stats::Accumulator;
+
+/// A labelled set of timed cases printed as fixed-width rows.
+pub struct Microbench {
+    suite: String,
+    samples: usize,
+    warm_up: Duration,
+}
+
+impl Microbench {
+    /// Create a harness for the named suite, honoring the tuning environment
+    /// variables.
+    pub fn new(suite: &str) -> Self {
+        let samples = std::env::var("TDB_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(10);
+        let warm_up_ms = std::env::var("TDB_BENCH_WARMUP_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200u64);
+        println!("## {suite} ({samples} samples per case)");
+        Microbench {
+            suite: suite.to_string(),
+            samples,
+            warm_up: Duration::from_millis(warm_up_ms),
+        }
+    }
+
+    /// Time `f` and print one report row. The closure's result is returned
+    /// through [`std::hint::black_box`], so callers don't need to.
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+        // Warm-up: at least one run, and keep going until the warm-up window
+        // has elapsed so caches and allocator state settle.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+
+        let mut acc = Accumulator::new();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            acc.record(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "{:<48} mean {:>10}  min {:>10}  max {:>10}",
+            format!("{}/{label}", self.suite),
+            format_secs(acc.mean()),
+            format_secs(acc.min().unwrap_or(0.0)),
+            format_secs(acc.max().unwrap_or(0.0)),
+        );
+    }
+}
+
+/// Human-scaled time formatting (s / ms / µs).
+fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{:.3}µs", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_scales_units() {
+        assert_eq!(format_secs(2.5), "2.500s");
+        assert_eq!(format_secs(0.0025), "2.500ms");
+        assert_eq!(format_secs(0.0000025), "2.500µs");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let bench = Microbench {
+            suite: "test".into(),
+            samples: 3,
+            warm_up: Duration::ZERO,
+        };
+        let mut calls = 0u32;
+        bench.bench("case", || {
+            calls += 1;
+            calls
+        });
+        // One warm-up call plus three samples.
+        assert!(calls >= 4, "closure ran {calls} times");
+    }
+}

@@ -19,7 +19,8 @@ use tdb_cycle::HopConstraint;
 use tdb_graph::{ActiveSet, Graph, VertexId};
 
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
-use crate::minimal::{minimal_prune, SearchEngine};
+use crate::minimal::{minimal_prune_with, SearchEngine};
+use crate::solver::{CoverAlgorithm, SolveContext, SolveError};
 use crate::stats::Timer;
 
 /// Configuration of the bottom-up algorithm.
@@ -66,14 +67,39 @@ impl BottomUpConfig {
 }
 
 /// Compute a hop-constrained cycle cover with the bottom-up algorithm.
+///
+/// Legacy entry point kept for compatibility; prefer
+/// [`Solver`](crate::solver::Solver) or [`bottom_up_cover_with`], which honor
+/// time budgets and progress callbacks.
 pub fn bottom_up_cover<G: Graph>(
     g: &G,
     constraint: &HopConstraint,
     config: &BottomUpConfig,
 ) -> CoverRun {
+    let mut ctx = SolveContext::new();
+    bottom_up_cover_with(g, constraint, config, &mut ctx)
+        .expect("unbudgeted bottom-up solve cannot fail")
+}
+
+/// Budget- and progress-aware bottom-up cover computation.
+///
+/// The exhaustive inner search makes this the family that needs a budget most:
+/// the context's deadline is checked before every cycle query, including the
+/// ones issued by the minimal-pruning pass.
+pub fn bottom_up_cover_with<G: Graph>(
+    g: &G,
+    constraint: &HopConstraint,
+    config: &BottomUpConfig,
+    ctx: &mut SolveContext,
+) -> Result<CoverRun, SolveError> {
+    ctx.ensure_armed();
     let timer = Timer::start();
     let n = g.num_vertices();
-    let mut metrics = RunMetrics::new(config.name(), constraint.max_hops, constraint.include_two_cycles);
+    let mut metrics = RunMetrics::new(
+        config.name(),
+        constraint.max_hops,
+        constraint.include_two_cycles,
+    );
     metrics.working_edges = g.num_edges();
 
     // H[v]: how many discovered cycles vertex v appeared on so far (Algorithm 4
@@ -84,7 +110,9 @@ pub fn bottom_up_cover<G: Graph>(
     let mut cover_vertices: Vec<VertexId> = Vec::new();
 
     for start in 0..n as VertexId {
+        ctx.report_progress(start as u64, n as u64, cover_vertices.len() as u64);
         loop {
+            ctx.checkpoint()?;
             metrics.cycle_queries += 1;
             let Some(cycle) = find_cycle_through(g, &active, start, constraint) else {
                 break;
@@ -112,12 +140,36 @@ pub fn bottom_up_cover<G: Graph>(
     let mut cover = CycleCover::from_vertices(cover_vertices);
 
     if config.minimal {
-        let removed = minimal_prune(g, &mut cover, constraint, config.minimal_engine, &mut metrics);
+        let removed = minimal_prune_with(
+            g,
+            &mut cover,
+            constraint,
+            config.minimal_engine,
+            &mut metrics,
+            ctx,
+        )?;
         metrics.minimal_pruned = removed as u64;
     }
 
     metrics.elapsed = timer.elapsed();
-    CoverRun { cover, metrics }
+    ctx.report_progress(n as u64, n as u64, cover.len() as u64);
+    ctx.accumulate(&metrics);
+    Ok(CoverRun { cover, metrics })
+}
+
+impl CoverAlgorithm for BottomUpConfig {
+    fn name(&self) -> &'static str {
+        BottomUpConfig::name(self)
+    }
+
+    fn solve(
+        &self,
+        g: &tdb_graph::CsrGraph,
+        constraint: &HopConstraint,
+        ctx: &mut SolveContext,
+    ) -> Result<CoverRun, SolveError> {
+        bottom_up_cover_with(g, constraint, self, ctx)
+    }
 }
 
 #[cfg(test)]

@@ -135,6 +135,23 @@ impl RunMetrics {
     pub fn elapsed_secs(&self) -> f64 {
         self.elapsed.as_secs_f64()
     }
+
+    /// Fold another run's counters and elapsed time into this accumulator.
+    ///
+    /// Used by `SolveContext` to aggregate metrics across consecutive solves;
+    /// the label fields (`algorithm`, `k`, `include_two_cycles`) keep the
+    /// values of the most recently absorbed run.
+    pub fn absorb(&mut self, other: &RunMetrics) {
+        self.algorithm = other.algorithm.clone();
+        self.k = other.k;
+        self.include_two_cycles = other.include_two_cycles;
+        self.elapsed += other.elapsed;
+        self.cycle_queries += other.cycle_queries;
+        self.filter_released += other.filter_released;
+        self.scc_released += other.scc_released;
+        self.minimal_pruned += other.minimal_pruned;
+        self.working_edges = self.working_edges.max(other.working_edges);
+    }
 }
 
 /// The result of a cover computation: the cover plus its run metrics.

@@ -31,7 +31,43 @@ use tdb_graph::line_graph::LineGraph;
 use tdb_graph::{ActiveSet, CsrGraph, Edge, Graph};
 
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
+use crate::solver::{CoverAlgorithm, SolveContext, SolveError};
 use crate::stats::Timer;
+
+/// Configuration marker for the DARC-DV baseline.
+///
+/// DARC-DV has no tunable parameters; this unit-like struct exists so the
+/// baseline participates in the [`CoverAlgorithm`] trait like every other
+/// family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DarcDvConfig;
+
+impl DarcDvConfig {
+    /// The (only) DARC-DV configuration.
+    pub fn new() -> Self {
+        DarcDvConfig
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        "DARC-DV"
+    }
+}
+
+impl CoverAlgorithm for DarcDvConfig {
+    fn name(&self) -> &'static str {
+        DarcDvConfig::name(self)
+    }
+
+    fn solve(
+        &self,
+        g: &CsrGraph,
+        constraint: &HopConstraint,
+        ctx: &mut SolveContext,
+    ) -> Result<CoverRun, SolveError> {
+        darc_dv_cover_with(g, constraint, ctx)
+    }
+}
 
 /// Result of the edge-level k-cycle transversal.
 #[derive(Debug, Clone)]
@@ -44,7 +80,23 @@ pub struct EdgeTransversal {
 
 /// Run DARC (Algorithms 1–3) on `g`, producing a minimal hop-constrained
 /// *edge* cycle transversal.
+///
+/// Legacy entry point kept for compatibility; prefer
+/// [`darc_edge_transversal_with`], which honors a time budget.
 pub fn darc_edge_transversal<G: Graph>(g: &G, constraint: &HopConstraint) -> EdgeTransversal {
+    let mut ctx = SolveContext::new();
+    darc_edge_transversal_with(g, constraint, &mut ctx)
+        .expect("unbudgeted DARC transversal cannot fail")
+}
+
+/// Budget-aware DARC edge transversal: the context's deadline is checked once
+/// per augmented edge and once per prune-queue pop.
+pub fn darc_edge_transversal_with<G: Graph>(
+    g: &G,
+    constraint: &HopConstraint,
+    ctx: &mut SolveContext,
+) -> Result<EdgeTransversal, SolveError> {
+    ctx.ensure_armed();
     let active = ActiveSet::all_active(g.num_vertices());
     let mut s: HashSet<Edge> = HashSet::new();
     let mut w: HashSet<Edge> = HashSet::new();
@@ -53,14 +105,25 @@ pub fn darc_edge_transversal<G: Graph>(g: &G, constraint: &HopConstraint) -> Edg
 
     // Algorithm 1: AUGMENT every edge not already covered.
     for e in g.edges() {
+        ctx.checkpoint()?;
         if s.contains(&e) {
             continue;
         }
-        augment(g, &active, constraint, e, &mut s, &mut w, &mut p, &mut cycle_queries);
+        augment(
+            g,
+            &active,
+            constraint,
+            e,
+            &mut s,
+            &mut w,
+            &mut p,
+            &mut cycle_queries,
+        );
     }
 
     // Algorithm 3: PRUNE.
     while let Some(e) = p.pop_front() {
+        ctx.checkpoint()?;
         if !s.contains(&e) {
             continue;
         }
@@ -76,10 +139,10 @@ pub fn darc_edge_transversal<G: Graph>(g: &G, constraint: &HopConstraint) -> Edg
 
     let mut edges: Vec<Edge> = s.into_iter().collect();
     edges.sort_unstable();
-    EdgeTransversal {
+    Ok(EdgeTransversal {
         edges,
         cycle_queries,
-    }
+    })
 }
 
 /// Algorithm 2: cover every not-yet-covered cycle through `e`.
@@ -127,22 +190,42 @@ fn augment<G: Graph>(
 
 /// Run the paper's baseline **DARC-DV**: DARC on the directed line graph,
 /// mapped back to a vertex cover of `g`.
+///
+/// Legacy entry point kept for compatibility; prefer
+/// [`Solver`](crate::solver::Solver) or [`darc_dv_cover_with`], which honor
+/// time budgets.
 pub fn darc_dv_cover(g: &CsrGraph, constraint: &HopConstraint) -> CoverRun {
+    let mut ctx = SolveContext::new();
+    darc_dv_cover_with(g, constraint, &mut ctx).expect("unbudgeted DARC-DV solve cannot fail")
+}
+
+/// Budget-aware DARC-DV cover computation.
+pub fn darc_dv_cover_with(
+    g: &CsrGraph,
+    constraint: &HopConstraint,
+    ctx: &mut SolveContext,
+) -> Result<CoverRun, SolveError> {
+    ctx.ensure_armed();
     let timer = Timer::start();
-    let mut metrics = RunMetrics::new("DARC-DV", constraint.max_hops, constraint.include_two_cycles);
+    let mut metrics = RunMetrics::new(
+        "DARC-DV",
+        constraint.max_hops,
+        constraint.include_two_cycles,
+    );
 
     let lg = LineGraph::build(g);
     metrics.working_edges = lg.graph().num_edges();
 
-    let transversal = darc_edge_transversal(lg.graph(), constraint);
+    let transversal = darc_edge_transversal_with(lg.graph(), constraint, ctx)?;
     metrics.cycle_queries = transversal.cycle_queries;
 
     let vertices = lg.middle_vertices(&transversal.edges);
     metrics.elapsed = timer.elapsed();
-    CoverRun {
+    ctx.accumulate(&metrics);
+    Ok(CoverRun {
         cover: CycleCover::from_vertices(vertices),
         metrics,
-    }
+    })
 }
 
 /// Extension: a direct vertex-level analogue of DARC that skips the line-graph
@@ -299,10 +382,7 @@ mod tests {
     fn darc_dv_line_graph_size_is_recorded() {
         let g = complete_digraph(5);
         let run = darc_dv_cover(&g, &HopConstraint::new(3));
-        let expected: usize = g
-            .vertices()
-            .map(|v| g.in_degree(v) * g.out_degree(v))
-            .sum();
+        let expected: usize = g.vertices().map(|v| g.in_degree(v) * g.out_degree(v)).sum();
         assert_eq!(run.metrics.working_edges, expected);
         assert!(is_valid_cover(&g, &run.cover, &HopConstraint::new(3)));
     }

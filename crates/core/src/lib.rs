@@ -6,13 +6,32 @@
 //!
 //! Given a directed graph and a hop constraint `k`, the crate computes a set of
 //! vertices intersecting every simple cycle of length `3..=k` (optionally
-//! `2..=k`). Three algorithm families are provided:
+//! `2..=k`). All of the paper's algorithm variants sit behind **one unified
+//! surface**:
 //!
-//! | Family | Paper section | Entry point | Character |
+//! * [`Algorithm`] — the enum of every evaluated variant (`BUR`, `BUR+`,
+//!   `DARC-DV`, `TDB`, `TDB+`, `TDB++`, plus this crate's extensions).
+//! * [`Solver`](solver::Solver) — the builder that turns an [`Algorithm`] into
+//!   a configured run: `Solver::new(Algorithm::TdbPlusPlus)
+//!   .with_scan_order(..).with_threads(..).with_time_budget(..).solve(&g, &c)`.
+//! * [`CoverAlgorithm`](solver::CoverAlgorithm) — the trait behind the
+//!   builder. Each family's configuration struct ([`top_down::TopDownConfig`],
+//!   [`bottom_up::BottomUpConfig`], [`darc::DarcDvConfig`],
+//!   [`parallel::ParallelConfig`]) implements it, so an algorithm is a value
+//!   you configure once and run against any graph.
+//! * [`SolveContext`](solver::SolveContext) / [`SolveError`](solver::SolveError)
+//!   — shared run state (seed, deadline, accumulated metrics, progress
+//!   callback) and typed failure: a solver with a time budget returns
+//!   [`SolveError::BudgetExceeded`](solver::SolveError::BudgetExceeded)
+//!   instead of running unbounded.
+//!
+//! The algorithm families, by paper section:
+//!
+//! | Family | Paper section | Configuration | Character |
 //! |---|---|---|---|
-//! | Bottom-up (`BUR`, `BUR+`) | §V, Alg. 4–7 | [`bottom_up::bottom_up_cover`] | smallest covers, `O(n^{k+1})` |
-//! | DARC / DARC-DV | §III-B, Alg. 1–3 | [`darc::darc_dv_cover`] | prior state of the art, `O(n^k)` |
-//! | Top-down (`TDB`, `TDB+`, `TDB++`) | §VI, Alg. 8–11 | [`top_down::top_down_cover`] | the paper's contribution, `O(k·n·m)` |
+//! | Bottom-up (`BUR`, `BUR+`) | §V, Alg. 4–7 | [`bottom_up::BottomUpConfig`] | smallest covers, `O(n^{k+1})` |
+//! | DARC / DARC-DV | §III-B, Alg. 1–3 | [`darc::DarcDvConfig`] | prior state of the art, `O(n^k)` |
+//! | Top-down (`TDB`, `TDB+`, `TDB++`) | §VI, Alg. 8–11 | [`top_down::TopDownConfig`] | the paper's contribution, `O(k·n·m)` |
 //!
 //! All of them produce covers that are **valid** (no constrained cycle
 //! survives) and **minimal** (no single vertex can be dropped), which
@@ -23,10 +42,17 @@
 //! use tdb_graph::gen::directed_cycle;
 //!
 //! let g = directed_cycle(4);
-//! let run = top_down_cover(&g, &HopConstraint::new(5), &TopDownConfig::tdb_plus_plus());
+//! let constraint = HopConstraint::new(5);
+//! let run = Solver::new(Algorithm::TdbPlusPlus).solve(&g, &constraint).unwrap();
 //! assert_eq!(run.cover_size(), 1);
-//! assert!(verify_cover(&g, &run.cover, &HopConstraint::new(5)).is_valid_and_minimal());
+//! assert!(verify_cover(&g, &run.cover, &constraint).is_valid_and_minimal());
 //! ```
+//!
+//! The per-family free functions (`top_down::top_down_cover`,
+//! `bottom_up::bottom_up_cover`, `darc::darc_dv_cover`,
+//! `parallel::parallel_top_down_cover`) remain available as legacy wrappers
+//! around the same implementations, but new code should go through
+//! [`Solver`](solver::Solver).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,12 +62,14 @@ pub mod cover;
 pub mod darc;
 pub mod minimal;
 pub mod parallel;
+pub mod solver;
 pub mod stats;
 pub mod top_down;
 pub mod two_cycle;
 pub mod verify;
 
 pub use cover::{CoverRun, CycleCover, RunMetrics};
+pub use solver::{CoverAlgorithm, SolveContext, SolveError, SolveProgress, Solver};
 pub use tdb_cycle::HopConstraint;
 
 use tdb_graph::CsrGraph;
@@ -85,7 +113,11 @@ impl Algorithm {
 
     /// The three algorithms compared in Table III and Figures 6–7.
     pub fn paper_headline() -> [Algorithm; 3] {
-        [Algorithm::DarcDv, Algorithm::BurPlus, Algorithm::TdbPlusPlus]
+        [
+            Algorithm::DarcDv,
+            Algorithm::BurPlus,
+            Algorithm::TdbPlusPlus,
+        ]
     }
 
     /// Every algorithm the crate implements.
@@ -109,65 +141,96 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
-impl std::str::FromStr for Algorithm {
-    type Err = String;
+/// Error returned when parsing an [`Algorithm`] from a string fails.
+///
+/// Carries the rejected input and knows every accepted canonical name, so
+/// harness CLIs can print an actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgorithmParseError {
+    input: String,
+}
 
+impl AlgorithmParseError {
+    /// The string that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// The canonical names (`Algorithm::name`) accepted by the parser.
+    pub fn expected() -> [&'static str; 8] {
+        let mut names = [""; 8];
+        for (slot, algorithm) in names.iter_mut().zip(Algorithm::all()) {
+            *slot = algorithm.name();
+        }
+        names
+    }
+}
+
+impl std::fmt::Display for AlgorithmParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown algorithm {:?} (expected one of: {})",
+            self.input,
+            Self::expected().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for AlgorithmParseError {}
+
+impl std::str::FromStr for Algorithm {
+    type Err = AlgorithmParseError;
+
+    /// Parse an algorithm name, case-insensitively.
+    ///
+    /// Every [`Algorithm::name`] output parses back losslessly (including
+    /// `"TDB++X"` and `"TDB++/par"`), alongside spelled-out aliases such as
+    /// `"bur_plus"` or `"parallel"`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_uppercase().as_str() {
             "BUR" => Ok(Algorithm::Bur),
             "BUR+" | "BURPLUS" | "BUR_PLUS" => Ok(Algorithm::BurPlus),
             "DARC-DV" | "DARCDV" | "DARC_DV" => Ok(Algorithm::DarcDv),
             "TDB" => Ok(Algorithm::Tdb),
-            "TDB+" | "TDBPLUS" => Ok(Algorithm::TdbPlus),
-            "TDB++" | "TDBPLUSPLUS" => Ok(Algorithm::TdbPlusPlus),
+            "TDB+" | "TDBPLUS" | "TDB_PLUS" => Ok(Algorithm::TdbPlus),
+            "TDB++" | "TDBPLUSPLUS" | "TDB_PLUS_PLUS" => Ok(Algorithm::TdbPlusPlus),
             "TDB++X" | "TDBX" | "EXTENDED" => Ok(Algorithm::TdbExtended),
-            "TDB++/PAR" | "PARALLEL" | "PAR" => Ok(Algorithm::TdbParallel),
-            other => Err(format!("unknown algorithm {other:?}")),
+            "TDB++/PAR" | "TDB++PAR" | "PARALLEL" | "PAR" => Ok(Algorithm::TdbParallel),
+            _ => Err(AlgorithmParseError {
+                input: s.to_string(),
+            }),
         }
     }
 }
 
 /// Compute a hop-constrained cycle cover of `g` with the chosen algorithm.
 ///
-/// This is the uniform entry point used by the examples and the experiment
-/// harness; the per-family modules expose richer configuration.
+/// Equivalent to `Solver::new(algorithm).solve(g, constraint)` with the
+/// algorithm's default configuration and no budget. Kept as the simplest
+/// uniform entry point; use [`Solver`] directly for scan order, threads, time
+/// budgets, or progress reporting.
 pub fn compute_cover(g: &CsrGraph, constraint: &HopConstraint, algorithm: Algorithm) -> CoverRun {
-    match algorithm {
-        Algorithm::Bur => {
-            bottom_up::bottom_up_cover(g, constraint, &bottom_up::BottomUpConfig::bur())
-        }
-        Algorithm::BurPlus => {
-            bottom_up::bottom_up_cover(g, constraint, &bottom_up::BottomUpConfig::bur_plus())
-        }
-        Algorithm::DarcDv => darc::darc_dv_cover(g, constraint),
-        Algorithm::Tdb => top_down::top_down_cover(g, constraint, &top_down::TopDownConfig::tdb()),
-        Algorithm::TdbPlus => {
-            top_down::top_down_cover(g, constraint, &top_down::TopDownConfig::tdb_plus())
-        }
-        Algorithm::TdbPlusPlus => {
-            top_down::top_down_cover(g, constraint, &top_down::TopDownConfig::tdb_plus_plus())
-        }
-        Algorithm::TdbExtended => {
-            top_down::top_down_cover(g, constraint, &top_down::TopDownConfig::extended())
-        }
-        Algorithm::TdbParallel => {
-            parallel::parallel_top_down_cover(g, constraint, &parallel::ParallelConfig::default())
-        }
-    }
+    Solver::new(algorithm)
+        .solve(g, constraint)
+        .expect("unbudgeted solve cannot fail")
 }
 
 /// Commonly used items re-exported together.
 pub mod prelude {
-    pub use crate::bottom_up::{bottom_up_cover, BottomUpConfig};
+    pub use crate::bottom_up::{bottom_up_cover, bottom_up_cover_with, BottomUpConfig};
     pub use crate::compute_cover;
     pub use crate::cover::{CoverRun, CycleCover, RunMetrics};
-    pub use crate::darc::darc_dv_cover;
+    pub use crate::darc::{darc_dv_cover, darc_dv_cover_with, DarcDvConfig};
     pub use crate::minimal::{minimal_prune, SearchEngine};
-    pub use crate::parallel::{parallel_top_down_cover, ParallelConfig};
-    pub use crate::top_down::{top_down_cover, ScanOrder, TopDownConfig};
+    pub use crate::parallel::{
+        parallel_top_down_cover, parallel_top_down_cover_with, ParallelConfig,
+    };
+    pub use crate::solver::{CoverAlgorithm, SolveContext, SolveError, SolveProgress, Solver};
+    pub use crate::top_down::{top_down_cover, top_down_cover_with, ScanOrder, TopDownConfig};
     pub use crate::two_cycle::{combined_cover, minimal_two_cycle_cover};
     pub use crate::verify::{is_valid_cover, verify_cover};
-    pub use crate::Algorithm;
+    pub use crate::{Algorithm, AlgorithmParseError};
     pub use tdb_cycle::HopConstraint;
 }
 
@@ -182,8 +245,13 @@ mod tests {
         for algo in Algorithm::all() {
             let parsed: Algorithm = algo.name().parse().unwrap();
             assert_eq!(parsed, algo);
+            // Lowercase forms parse too.
+            let parsed: Algorithm = algo.name().to_ascii_lowercase().parse().unwrap();
+            assert_eq!(parsed, algo);
         }
-        assert!("no-such-algo".parse::<Algorithm>().is_err());
+        let err = "no-such-algo".parse::<Algorithm>().unwrap_err();
+        assert_eq!(err.input(), "no-such-algo");
+        assert!(err.to_string().contains("TDB++"));
         assert_eq!(Algorithm::TdbPlusPlus.to_string(), "TDB++");
     }
 

@@ -15,6 +15,7 @@ use tdb_cycle::{BlockSearcher, HopConstraint};
 use tdb_graph::{Graph, VertexId};
 
 use crate::cover::{CycleCover, RunMetrics};
+use crate::solver::{SolveContext, SolveError};
 
 /// Which cycle-existence engine a pass should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,6 +40,22 @@ pub fn minimal_prune<G: Graph>(
     engine: SearchEngine,
     metrics: &mut RunMetrics,
 ) -> usize {
+    let mut ctx = SolveContext::new();
+    minimal_prune_with(g, cover, constraint, engine, metrics, &mut ctx)
+        .expect("unbudgeted pruning cannot fail")
+}
+
+/// Budget-aware variant of [`minimal_prune`]: checks the context's deadline
+/// once per examined cover vertex.
+pub fn minimal_prune_with<G: Graph>(
+    g: &G,
+    cover: &mut CycleCover,
+    constraint: &HopConstraint,
+    engine: SearchEngine,
+    metrics: &mut RunMetrics,
+    ctx: &mut SolveContext,
+) -> Result<usize, SolveError> {
+    ctx.ensure_armed();
     let n = g.num_vertices();
     // G − R + {v}: all non-cover vertices are active; cover vertices inactive.
     let mut active = cover.reduced_active_set(n);
@@ -50,6 +67,7 @@ pub fn minimal_prune<G: Graph>(
     let candidates: Vec<VertexId> = cover.iter().collect();
     let mut removed = 0usize;
     for v in candidates {
+        ctx.checkpoint()?;
         // Temporarily restore v into the graph.
         active.activate(v);
         metrics.cycle_queries += 1;
@@ -67,7 +85,7 @@ pub fn minimal_prune<G: Graph>(
             removed += 1;
         }
     }
-    removed
+    Ok(removed)
 }
 
 /// List the redundant vertices of a cover without modifying it.

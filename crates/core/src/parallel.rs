@@ -18,14 +18,16 @@
 //! have kept, the parallel variant returns **exactly** the same cover as
 //! sequential TDB++ with the same scan order (asserted by the tests below).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
-use parking_lot::Mutex;
 use tdb_cycle::bfs_filter::BfsFilter;
 use tdb_cycle::{BlockSearcher, HopConstraint};
 use tdb_graph::{ActiveSet, Graph, VertexId};
 
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
+use crate::solver::{CoverAlgorithm, SolveContext, SolveError};
 use crate::stats::Timer;
 use crate::top_down::{top_down_cover, ScanOrder, TopDownConfig};
 
@@ -69,14 +71,29 @@ pub fn parallel_cycle_candidates<G: Graph + Sync>(
     constraint: &HopConstraint,
     num_threads: usize,
 ) -> Vec<bool> {
+    bounded_cycle_candidates(g, constraint, num_threads, None)
+        .expect("deadline-free candidate sweep cannot expire")
+}
+
+/// The sharded candidate sweep behind [`parallel_cycle_candidates`], with an
+/// optional deadline. Worker threads poll the deadline every 64 vertices and
+/// abandon their shard once it passes, in which case `Err(())` is returned and
+/// the partial mask is discarded.
+fn bounded_cycle_candidates<G: Graph + Sync>(
+    g: &G,
+    constraint: &HopConstraint,
+    num_threads: usize,
+    deadline: Option<Instant>,
+) -> Result<Vec<bool>, ()> {
     let n = g.num_vertices();
     let threads = num_threads.max(1).min(n.max(1));
     let mut candidates = vec![false; n];
     if n == 0 {
-        return candidates;
+        return Ok(candidates);
     }
     let active = ActiveSet::all_active(n);
     let queries = AtomicU64::new(0);
+    let expired = AtomicBool::new(false);
 
     let chunk_size = n.div_ceil(threads);
     let chunks: Vec<(usize, &mut [bool])> = candidates
@@ -89,10 +106,21 @@ pub fn parallel_cycle_candidates<G: Graph + Sync>(
         for (offset, chunk) in chunks {
             let active = &active;
             let queries = &queries;
+            let expired = &expired;
             scope.spawn(move || {
                 let mut searcher = BlockSearcher::new(n);
                 let mut filter = BfsFilter::new(n);
                 for (i, slot) in chunk.iter_mut().enumerate() {
+                    if i % 64 == 0 {
+                        if let Some(deadline) = deadline {
+                            if Instant::now() > deadline {
+                                expired.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        if expired.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
                     let v = (offset + i) as VertexId;
                     // Cheap filter first, full search only when inconclusive.
                     let walk = filter.shortest_closed_walk(g, active, v, constraint.max_hops);
@@ -109,27 +137,56 @@ pub fn parallel_cycle_candidates<G: Graph + Sync>(
         }
     });
 
-    candidates
+    if expired.load(Ordering::Relaxed) {
+        Err(())
+    } else {
+        Ok(candidates)
+    }
 }
 
 /// Parallel TDB++: parallel global pre-filter followed by the sequential
 /// top-down scan restricted to the surviving candidates.
+///
+/// Legacy entry point kept for compatibility; prefer
+/// [`Solver`](crate::solver::Solver) or [`parallel_top_down_cover_with`],
+/// which honor time budgets and progress callbacks.
 pub fn parallel_top_down_cover<G: Graph + Sync>(
     g: &G,
     constraint: &HopConstraint,
     config: &ParallelConfig,
 ) -> CoverRun {
+    let mut ctx = SolveContext::new();
+    parallel_top_down_cover_with(g, constraint, config, &mut ctx)
+        .expect("unbudgeted parallel solve cannot fail")
+}
+
+/// Budget- and progress-aware parallel TDB++.
+///
+/// The deadline is honored in both phases: the sharded pre-filter polls it
+/// from every worker thread, and the sequential scan checks it per vertex.
+pub fn parallel_top_down_cover_with<G: Graph + Sync>(
+    g: &G,
+    constraint: &HopConstraint,
+    config: &ParallelConfig,
+    ctx: &mut SolveContext,
+) -> Result<CoverRun, SolveError> {
+    ctx.ensure_armed();
     let timer = Timer::start();
     let threads = config.resolved_threads();
     let n = g.num_vertices();
 
-    let candidates = parallel_cycle_candidates(g, constraint, threads);
+    let candidates = bounded_cycle_candidates(g, constraint, threads, ctx.deadline())
+        .map_err(|()| ctx.budget_error())?;
     let precleared = candidates.iter().filter(|&&c| !c).count();
 
     // Sequential scan over the candidates only. Vertices cleared by the
     // pre-filter start out released (active) exactly as if the scan had tested
     // and released them.
-    let mut metrics = RunMetrics::new("TDB++/par", constraint.max_hops, constraint.include_two_cycles);
+    let mut metrics = RunMetrics::new(
+        "TDB++/par",
+        constraint.max_hops,
+        constraint.include_two_cycles,
+    );
     metrics.working_edges = g.num_edges();
     metrics.scc_released = precleared as u64;
 
@@ -144,42 +201,22 @@ pub fn parallel_top_down_cover<G: Graph + Sync>(
     let mut filter = BfsFilter::new(n);
     let mut cover_vertices: Vec<VertexId> = Vec::new();
 
-    let order: Vec<VertexId> = match config.scan_order {
-        ScanOrder::Ascending => (0..n as VertexId).collect(),
-        other => {
-            // Delegate the permutation logic to the sequential implementation
-            // by mirroring its public behaviour: recompute the order here.
-            let cfg = TopDownConfig::tdb_plus_plus().with_scan_order(other);
-            // scan_permutation is private; reproduce via a throwaway run on an
-            // empty graph is not possible, so sort locally.
-            let mut vs: Vec<VertexId> = (0..n as VertexId).collect();
-            match cfg.scan_order {
-                ScanOrder::DegreeDescending => {
-                    vs.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)))
-                }
-                ScanOrder::DegreeAscending => {
-                    vs.sort_by_key(|&v| g.out_degree(v) + g.in_degree(v))
-                }
-                ScanOrder::Random(seed) => {
-                    tdb_graph::gen::Xoshiro256::seed_from_u64(seed).shuffle(&mut vs)
-                }
-                ScanOrder::Ascending => {}
-            }
-            vs
-        }
-    };
+    let order = crate::top_down::scan_permutation(g, config.scan_order);
 
-    for v in order {
+    let total = order.len() as u64;
+    for (scanned, v) in order.into_iter().enumerate() {
+        ctx.checkpoint()?;
+        ctx.report_progress(scanned as u64, total, cover_vertices.len() as u64);
         if !candidates[v as usize] {
             continue;
         }
         active.activate(v);
-        match filter.shortest_closed_walk(g, &active, v, constraint.max_hops) {
-            None => {
-                metrics.filter_released += 1;
-                continue;
-            }
-            Some(_) => {}
+        if filter
+            .shortest_closed_walk(g, &active, v, constraint.max_hops)
+            .is_none()
+        {
+            metrics.filter_released += 1;
+            continue;
         }
         metrics.cycle_queries += 1;
         if searcher.is_on_constrained_cycle(g, &active, v, constraint) {
@@ -189,9 +226,26 @@ pub fn parallel_top_down_cover<G: Graph + Sync>(
     }
 
     metrics.elapsed = timer.elapsed();
-    CoverRun {
+    ctx.report_progress(total, total, cover_vertices.len() as u64);
+    ctx.accumulate(&metrics);
+    Ok(CoverRun {
         cover: CycleCover::from_vertices(cover_vertices),
         metrics,
+    })
+}
+
+impl CoverAlgorithm for ParallelConfig {
+    fn name(&self) -> &'static str {
+        "TDB++/par"
+    }
+
+    fn solve(
+        &self,
+        g: &tdb_graph::CsrGraph,
+        constraint: &HopConstraint,
+        ctx: &mut SolveContext,
+    ) -> Result<CoverRun, SolveError> {
+        parallel_top_down_cover_with(g, constraint, self, ctx)
     }
 }
 
@@ -222,14 +276,14 @@ pub fn parallel_is_valid_cover<G: Graph + Sync>(
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
                 for v in lo..hi {
-                    if violation.lock().is_some() {
+                    if violation.lock().unwrap().is_some() {
                         return;
                     }
                     let v = v as VertexId;
                     if active.is_active(v)
                         && searcher.is_on_constrained_cycle(g, active, v, constraint)
                     {
-                        *violation.lock() = Some(v);
+                        *violation.lock().unwrap() = Some(v);
                         return;
                     }
                 }
@@ -237,7 +291,7 @@ pub fn parallel_is_valid_cover<G: Graph + Sync>(
         }
     });
 
-    violation.into_inner().is_none()
+    violation.into_inner().unwrap().is_none()
 }
 
 /// Convenience: sequential verification fallback used in tests to compare

@@ -1,0 +1,501 @@
+//! The unified solver surface: one entry point for every cover algorithm.
+//!
+//! The rest of the crate implements three algorithm families behind four
+//! historically separate free functions with four unrelated config structs.
+//! This module unifies them:
+//!
+//! * [`CoverAlgorithm`] — the trait every algorithm configuration implements.
+//!   An algorithm is a *value* ([`TopDownConfig`], [`BottomUpConfig`],
+//!   [`DarcDvConfig`], [`ParallelConfig`]) that you configure once and run
+//!   against any graph.
+//! * [`Solver`] — a builder constructed from the [`Algorithm`] enum that picks
+//!   the right configuration and shared run options (scan order, threads, time
+//!   budget, seed) without the caller matching on families.
+//! * [`SolveContext`] — shared run state threaded through every algorithm:
+//!   RNG seed, deadline/budget checks, accumulated [`RunMetrics`] across
+//!   solves, and an optional progress callback.
+//! * [`SolveError`] — typed failure; today the only variant is
+//!   [`SolveError::BudgetExceeded`], returned when a configured time budget
+//!   runs out mid-solve instead of running unbounded.
+//!
+//! ```
+//! use std::time::Duration;
+//! use tdb_core::prelude::*;
+//! use tdb_graph::gen::directed_cycle;
+//!
+//! let g = directed_cycle(4);
+//! let constraint = HopConstraint::new(5);
+//! let run = Solver::new(Algorithm::TdbPlusPlus)
+//!     .with_time_budget(Duration::from_secs(30))
+//!     .solve(&g, &constraint)
+//!     .expect("well within budget");
+//! assert_eq!(run.cover_size(), 1);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use tdb_cycle::HopConstraint;
+use tdb_graph::CsrGraph;
+
+use crate::bottom_up::BottomUpConfig;
+use crate::cover::{CoverRun, RunMetrics};
+use crate::darc::DarcDvConfig;
+use crate::parallel::ParallelConfig;
+use crate::top_down::{ScanOrder, TopDownConfig};
+use crate::Algorithm;
+
+/// Why a solve did not produce a cover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The configured time budget ran out before the algorithm finished.
+    BudgetExceeded {
+        /// The budget that was configured.
+        budget: Duration,
+        /// Wall-clock time elapsed when the overrun was detected.
+        elapsed: Duration,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::BudgetExceeded { budget, elapsed } => write!(
+                f,
+                "time budget exceeded: {:.3}s elapsed of a {:.3}s budget",
+                elapsed.as_secs_f64(),
+                budget.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A progress snapshot reported through [`SolveContext::report_progress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveProgress {
+    /// Vertices (or work items) processed so far in the current phase.
+    pub processed: u64,
+    /// Total vertices (or work items) of the current phase.
+    pub total: u64,
+    /// Cover vertices selected so far.
+    pub cover_size: u64,
+}
+
+type ProgressFn<'a> = Box<dyn FnMut(SolveProgress) + 'a>;
+
+/// Shared run state threaded through every cover algorithm.
+///
+/// A context carries the pieces of a solve that are not algorithm-specific:
+/// the RNG seed, the optional wall-clock budget (armed into a deadline when a
+/// solve starts), metrics accumulated across consecutive solves, and an
+/// optional progress callback. Algorithms call [`SolveContext::checkpoint`] at
+/// the top of their main loops, which is how a budget interrupts a run.
+pub struct SolveContext<'a> {
+    /// Seed for any randomized choices an algorithm makes (e.g. the
+    /// [`ScanOrder::Random`] permutation when the caller did not pin one).
+    pub seed: u64,
+    budget: Option<Duration>,
+    deadline: Option<Instant>,
+    armed_at: Option<Instant>,
+    totals: RunMetrics,
+    solves: u64,
+    progress: Option<ProgressFn<'a>>,
+}
+
+impl std::fmt::Debug for SolveContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveContext")
+            .field("seed", &self.seed)
+            .field("budget", &self.budget)
+            .field("solves", &self.solves)
+            .field("has_progress_callback", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl Default for SolveContext<'_> {
+    fn default() -> Self {
+        SolveContext::new()
+    }
+}
+
+impl<'a> SolveContext<'a> {
+    /// A fresh context: no budget, seed 0, no progress callback.
+    pub fn new() -> Self {
+        SolveContext {
+            seed: 0,
+            budget: None,
+            deadline: None,
+            armed_at: None,
+            totals: RunMetrics::default(),
+            solves: 0,
+            progress: None,
+        }
+    }
+
+    /// Set the wall-clock budget for subsequent solves.
+    pub fn set_time_budget(&mut self, budget: Duration) {
+        self.budget = Some(budget);
+    }
+
+    /// Remove any configured budget.
+    pub fn clear_time_budget(&mut self) {
+        self.budget = None;
+        self.deadline = None;
+    }
+
+    /// Install a progress callback invoked by the algorithms as they scan.
+    pub fn set_progress_callback(&mut self, callback: impl FnMut(SolveProgress) + 'a) {
+        self.progress = Some(Box::new(callback));
+    }
+
+    /// Arm the deadline from the configured budget, marking "now" as the start
+    /// of the solve. [`Solver::solve_with`] calls this at the start of every
+    /// solve; algorithm entry points call [`SolveContext::ensure_armed`]
+    /// instead so that a hand-built context works without an explicit `arm`.
+    pub fn arm(&mut self) {
+        let now = Instant::now();
+        self.armed_at = Some(now);
+        self.deadline = self.budget.map(|b| now + b);
+    }
+
+    /// Arm the deadline unless one is already armed.
+    ///
+    /// Called by every algorithm entry point, so a context with a budget set
+    /// enforces it even when the caller never went through [`Solver`]. Nested
+    /// passes (e.g. minimal pruning inside a bottom-up solve) see the deadline
+    /// already armed and leave it untouched. Note the armed deadline persists
+    /// across consecutive direct solves with the same context (the budget then
+    /// bounds their *combined* wall-clock time); call [`SolveContext::arm`] to
+    /// restart the window per solve, as [`Solver::solve_with`] does.
+    pub fn ensure_armed(&mut self) {
+        if self.budget.is_some() && self.deadline.is_none() {
+            self.arm();
+        }
+    }
+
+    /// The armed deadline of the current solve, if a budget is configured.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Build the error describing the current overrun.
+    pub fn budget_error(&self) -> SolveError {
+        SolveError::BudgetExceeded {
+            budget: self.budget.unwrap_or_default(),
+            elapsed: self.armed_at.map(|t| t.elapsed()).unwrap_or_default(),
+        }
+    }
+
+    /// Budget check, called by algorithms at the top of their main loops.
+    ///
+    /// Free when no budget is configured; with one, it costs a monotonic clock
+    /// read. Returns [`SolveError::BudgetExceeded`] once the deadline passes.
+    #[inline]
+    pub fn checkpoint(&self) -> Result<(), SolveError> {
+        match self.deadline {
+            Some(deadline) if Instant::now() > deadline => Err(self.budget_error()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Report progress to the installed callback (no-op without one).
+    #[inline]
+    pub fn report_progress(&mut self, processed: u64, total: u64, cover_size: u64) {
+        if let Some(callback) = self.progress.as_mut() {
+            callback(SolveProgress {
+                processed,
+                total,
+                cover_size,
+            });
+        }
+    }
+
+    /// Fold one finished run's metrics into the context's running totals.
+    pub fn accumulate(&mut self, metrics: &RunMetrics) {
+        self.solves += 1;
+        self.totals.absorb(metrics);
+    }
+
+    /// Metrics accumulated over every solve performed with this context.
+    pub fn totals(&self) -> &RunMetrics {
+        &self.totals
+    }
+
+    /// Number of completed solves accumulated into [`SolveContext::totals`].
+    pub fn completed_solves(&self) -> u64 {
+        self.solves
+    }
+}
+
+/// A hop-constrained cycle cover algorithm as a configured value.
+///
+/// Implemented by every per-family configuration struct in the crate
+/// ([`TopDownConfig`], [`BottomUpConfig`], [`DarcDvConfig`],
+/// [`ParallelConfig`]), which is what lets harnesses hold a heterogeneous
+/// `Box<dyn CoverAlgorithm>` and sweep algorithms uniformly.
+pub trait CoverAlgorithm {
+    /// Display name used in tables and metrics (`"TDB++"`, `"BUR+"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Compute a cover of `g` under `constraint`, honoring the budget and
+    /// progress callback carried by `ctx`.
+    fn solve(
+        &self,
+        g: &CsrGraph,
+        constraint: &HopConstraint,
+        ctx: &mut SolveContext,
+    ) -> Result<CoverRun, SolveError>;
+}
+
+/// The unified entry point: configure once, solve any graph.
+///
+/// `Solver` maps an [`Algorithm`] to its family configuration and applies the
+/// shared options (scan order, threads, time budget, seed) in one place, so
+/// that harnesses, examples and tests no longer hand-roll per-family dispatch.
+///
+/// ```
+/// use tdb_core::prelude::*;
+/// use tdb_graph::gen::erdos_renyi_gnm;
+///
+/// let g = erdos_renyi_gnm(40, 160, 7);
+/// let constraint = HopConstraint::new(4);
+/// for algorithm in Algorithm::all() {
+///     let run = Solver::new(algorithm).solve(&g, &constraint).unwrap();
+///     assert!(is_valid_cover(&g, &run.cover, &constraint), "{algorithm}");
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Solver {
+    algorithm: Algorithm,
+    scan_order: Option<ScanOrder>,
+    threads: usize,
+    time_budget: Option<Duration>,
+    seed: u64,
+}
+
+impl Solver {
+    /// A solver for `algorithm` with that algorithm's default configuration.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Solver {
+            algorithm,
+            scan_order: None,
+            threads: 0,
+            time_budget: None,
+            seed: 0,
+        }
+    }
+
+    /// The algorithm this solver runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Override the vertex scan order (top-down and parallel families; the
+    /// bottom-up and DARC families scan ascending by construction and ignore
+    /// this).
+    pub fn with_scan_order(mut self, order: ScanOrder) -> Self {
+        self.scan_order = Some(order);
+        self
+    }
+
+    /// Worker threads for the parallel family (`0` = number of CPUs). Ignored
+    /// by the sequential algorithms.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Wall-clock budget: [`Solver::solve`] returns
+    /// [`SolveError::BudgetExceeded`] instead of running past it.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Seed for randomized choices (currently the [`ScanOrder::Random`]
+    /// permutation when no explicit seed was pinned in the order itself).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The scan order the configured algorithm will use.
+    fn resolved_scan_order(&self) -> ScanOrder {
+        match self.scan_order {
+            Some(ScanOrder::Random(0)) => ScanOrder::Random(self.seed),
+            Some(order) => order,
+            None => ScanOrder::Ascending,
+        }
+    }
+
+    /// Materialize the configured algorithm as a boxed [`CoverAlgorithm`].
+    ///
+    /// This is the single mapping from the [`Algorithm`] enum to the
+    /// per-family configuration structs; everything downstream dispatches
+    /// through the trait.
+    pub fn build_algorithm(&self) -> Box<dyn CoverAlgorithm> {
+        let order = self.resolved_scan_order();
+        match self.algorithm {
+            Algorithm::Bur => Box::new(BottomUpConfig::bur()),
+            Algorithm::BurPlus => Box::new(BottomUpConfig::bur_plus()),
+            Algorithm::DarcDv => Box::new(DarcDvConfig::new()),
+            Algorithm::Tdb => Box::new(TopDownConfig::tdb().with_scan_order(order)),
+            Algorithm::TdbPlus => Box::new(TopDownConfig::tdb_plus().with_scan_order(order)),
+            Algorithm::TdbPlusPlus => {
+                Box::new(TopDownConfig::tdb_plus_plus().with_scan_order(order))
+            }
+            Algorithm::TdbExtended => Box::new(TopDownConfig::extended().with_scan_order(order)),
+            Algorithm::TdbParallel => Box::new(ParallelConfig {
+                num_threads: self.threads,
+                scan_order: order,
+            }),
+        }
+    }
+
+    /// A fresh [`SolveContext`] carrying this solver's seed and budget.
+    pub fn context(&self) -> SolveContext<'static> {
+        let mut ctx = SolveContext::new();
+        ctx.seed = self.seed;
+        if let Some(budget) = self.time_budget {
+            ctx.set_time_budget(budget);
+        }
+        ctx
+    }
+
+    /// Compute a cover of `g` under `constraint`.
+    pub fn solve(&self, g: &CsrGraph, constraint: &HopConstraint) -> Result<CoverRun, SolveError> {
+        let mut ctx = self.context();
+        self.solve_with(g, constraint, &mut ctx)
+    }
+
+    /// Compute a cover using a caller-provided context (for accumulating
+    /// metrics across solves or installing a progress callback).
+    pub fn solve_with(
+        &self,
+        g: &CsrGraph,
+        constraint: &HopConstraint,
+        ctx: &mut SolveContext,
+    ) -> Result<CoverRun, SolveError> {
+        ctx.arm();
+        self.build_algorithm().solve(g, constraint, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_cover;
+    use tdb_graph::gen::{complete_digraph, erdos_renyi_gnm};
+
+    #[test]
+    fn solver_runs_every_algorithm() {
+        let g = erdos_renyi_gnm(30, 120, 5);
+        let constraint = HopConstraint::new(4);
+        for algorithm in Algorithm::all() {
+            let run = Solver::new(algorithm).solve(&g, &constraint).unwrap();
+            let v = verify_cover(&g, &run.cover, &constraint);
+            assert!(v.is_valid, "{algorithm} invalid");
+            assert_eq!(run.metrics.algorithm, algorithm.name());
+        }
+    }
+
+    #[test]
+    fn zero_budget_is_reported_not_ignored() {
+        let g = complete_digraph(12);
+        let constraint = HopConstraint::new(4);
+        let err = Solver::new(Algorithm::TdbPlusPlus)
+            .with_time_budget(Duration::ZERO)
+            .solve(&g, &constraint)
+            .unwrap_err();
+        assert!(matches!(err, SolveError::BudgetExceeded { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("budget"), "{msg}");
+    }
+
+    #[test]
+    fn context_budget_is_enforced_without_a_solver() {
+        // A budget set directly on a hand-built context must bite even when
+        // the caller goes through an algorithm entry point, not the Solver.
+        let g = complete_digraph(12);
+        let constraint = HopConstraint::new(4);
+        let mut ctx = SolveContext::new();
+        ctx.set_time_budget(Duration::ZERO);
+        let err = crate::top_down::top_down_cover_with(
+            &g,
+            &constraint,
+            &TopDownConfig::tdb_plus_plus(),
+            &mut ctx,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolveError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn generous_budget_solves_normally() {
+        let g = erdos_renyi_gnm(25, 100, 2);
+        let constraint = HopConstraint::new(4);
+        let run = Solver::new(Algorithm::TdbPlusPlus)
+            .with_time_budget(Duration::from_secs(60))
+            .solve(&g, &constraint)
+            .unwrap();
+        assert!(verify_cover(&g, &run.cover, &constraint).is_valid);
+    }
+
+    #[test]
+    fn context_accumulates_metrics_across_solves() {
+        let g = erdos_renyi_gnm(25, 100, 3);
+        let constraint = HopConstraint::new(4);
+        let solver = Solver::new(Algorithm::TdbPlusPlus);
+        let mut ctx = solver.context();
+        let a = solver.solve_with(&g, &constraint, &mut ctx).unwrap();
+        let b = solver.solve_with(&g, &constraint, &mut ctx).unwrap();
+        assert_eq!(ctx.completed_solves(), 2);
+        assert_eq!(
+            ctx.totals().cycle_queries,
+            a.metrics.cycle_queries + b.metrics.cycle_queries
+        );
+    }
+
+    #[test]
+    fn progress_callback_fires() {
+        let g = erdos_renyi_gnm(40, 160, 4);
+        let constraint = HopConstraint::new(4);
+        let solver = Solver::new(Algorithm::TdbPlusPlus);
+        let mut calls = 0u64;
+        let mut last_total = 0u64;
+        {
+            let mut ctx = solver.context();
+            ctx.set_progress_callback(|p| {
+                calls += 1;
+                last_total = p.total;
+            });
+            solver.solve_with(&g, &constraint, &mut ctx).unwrap();
+        }
+        assert!(calls > 0, "progress callback never invoked");
+        assert_eq!(last_total, g_num_vertices(&g));
+    }
+
+    fn g_num_vertices(g: &CsrGraph) -> u64 {
+        use tdb_graph::Graph;
+        g.num_vertices() as u64
+    }
+
+    #[test]
+    fn random_scan_order_uses_solver_seed() {
+        let g = complete_digraph(9);
+        let constraint = HopConstraint::new(4);
+        let a = Solver::new(Algorithm::TdbPlusPlus)
+            .with_scan_order(ScanOrder::Random(0))
+            .with_seed(123)
+            .solve(&g, &constraint)
+            .unwrap();
+        let b = Solver::new(Algorithm::TdbPlusPlus)
+            .with_scan_order(ScanOrder::Random(123))
+            .solve(&g, &constraint)
+            .unwrap();
+        assert_eq!(a.cover, b.cover);
+    }
+}

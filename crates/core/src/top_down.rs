@@ -36,6 +36,7 @@ use tdb_graph::{ActiveSet, Graph, VertexId};
 
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
 use crate::minimal::SearchEngine;
+use crate::solver::{CoverAlgorithm, SolveContext, SolveError};
 use crate::stats::Timer;
 
 /// Order in which the top-down scan processes vertices.
@@ -128,7 +129,11 @@ impl TopDownConfig {
 
     /// Display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
-        match (self.engine, self.bfs_filter, self.exact_filter || self.scc_prefilter) {
+        match (
+            self.engine,
+            self.bfs_filter,
+            self.exact_filter || self.scc_prefilter,
+        ) {
             (SearchEngine::Naive, false, false) => "TDB",
             (SearchEngine::Block, false, false) => "TDB+",
             (SearchEngine::Block, true, false) => "TDB++",
@@ -139,7 +144,8 @@ impl TopDownConfig {
 }
 
 /// Compute the scan order as an explicit permutation of the vertex ids.
-fn scan_permutation<G: Graph>(g: &G, order: ScanOrder) -> Vec<VertexId> {
+/// Shared with the parallel variant so both scans order vertices identically.
+pub(crate) fn scan_permutation<G: Graph>(g: &G, order: ScanOrder) -> Vec<VertexId> {
     let n = g.num_vertices();
     let mut vertices: Vec<VertexId> = (0..n as VertexId).collect();
     match order {
@@ -159,11 +165,31 @@ fn scan_permutation<G: Graph>(g: &G, order: ScanOrder) -> Vec<VertexId> {
 }
 
 /// Compute a hop-constrained cycle cover with the top-down algorithm.
+///
+/// Legacy entry point kept for compatibility; prefer
+/// [`Solver`](crate::solver::Solver) or [`top_down_cover_with`], which honor
+/// time budgets and progress callbacks.
 pub fn top_down_cover<G: Graph>(
     g: &G,
     constraint: &HopConstraint,
     config: &TopDownConfig,
 ) -> CoverRun {
+    let mut ctx = SolveContext::new();
+    top_down_cover_with(g, constraint, config, &mut ctx)
+        .expect("unbudgeted top-down solve cannot fail")
+}
+
+/// Budget- and progress-aware top-down cover computation.
+///
+/// Checks `ctx`'s deadline once per scanned vertex and reports progress as the
+/// scan advances; the completed run's metrics are folded into `ctx`'s totals.
+pub fn top_down_cover_with<G: Graph>(
+    g: &G,
+    constraint: &HopConstraint,
+    config: &TopDownConfig,
+    ctx: &mut SolveContext,
+) -> Result<CoverRun, SolveError> {
+    ctx.ensure_armed();
     let timer = Timer::start();
     let n = g.num_vertices();
     let mut metrics = RunMetrics::new(
@@ -203,7 +229,11 @@ pub fn top_down_cover<G: Graph>(
         None
     };
 
-    for v in scan_permutation(g, config.scan_order) {
+    let order = scan_permutation(g, config.scan_order);
+    let total = order.len() as u64;
+    for (scanned, v) in order.into_iter().enumerate() {
+        ctx.checkpoint()?;
+        ctx.report_progress(scanned as u64, total, cover_vertices.len() as u64);
         if prereleased[v as usize] {
             continue;
         }
@@ -245,9 +275,26 @@ pub fn top_down_cover<G: Graph>(
     }
 
     metrics.elapsed = timer.elapsed();
-    CoverRun {
+    ctx.report_progress(total, total, cover_vertices.len() as u64);
+    ctx.accumulate(&metrics);
+    Ok(CoverRun {
         cover: CycleCover::from_vertices(cover_vertices),
         metrics,
+    })
+}
+
+impl CoverAlgorithm for TopDownConfig {
+    fn name(&self) -> &'static str {
+        TopDownConfig::name(self)
+    }
+
+    fn solve(
+        &self,
+        g: &tdb_graph::CsrGraph,
+        constraint: &HopConstraint,
+        ctx: &mut SolveContext,
+    ) -> Result<CoverRun, SolveError> {
+        top_down_cover_with(g, constraint, self, ctx)
     }
 }
 
@@ -331,7 +378,8 @@ mod tests {
             ] {
                 let run = top_down_cover(&g, &constraint, &config);
                 assert_eq!(
-                    run.cover, reference.cover,
+                    run.cover,
+                    reference.cover,
                     "{} differs from TDB on seed {seed}",
                     config.name()
                 );

@@ -120,7 +120,9 @@ mod tests {
     use super::*;
     use crate::verify::is_valid_cover;
     use tdb_graph::builder::graph_from_edges;
-    use tdb_graph::gen::{complete_digraph, directed_cycle, preferential_attachment, PreferentialConfig};
+    use tdb_graph::gen::{
+        complete_digraph, directed_cycle, preferential_attachment, PreferentialConfig,
+    };
 
     #[test]
     fn pairs_are_detected_once() {
@@ -159,7 +161,16 @@ mod tests {
     #[test]
     fn star_of_two_cycles_is_covered_by_the_hub() {
         // Vertex 0 reciprocates with 1..=4: the minimum cover is {0}.
-        let g = graph_from_edges(&[(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0), (0, 4), (4, 0)]);
+        let g = graph_from_edges(&[
+            (0, 1),
+            (1, 0),
+            (0, 2),
+            (2, 0),
+            (0, 3),
+            (3, 0),
+            (0, 4),
+            (4, 0),
+        ]);
         let minimal = minimal_two_cycle_cover(&g);
         assert!(covers_all_two_cycles(&g, &minimal));
         // The 2-approximation guarantee: at most 2x optimum (= 2 here).

@@ -243,7 +243,11 @@ mod tests {
         let g = graph_from_edges(&[(0, 1), (1, 0)]);
         let empty = CycleCover::empty();
         assert!(is_valid_cover(&g, &empty, &HopConstraint::new(4)));
-        assert!(!is_valid_cover(&g, &empty, &HopConstraint::with_two_cycles(4)));
+        assert!(!is_valid_cover(
+            &g,
+            &empty,
+            &HopConstraint::with_two_cycles(4)
+        ));
         let one = CycleCover::from_vertices(vec![0]);
         assert!(is_valid_cover(&g, &one, &HopConstraint::with_two_cycles(4)));
     }

@@ -69,8 +69,13 @@ impl BfsFilter {
             return None;
         }
         // Distances *to* v within max_hops - 1 hops.
-        self.bfs
-            .run(g, active, v, max_hops.saturating_sub(1), Direction::Backward);
+        self.bfs.run(
+            g,
+            active,
+            v,
+            max_hops.saturating_sub(1),
+            Direction::Backward,
+        );
         let mut best: Option<usize> = None;
         for &w in g.out_neighbors(v) {
             if w == v || !active.is_active(w) {

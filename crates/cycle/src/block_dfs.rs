@@ -164,8 +164,8 @@ impl BlockSearcher {
     ) -> bool {
         let k = constraint.max_hops;
         let hops_to_u = stack.len(); // path length once u is pushed
-        // Failed-subtree lower bound: if the search below u does not reach s,
-        // then sd(u, s | S) > k - hops_to_u (Lemma 1 / Theorem 5).
+                                     // Failed-subtree lower bound: if the search below u does not reach s,
+                                     // then sd(u, s | S) > k - hops_to_u (Lemma 1 / Theorem 5).
         self.set_block(u, (k + 1 - hops_to_u) as u32);
         stack.push(u);
         self.on_stack[u as usize] = true;
@@ -428,7 +428,7 @@ mod tests {
         let k = HopConstraint::new(4);
         assert!(!searcher.is_on_constrained_cycle(&g, &active, 2, &k)); // sink
         assert!(!searcher.is_on_constrained_cycle(&g, &active, 0, &k)); // source
-        // The short-circuit must not skew correctness counters for later calls.
+                                                                        // The short-circuit must not skew correctness counters for later calls.
         assert_eq!(searcher.stats().queries, 2);
     }
 

@@ -276,7 +276,12 @@ mod tests {
         let cycles = enumerate_cycles(&g, &active, &constraint, 10_000);
         let mut seen = std::collections::HashSet::new();
         for c in &cycles {
-            assert!(crate::find_cycle::is_valid_cycle(&g, &active, c, &constraint));
+            assert!(crate::find_cycle::is_valid_cycle(
+                &g,
+                &active,
+                c,
+                &constraint
+            ));
             // First vertex is the minimum -> canonical rotation -> no duplicates.
             assert_eq!(*c.iter().min().unwrap(), c[0]);
             assert!(seen.insert(c.clone()), "duplicate cycle {c:?}");
@@ -300,9 +305,10 @@ mod tests {
         assert!(!cycle.contains(&banned));
         // Forbid both closing edges: nothing remains.
         let banned2 = Edge::new(3, 0);
-        assert!(find_cycle_through_edge(&g, &active, through, &c, |e| e != banned
-            && e != banned2)
-        .is_none());
+        assert!(
+            find_cycle_through_edge(&g, &active, through, &c, |e| e != banned && e != banned2)
+                .is_none()
+        );
     }
 
     #[test]
@@ -314,9 +320,8 @@ mod tests {
             find_cycle_through_edge(&g, &active, through, &HopConstraint::new(4), |_| true)
                 .is_none()
         );
-        let found =
-            find_cycle_through_edge(&g, &active, through, &HopConstraint::new(5), |_| true)
-                .unwrap();
+        let found = find_cycle_through_edge(&g, &active, through, &HopConstraint::new(5), |_| true)
+            .unwrap();
         assert_eq!(found.len(), 5);
     }
 
@@ -345,13 +350,10 @@ mod tests {
         let g = directed_cycle(3);
         let active = all_active(&g);
         let through = Edge::new(0, 1);
-        assert!(find_cycle_through_edge(
-            &g,
-            &active,
-            through,
-            &HopConstraint::new(3),
-            |e| e != through
-        )
-        .is_none());
+        assert!(
+            find_cycle_through_edge(&g, &active, through, &HopConstraint::new(3), |e| e
+                != through)
+            .is_none()
+        );
     }
 }

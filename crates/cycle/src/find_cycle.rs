@@ -217,7 +217,12 @@ mod tests {
         // Too short under the default constraint.
         assert!(!is_valid_cycle(&g, &active, &[0, 1], &k));
         // Too long for k = 3.
-        assert!(!is_valid_cycle(&g, &active, &[0, 1, 2, 3], &HopConstraint::new(3)));
+        assert!(!is_valid_cycle(
+            &g,
+            &active,
+            &[0, 1, 2, 3],
+            &HopConstraint::new(3)
+        ));
     }
 
     #[test]

@@ -179,7 +179,7 @@ mod tests {
         bfs.run(&g, &active, 0, 10, Direction::Forward);
         assert_eq!(bfs.distance(1), Some(1));
         assert_eq!(bfs.distance(3), None); // cut off behind the hole
-        // Inactive source reaches nothing.
+                                           // Inactive source reaches nothing.
         assert_eq!(bfs.run(&g, &active, 2, 10, Direction::Forward), 0);
         assert_eq!(bfs.distance(2), None);
     }

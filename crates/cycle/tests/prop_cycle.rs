@@ -1,7 +1,9 @@
-//! Property-based tests for the cycle-search primitives: the fast engines must
+//! Property-style tests for the cycle-search primitives: the fast engines must
 //! agree with exhaustive ground truth on arbitrary graphs and activation masks.
-
-use proptest::prelude::*;
+//!
+//! Deterministic random cases driven by the vendored xoshiro256** RNG replace
+//! proptest (the workspace builds offline); each case is reproducible from its
+//! printed seed.
 
 use tdb_cycle::bfs_filter::{BfsFilter, FilterDecision};
 use tdb_cycle::enumerate::enumerate_cycles;
@@ -9,65 +11,81 @@ use tdb_cycle::find_cycle::{find_cycle_through, is_valid_cycle};
 use tdb_cycle::reach::{BoundedBfs, Direction};
 use tdb_cycle::{BlockSearcher, HopConstraint};
 use tdb_graph::builder::graph_from_edges;
+use tdb_graph::gen::{random_edge_list, Xoshiro256};
 use tdb_graph::{ActiveSet, CsrGraph, Graph};
 
-fn arb_graph_and_mask(n: u32, m: usize) -> impl Strategy<Value = (CsrGraph, Vec<bool>)> {
-    (
-        prop::collection::vec((0..n, 0..n), 0..m),
-        prop::collection::vec(any::<bool>(), n as usize),
-    )
-        .prop_map(|(edges, mut mask)| {
-            let g = graph_from_edges(&edges);
-            mask.resize(g.num_vertices(), true);
-            (g, mask)
-        })
+fn random_graph_and_mask(rng: &mut Xoshiro256, n: u32, max_edges: usize) -> (CsrGraph, Vec<bool>) {
+    let g = graph_from_edges(&random_edge_list(rng, n, max_edges));
+    let mask: Vec<bool> = (0..g.num_vertices()).map(|_| rng.next_bool(0.5)).collect();
+    (g, mask)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Block DFS == naive DFS on arbitrary graphs, activation masks, hop
-    /// bounds, and 2-cycle modes; witnesses must be genuine cycles.
-    #[test]
-    fn block_dfs_equals_naive_dfs((g, mask) in arb_graph_and_mask(20, 80), k in 2usize..7, include2 in any::<bool>()) {
+/// Block DFS == naive DFS on arbitrary graphs, activation masks, hop
+/// bounds, and 2-cycle modes; witnesses must be genuine cycles.
+#[test]
+fn block_dfs_equals_naive_dfs() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(case);
+        let (g, mask) = random_graph_and_mask(&mut rng, 20, 80);
+        let k = 2 + rng.next_index(5);
+        let include2 = rng.next_bool(0.5);
         let active = ActiveSet::from_mask(mask);
-        let constraint = if include2 { HopConstraint::with_two_cycles(k) } else { HopConstraint::new(k) };
+        let constraint = if include2 {
+            HopConstraint::with_two_cycles(k)
+        } else {
+            HopConstraint::new(k)
+        };
         let mut searcher = BlockSearcher::new(g.num_vertices());
         for v in g.vertices() {
             let naive = find_cycle_through(&g, &active, v, &constraint);
             let fast = searcher.find_cycle_through(&g, &active, v, &constraint);
-            prop_assert_eq!(naive.is_some(), fast.is_some(), "vertex {}", v);
+            assert_eq!(naive.is_some(), fast.is_some(), "case {case}: vertex {v}");
             if let Some(cycle) = fast {
-                prop_assert_eq!(cycle[0], v);
-                prop_assert!(is_valid_cycle(&g, &active, &cycle, &constraint), "bad witness {:?}", cycle);
+                assert_eq!(cycle[0], v, "case {case}");
+                assert!(
+                    is_valid_cycle(&g, &active, &cycle, &constraint),
+                    "case {case}: bad witness {cycle:?}"
+                );
             }
         }
     }
+}
 
-    /// The BFS filter never prunes a vertex that has a constrained cycle, and
-    /// its exact mode never proves a vertex that has none.
-    #[test]
-    fn bfs_filter_is_sound((g, mask) in arb_graph_and_mask(20, 80), k in 2usize..7) {
+/// The BFS filter never prunes a vertex that has a constrained cycle, and
+/// its exact mode never proves a vertex that has none.
+#[test]
+fn bfs_filter_is_sound() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(1000 + case);
+        let (g, mask) = random_graph_and_mask(&mut rng, 20, 80);
+        let k = 2 + rng.next_index(5);
         let active = ActiveSet::from_mask(mask);
         let constraint = HopConstraint::new(k);
         let mut filter = BfsFilter::new(g.num_vertices());
         for v in g.vertices() {
             let truth = find_cycle_through(&g, &active, v, &constraint).is_some();
             match filter.decide_exact(&g, &active, v, &constraint) {
-                FilterDecision::Prune => prop_assert!(!truth, "vertex {} pruned despite a cycle", v),
+                FilterDecision::Prune => {
+                    assert!(!truth, "case {case}: vertex {v} pruned despite a cycle")
+                }
                 FilterDecision::ProvenNecessary(len) => {
-                    prop_assert!(truth, "vertex {} proven despite no cycle", v);
-                    prop_assert!(constraint.covers_len(len));
+                    assert!(truth, "case {case}: vertex {v} proven despite no cycle");
+                    assert!(constraint.covers_len(len), "case {case}");
                 }
                 FilterDecision::NeedsVerification => {}
             }
         }
     }
+}
 
-    /// The shortest closed walk reported by the filter is never longer than the
-    /// shortest enumerated cycle through the vertex.
-    #[test]
-    fn shortest_walk_lower_bounds_cycles((g, mask) in arb_graph_and_mask(16, 60), k in 3usize..6) {
+/// The shortest closed walk reported by the filter is never longer than the
+/// shortest enumerated cycle through the vertex.
+#[test]
+fn shortest_walk_lower_bounds_cycles() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(2000 + case);
+        let (g, mask) = random_graph_and_mask(&mut rng, 16, 60);
+        let k = 3 + rng.next_index(3);
         let active = ActiveSet::from_mask(mask);
         let constraint = HopConstraint::with_two_cycles(k);
         let mut filter = BfsFilter::new(g.num_vertices());
@@ -80,41 +98,60 @@ proptest! {
                 .min();
             if let Some(len) = shortest_cycle {
                 let walk = filter.shortest_closed_walk(&g, &active, v, k);
-                prop_assert!(walk.is_some(), "no walk though a cycle of length {} exists", len);
-                prop_assert!(walk.unwrap() <= len);
+                assert!(
+                    walk.is_some(),
+                    "case {case}: no walk though a cycle of length {len} exists"
+                );
+                assert!(walk.unwrap() <= len, "case {case}");
             }
         }
     }
+}
 
-    /// Enumerated cycles are exactly the distinct constrained simple cycles:
-    /// none is missed (every cycle the per-vertex DFS can find is listed) and
-    /// none is duplicated.
-    #[test]
-    fn enumeration_is_complete_and_duplicate_free((g, mask) in arb_graph_and_mask(14, 50), k in 3usize..6) {
+/// Enumerated cycles are exactly the distinct constrained simple cycles:
+/// none is missed (every cycle the per-vertex DFS can find is listed) and
+/// none is duplicated.
+#[test]
+fn enumeration_is_complete_and_duplicate_free() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(3000 + case);
+        let (g, mask) = random_graph_and_mask(&mut rng, 14, 50);
+        let k = 3 + rng.next_index(3);
         let active = ActiveSet::from_mask(mask);
         let constraint = HopConstraint::new(k);
         let cycles = enumerate_cycles(&g, &active, &constraint, 1_000_000);
         let set: std::collections::HashSet<_> = cycles.iter().cloned().collect();
-        prop_assert_eq!(set.len(), cycles.len(), "duplicate cycles reported");
+        assert_eq!(
+            set.len(),
+            cycles.len(),
+            "case {case}: duplicate cycles reported"
+        );
         for c in &cycles {
-            prop_assert!(is_valid_cycle(&g, &active, c, &constraint));
+            assert!(is_valid_cycle(&g, &active, c, &constraint), "case {case}");
         }
         // Existence agreement per vertex.
         for v in g.vertices() {
             let listed = cycles.iter().any(|c| c.contains(&v));
             let exists = find_cycle_through(&g, &active, v, &constraint).is_some();
-            prop_assert_eq!(listed, exists, "vertex {}", v);
+            assert_eq!(listed, exists, "case {case}: vertex {v}");
         }
     }
+}
 
-    /// Hop-bounded BFS distances match a brute-force Bellman-Ford-style
-    /// relaxation over active vertices.
-    #[test]
-    fn bounded_bfs_distances_are_exact((g, mask) in arb_graph_and_mask(18, 70), source in 0u32..18, max_hops in 0usize..6) {
+/// Hop-bounded BFS distances match a brute-force Bellman-Ford-style
+/// relaxation over active vertices.
+#[test]
+fn bounded_bfs_distances_are_exact() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(4000 + case);
+        let (g, mask) = random_graph_and_mask(&mut rng, 18, 70);
         let active = ActiveSet::from_mask(mask);
         let n = g.num_vertices();
-        prop_assume!(n > 0);
-        let source = source % n as u32;
+        if n == 0 {
+            continue;
+        }
+        let source = rng.next_bounded(n as u64) as u32;
+        let max_hops = rng.next_index(6);
         let mut bfs = BoundedBfs::new(n);
         bfs.run(&g, &active, source, max_hops, Direction::Forward);
 
@@ -138,8 +175,12 @@ proptest! {
             }
         }
         for v in g.vertices() {
-            let expected = if dist[v as usize] == inf { None } else { Some(dist[v as usize] as u32) };
-            prop_assert_eq!(bfs.distance(v), expected, "vertex {}", v);
+            let expected = if dist[v as usize] == inf {
+                None
+            } else {
+                Some(dist[v as usize] as u32)
+            };
+            assert_eq!(bfs.distance(v), expected, "case {case}: vertex {v}");
         }
     }
 }

@@ -84,13 +84,11 @@ impl SynthesisConfig {
     }
 
     fn target_vertices(&self, spec: &DatasetSpec) -> usize {
-        ((spec.vertices as f64 * self.scale).round() as usize)
-            .clamp(16, self.max_vertices)
+        ((spec.vertices as f64 * self.scale).round() as usize).clamp(16, self.max_vertices)
     }
 
     fn target_edges(&self, spec: &DatasetSpec) -> usize {
-        ((spec.edges as f64 * self.scale).round() as usize)
-            .clamp(32, self.max_edges)
+        ((spec.edges as f64 * self.scale).round() as usize).clamp(32, self.max_edges)
     }
 }
 
@@ -138,7 +136,9 @@ pub fn synthesize_spec(spec: &DatasetSpec, config: &SynthesisConfig) -> CsrGraph
                 seed,
             })
         }
-        GraphClass::Network => with_reciprocity(erdos_renyi_gnm(n, m, seed), spec.reciprocity, seed),
+        GraphClass::Network => {
+            with_reciprocity(erdos_renyi_gnm(n, m, seed), spec.reciprocity, seed)
+        }
         GraphClass::Citation => {
             // Citation graphs are close to DAGs with a thin layer of mutual
             // citations: a low-reciprocity preferential graph captures both the
@@ -211,8 +211,7 @@ mod tests {
         let a = synthesize(Dataset::AsCaida, &cfg);
         let b = synthesize(Dataset::Gnutella31, &cfg);
         assert!(
-            a.num_vertices() != b.num_vertices()
-                || a.edges().zip(b.edges()).any(|(x, y)| x != y)
+            a.num_vertices() != b.num_vertices() || a.edges().zip(b.edges()).any(|(x, y)| x != y)
         );
     }
 
@@ -227,7 +226,10 @@ mod tests {
         assert_eq!(g.num_vertices(), target_n);
         let target_m = spec.edges as f64 * 0.02;
         let m = g.num_edges() as f64;
-        assert!(m > target_m * 0.4 && m < target_m * 2.5, "m = {m}, target {target_m}");
+        assert!(
+            m > target_m * 0.4 && m < target_m * 2.5,
+            "m = {m}, target {target_m}"
+        );
     }
 
     #[test]

@@ -28,3 +28,39 @@ pub use preferential::{preferential_attachment, PreferentialConfig};
 pub use rmat::{rmat, RmatConfig};
 pub use rng::Xoshiro256;
 pub use small_world::small_world;
+
+/// A raw uniform edge list: up to `max_edges` pairs drawn from `[0, n)²`,
+/// duplicates and self-loops included.
+///
+/// Unlike the generator families above, this deliberately produces the messy
+/// input a [`crate::GraphBuilder`] has to normalize, which is what the
+/// property-style test suites feed the builder. The edge *count* is itself
+/// drawn from the RNG so that small and empty graphs appear in every sweep.
+pub fn random_edge_list(rng: &mut Xoshiro256, n: u32, max_edges: usize) -> Vec<(u32, u32)> {
+    assert!(n > 0, "vertex range must be non-empty");
+    let m = rng.next_index(max_edges + 1);
+    (0..m)
+        .map(|_| {
+            (
+                rng.next_bounded(n as u64) as u32,
+                rng.next_bounded(n as u64) as u32,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_edge_list_respects_bounds_and_is_deterministic() {
+        let mut a = Xoshiro256::seed_from_u64(3);
+        let mut b = Xoshiro256::seed_from_u64(3);
+        let ea = random_edge_list(&mut a, 10, 50);
+        let eb = random_edge_list(&mut b, 10, 50);
+        assert_eq!(ea, eb);
+        assert!(ea.len() <= 50);
+        assert!(ea.iter().all(|&(u, v)| u < 10 && v < 10));
+    }
+}

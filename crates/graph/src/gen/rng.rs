@@ -37,10 +37,7 @@ impl Xoshiro256 {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.state[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.state[1] << 17;
         self.state[2] ^= self.state[0];
         self.state[3] ^= self.state[1];
@@ -107,7 +104,10 @@ impl Xoshiro256 {
     ///
     /// Panics if `count > bound`.
     pub fn sample_distinct(&mut self, bound: usize, count: usize) -> Vec<usize> {
-        assert!(count <= bound, "cannot sample {count} distinct from {bound}");
+        assert!(
+            count <= bound,
+            "cannot sample {count} distinct from {bound}"
+        );
         let mut chosen = std::collections::HashSet::with_capacity(count);
         let mut out = Vec::with_capacity(count);
         for j in bound - count..bound {
@@ -195,7 +195,10 @@ mod tests {
             counts[r.next_index(10)] += 1;
         }
         for &c in &counts {
-            assert!((700..1300).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (700..1300).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 

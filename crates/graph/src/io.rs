@@ -12,8 +12,6 @@
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut};
-
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::types::{GraphError, VertexId};
@@ -83,25 +81,55 @@ pub fn write_edge_list<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), 
 
 /// Serialize a graph into the compact binary format.
 pub fn to_binary(graph: &CsrGraph) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + graph.num_edges() * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u64_le(graph.num_vertices() as u64);
-    buf.put_u64_le(graph.num_edges() as u64);
+    let mut buf = Vec::with_capacity(24 + graph.num_edges() * 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(graph.num_vertices() as u64).to_le_bytes());
+    buf.extend_from_slice(&(graph.num_edges() as u64).to_le_bytes());
     for e in graph.edges() {
-        buf.put_u32_le(e.source);
-        buf.put_u32_le(e.target);
+        buf.extend_from_slice(&e.source.to_le_bytes());
+        buf.extend_from_slice(&e.target.to_le_bytes());
     }
     buf
 }
 
+/// A minimal little-endian reader over a byte slice (std-only replacement for
+/// the `bytes` crate's `Buf`).
+struct ByteReader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        ByteReader { data }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.data.split_at(N);
+        self.data = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
+}
+
 /// Deserialize a graph from the compact binary format.
-pub fn from_binary(mut data: &[u8]) -> Result<CsrGraph, GraphError> {
+pub fn from_binary(data: &[u8]) -> Result<CsrGraph, GraphError> {
     if data.len() < 24 {
         return Err(GraphError::Format("buffer shorter than header".into()));
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
+    let mut data = ByteReader::new(data);
+    let magic = data.take::<4>();
     if &magic != MAGIC {
         return Err(GraphError::Format(format!(
             "bad magic {magic:?}, expected {MAGIC:?}"
@@ -115,11 +143,18 @@ pub fn from_binary(mut data: &[u8]) -> Result<CsrGraph, GraphError> {
     }
     let n = data.get_u64_le() as usize;
     let m = data.get_u64_le() as usize;
-    if data.remaining() < m * 8 {
+    // Header fields are untrusted: bound-check without overflow (`m * 8` could
+    // wrap) and reject vertex counts outside the u32 id space before sizing
+    // any allocation from them.
+    if n > u32::MAX as usize + 1 {
         return Err(GraphError::Format(format!(
-            "truncated payload: need {} bytes for {m} edges, have {}",
-            m * 8,
-            data.remaining()
+            "vertex count {n} exceeds the u32 id space"
+        )));
+    }
+    if data.remaining() / 8 < m {
+        return Err(GraphError::Format(format!(
+            "truncated payload: need {m} edge records, have bytes for {}",
+            data.remaining() / 8
         )));
     }
     let mut builder = GraphBuilder::with_capacity(n, m);
@@ -238,6 +273,25 @@ mod tests {
     #[test]
     fn binary_rejects_short_header() {
         assert!(from_binary(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_absurd_header_counts() {
+        // Claim 2^61 edges: must produce a Format error, not wrap the
+        // byte-count multiplication or attempt a giant allocation.
+        let mut bytes = to_binary(&sample());
+        bytes[16..24].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        assert!(matches!(
+            from_binary(&bytes),
+            Err(GraphError::Format(msg)) if msg.contains("truncated")
+        ));
+        // Claim more vertices than u32 ids can address.
+        let mut bytes = to_binary(&sample());
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            from_binary(&bytes),
+            Err(GraphError::Format(msg)) if msg.contains("u32 id space")
+        ));
     }
 
     #[test]

@@ -140,10 +140,7 @@ mod tests {
     fn line_edge_count_matches_in_out_products() {
         let g = graph_from_edges(&[(0, 1), (2, 1), (1, 3), (1, 4), (3, 0)]);
         let lg = LineGraph::build(&g);
-        let expected: usize = g
-            .vertices()
-            .map(|v| g.in_degree(v) * g.out_degree(v))
-            .sum();
+        let expected: usize = g.vertices().map(|v| g.in_degree(v) * g.out_degree(v)).sum();
         assert_eq!(lg.graph().num_edges(), expected);
     }
 

@@ -1,95 +1,128 @@
-//! Property-based tests for the graph substrate: construction invariants and
+//! Property-style tests for the graph substrate: construction invariants and
 //! serialization round-trips under arbitrary edge lists.
-
-use proptest::prelude::*;
+//!
+//! Deterministic random cases driven by the vendored xoshiro256** RNG replace
+//! proptest (the workspace builds offline); each case is reproducible from its
+//! printed seed.
 
 use tdb_graph::builder::graph_from_edges;
+use tdb_graph::gen::{random_edge_list, Xoshiro256};
 use tdb_graph::io::{from_binary, parse_edge_list, to_binary};
 use tdb_graph::line_graph::LineGraph;
 use tdb_graph::scc::tarjan_scc;
 use tdb_graph::{Graph, GraphBuilder};
 
-fn arb_edges(n: u32, m: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..n, 0..n), 0..m)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// The builder always produces sorted, deduplicated, self-loop-free
-    /// adjacency whose out- and in-views describe the same edge set.
-    #[test]
-    fn builder_invariants(edges in arb_edges(40, 200)) {
+/// The builder always produces sorted, deduplicated, self-loop-free
+/// adjacency whose out- and in-views describe the same edge set.
+#[test]
+fn builder_invariants() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(case);
+        let edges = random_edge_list(&mut rng, 40, 200);
         let g = graph_from_edges(&edges);
         let mut count = 0usize;
         for v in g.vertices() {
             let outs = g.out_neighbors(v);
-            prop_assert!(outs.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicate adjacency");
-            prop_assert!(!outs.contains(&v), "self-loop survived");
+            assert!(
+                outs.windows(2).all(|w| w[0] < w[1]),
+                "case {case}: unsorted/duplicate adjacency"
+            );
+            assert!(!outs.contains(&v), "case {case}: self-loop survived");
             for &w in outs {
-                prop_assert!(g.in_neighbors(w).binary_search(&v).is_ok(), "missing reverse entry");
+                assert!(
+                    g.in_neighbors(w).binary_search(&v).is_ok(),
+                    "case {case}: missing reverse entry"
+                );
                 count += 1;
             }
         }
-        prop_assert_eq!(count, g.num_edges());
+        assert_eq!(count, g.num_edges(), "case {case}");
         // Every surviving edge came from the input and every non-self-loop
         // input edge survives.
         let input: std::collections::HashSet<_> =
             edges.iter().filter(|(u, v)| u != v).copied().collect();
-        prop_assert_eq!(g.num_edges(), input.len());
+        assert_eq!(g.num_edges(), input.len(), "case {case}");
         for e in g.edges() {
-            prop_assert!(input.contains(&(e.source, e.target)));
+            assert!(input.contains(&(e.source, e.target)), "case {case}");
         }
     }
+}
 
-    /// Binary serialization round-trips exactly.
-    #[test]
-    fn binary_round_trip(edges in arb_edges(60, 300), extra_vertices in 0usize..5) {
+/// Binary serialization round-trips exactly.
+#[test]
+fn binary_round_trip() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(1000 + case);
+        let edges = random_edge_list(&mut rng, 60, 300);
+        let extra_vertices = rng.next_index(5);
         let mut b = GraphBuilder::new();
         b.extend_edges(edges.iter().copied());
-        let n_hint = edges.iter().map(|&(u, v)| u.max(v) as usize + 1).max().unwrap_or(0);
+        let n_hint = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
         b.reserve_vertices(n_hint + extra_vertices);
         let g = b.build();
         let back = from_binary(&to_binary(&g)).unwrap();
-        prop_assert_eq!(back.num_vertices(), g.num_vertices());
-        prop_assert_eq!(back.num_edges(), g.num_edges());
-        prop_assert!(g.edges().zip(back.edges()).all(|(a, b)| a == b));
+        assert_eq!(back.num_vertices(), g.num_vertices(), "case {case}");
+        assert_eq!(back.num_edges(), g.num_edges(), "case {case}");
+        assert!(
+            g.edges().zip(back.edges()).all(|(a, b)| a == b),
+            "case {case}"
+        );
     }
+}
 
-    /// Text serialization round-trips the edge set (vertex count can only
-    /// shrink if trailing vertices are isolated, so compare edges).
-    #[test]
-    fn text_round_trip(edges in arb_edges(50, 250)) {
+/// Text serialization round-trips the edge set (vertex count can only
+/// shrink if trailing vertices are isolated, so compare edges).
+#[test]
+fn text_round_trip() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(2000 + case);
+        let edges = random_edge_list(&mut rng, 50, 250);
         let g = graph_from_edges(&edges);
         let mut text = String::new();
         for e in g.edges() {
             text.push_str(&format!("{} {}\n", e.source, e.target));
         }
         let back = parse_edge_list(std::io::Cursor::new(text)).unwrap();
-        prop_assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.num_edges(), g.num_edges(), "case {case}");
         for e in g.edges() {
-            prop_assert!(back.has_edge(e.source, e.target));
+            assert!(back.has_edge(e.source, e.target), "case {case}");
         }
     }
+}
 
-    /// The transpose is an involution and preserves degrees mirrored.
-    #[test]
-    fn transpose_involution(edges in arb_edges(40, 200)) {
+/// The transpose is an involution and preserves degrees mirrored.
+#[test]
+fn transpose_involution() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(3000 + case);
+        let edges = random_edge_list(&mut rng, 40, 200);
         let g = graph_from_edges(&edges);
         let t = g.transpose();
-        prop_assert_eq!(t.num_edges(), g.num_edges());
+        assert_eq!(t.num_edges(), g.num_edges(), "case {case}");
         for v in g.vertices() {
-            prop_assert_eq!(g.out_degree(v), t.in_degree(v));
-            prop_assert_eq!(g.in_degree(v), t.out_degree(v));
+            assert_eq!(g.out_degree(v), t.in_degree(v), "case {case}");
+            assert_eq!(g.in_degree(v), t.out_degree(v), "case {case}");
         }
         let tt = t.transpose();
-        prop_assert!(g.edges().zip(tt.edges()).all(|(a, b)| a == b));
+        assert!(
+            g.edges().zip(tt.edges()).all(|(a, b)| a == b),
+            "case {case}"
+        );
     }
+}
 
-    /// Tarjan SCC: two vertices share a component iff each reaches the other
-    /// (checked against a brute-force reachability closure on small graphs).
-    #[test]
-    fn scc_matches_mutual_reachability(edges in arb_edges(16, 60)) {
+/// Tarjan SCC: two vertices share a component iff each reaches the other
+/// (checked against a brute-force reachability closure on small graphs).
+#[test]
+#[allow(clippy::needless_range_loop)] // index-based Floyd–Warshall closure
+fn scc_matches_mutual_reachability() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(4000 + case);
+        let edges = random_edge_list(&mut rng, 16, 60);
         let g = graph_from_edges(&edges);
         let n = g.num_vertices();
         // Floyd–Warshall style boolean closure.
@@ -115,29 +148,33 @@ proptest! {
         for u in 0..n {
             for v in 0..n {
                 let mutual = reach[u][v] && reach[v][u];
-                prop_assert_eq!(
+                assert_eq!(
                     scc.same_component(u as u32, v as u32),
                     mutual,
-                    "vertices {} and {}", u, v
+                    "case {case}: vertices {u} and {v}"
                 );
             }
         }
     }
+}
 
-    /// The line graph has exactly Σ in(v)·out(v) edges and every line edge's
-    /// endpoints share the middle vertex.
-    #[test]
-    fn line_graph_structure(edges in arb_edges(25, 120)) {
+/// The line graph has exactly Σ in(v)·out(v) edges and every line edge's
+/// endpoints share the middle vertex.
+#[test]
+fn line_graph_structure() {
+    for case in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(5000 + case);
+        let edges = random_edge_list(&mut rng, 25, 120);
         let g = graph_from_edges(&edges);
         let lg = LineGraph::build(&g);
         let expected: usize = g.vertices().map(|v| g.in_degree(v) * g.out_degree(v)).sum();
-        prop_assert_eq!(lg.graph().num_edges(), expected);
-        prop_assert_eq!(lg.num_vertices(), g.num_edges());
+        assert_eq!(lg.graph().num_edges(), expected, "case {case}");
+        assert_eq!(lg.num_vertices(), g.num_edges(), "case {case}");
         for le in lg.graph().edges() {
             let first = lg.original_edge(le.source);
             let second = lg.original_edge(le.target);
-            prop_assert_eq!(first.target, second.source);
-            prop_assert_eq!(lg.middle_vertex(le), first.target);
+            assert_eq!(first.target, second.source, "case {case}");
+            assert_eq!(lg.middle_vertex(le), first.target, "case {case}");
         }
     }
 }

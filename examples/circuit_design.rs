@@ -62,10 +62,11 @@ fn main() {
 
     // How many registers do we need as the "harmful feedback length" grows?
     println!("\nregisters required per racing-condition length threshold:");
+    let fast_solver = Solver::new(Algorithm::TdbPlusPlus);
     let mut previous = 0usize;
     for k in 3..=8usize {
         let constraint = HopConstraint::new(k);
-        let run = top_down_cover(&circuit, &constraint, &TopDownConfig::tdb_plus_plus());
+        let run = fast_solver.solve(&circuit, &constraint).unwrap();
         assert!(verify_cover(&circuit, &run.cover, &constraint).is_valid_and_minimal());
         println!(
             "  cycles up to {k} gates: {:>4} registers ({:.3}s, {} searches, {} BFS-filter skips)",
@@ -82,8 +83,10 @@ fn main() {
     // Compare the register count of the fast algorithm against the small-cover
     // baseline on the k = 5 design point (the trade-off of Table III).
     let constraint = HopConstraint::new(5);
-    let fast = top_down_cover(&circuit, &constraint, &TopDownConfig::tdb_plus_plus());
-    let small = bottom_up_cover(&circuit, &constraint, &BottomUpConfig::bur_plus());
+    let fast = fast_solver.solve(&circuit, &constraint).unwrap();
+    let small = Solver::new(Algorithm::BurPlus)
+        .solve(&circuit, &constraint)
+        .unwrap();
     println!(
         "\nk = 5 design point: TDB++ places {} registers in {:.3}s, BUR+ places {} in {:.3}s",
         fast.cover_size(),

@@ -65,7 +65,9 @@ fn main() {
     // 2-lock AB-BA cycles are included (this is exactly the `with_two_cycles`
     // mode, since a 2-cycle in the lock graph is already a deadlock).
     let constraint = HopConstraint::with_two_cycles(4);
-    let run = top_down_cover(&lock_graph, &constraint, &TopDownConfig::tdb_plus_plus());
+    let run = Solver::new(Algorithm::TdbPlusPlus)
+        .solve(&lock_graph, &constraint)
+        .unwrap();
     let verification = verify_cover(&lock_graph, &run.cover, &constraint);
     assert!(verification.is_valid_and_minimal());
 
@@ -81,7 +83,10 @@ fn main() {
     let all_active = ActiveSet::all_active(lock_graph.num_vertices());
     let cycles =
         tdb::cycle::enumerate::enumerate_cycles(&lock_graph, &all_active, &constraint, 1000);
-    println!("\nall {} short deadlock patterns (each hits the refactor set):", cycles.len());
+    println!(
+        "\nall {} short deadlock patterns (each hits the refactor set):",
+        cycles.len()
+    );
     for cycle in &cycles {
         let pretty: Vec<&str> = cycle.iter().map(|&v| names[v as usize]).collect();
         let covered = cycle.iter().any(|&v| run.cover.contains(v));
@@ -95,8 +100,12 @@ fn main() {
             .map(|v| run.cover.contains(v as VertexId))
             .collect::<Vec<_>>(),
     );
-    let leftover =
-        tdb::cycle::enumerate::enumerate_cycles(&remaining, &ActiveSet::all_active(remaining.num_vertices()), &constraint, 10);
+    let leftover = tdb::cycle::enumerate::enumerate_cycles(
+        &remaining,
+        &ActiveSet::all_active(remaining.num_vertices()),
+        &constraint,
+        10,
+    );
     assert!(leftover.is_empty());
     println!("\nafter refactoring the selected locks the lock graph has no short cycles left.");
 }

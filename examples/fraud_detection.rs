@@ -55,10 +55,12 @@ fn main() {
         ring
     );
 
-    // Sweep the suspicious-cycle length threshold like a fraud team would.
+    // Sweep the suspicious-cycle length threshold like a fraud team would,
+    // through the same Solver the experiment harness uses.
+    let solver = Solver::new(Algorithm::TdbPlusPlus);
     for k in 3..=6usize {
         let constraint = HopConstraint::new(k);
-        let run = top_down_cover(&network, &constraint, &TopDownConfig::tdb_plus_plus());
+        let run = solver.solve(&network, &constraint).unwrap();
         let verification = verify_cover(&network, &run.cover, &constraint);
         assert!(verification.is_valid_and_minimal());
         println!(
@@ -80,17 +82,18 @@ fn main() {
     // this is the "most suspicious individuals" ranking from the paper's
     // Figure 1 discussion.
     let constraint = HopConstraint::new(5);
-    let run = top_down_cover(&network, &constraint, &TopDownConfig::tdb_plus_plus());
+    let run = solver.solve(&network, &constraint).unwrap();
     let mut ranked: Vec<(VertexId, usize)> = run
         .cover
         .iter()
         .map(|v| {
             let mut active = run.cover.reduced_active_set(network.num_vertices());
             active.activate(v);
-            let cycles = tdb::cycle::enumerate::enumerate_cycles(&network, &active, &constraint, 200)
-                .into_iter()
-                .filter(|c| c.contains(&v))
-                .count();
+            let cycles =
+                tdb::cycle::enumerate::enumerate_cycles(&network, &active, &constraint, 200)
+                    .into_iter()
+                    .filter(|c| c.contains(&v))
+                    .count();
             (v, cycles)
         })
         .collect();

@@ -1,9 +1,11 @@
 //! Quickstart: build a graph, compute a hop-constrained cycle cover with every
-//! algorithm family, and verify the results.
+//! algorithm family through the unified `Solver` API, and verify the results.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+
+use std::time::Duration;
 
 use tdb::prelude::*;
 use tdb_graph::gen::{erdos_renyi_gnm, Xoshiro256};
@@ -31,18 +33,26 @@ fn main() {
 
     // The bottom-up heuristic (BUR+) favours the hub account `a`, which sits on
     // all three cycles, and finds the optimal single-vertex cover.
-    let bur = bottom_up_cover(&figure1, &constraint, &BottomUpConfig::bur_plus());
+    let bur = Solver::new(Algorithm::BurPlus)
+        .solve(&figure1, &constraint)
+        .unwrap();
     println!(
         "Figure-1 network, BUR+ : cover {:?} (size {})",
         bur.cover.as_slice(),
         bur.cover_size()
     );
-    assert_eq!(bur.cover.as_slice(), &[0], "vertex `a` covers all three cycles");
+    assert_eq!(
+        bur.cover.as_slice(),
+        &[0],
+        "vertex `a` covers all three cycles"
+    );
 
     // The top-down algorithm is orders of magnitude faster at scale but, like
     // every algorithm here, only guarantees a *minimal* cover — on this tiny
     // graph its ascending scan keeps one vertex per cycle instead of the hub.
-    let run = top_down_cover(&figure1, &constraint, &TopDownConfig::tdb_plus_plus());
+    let run = Solver::new(Algorithm::TdbPlusPlus)
+        .solve(&figure1, &constraint)
+        .unwrap();
     println!(
         "Figure-1 network, TDB++: cover {:?} (size {})",
         run.cover.as_slice(),
@@ -52,11 +62,16 @@ fn main() {
     assert!(verify_cover(&figure1, &bur.cover, &constraint).is_valid_and_minimal());
 
     // --- 2. A random graph, all algorithms ------------------------------------
+    // One `Solver` per algorithm: the same two-line call drives every family.
     let graph = erdos_renyi_gnm(2_000, 10_000, 42);
     let constraint = HopConstraint::new(4);
     println!("\nrandom G(2000, 10000), k = 4:");
-    for algorithm in [Algorithm::TdbPlusPlus, Algorithm::TdbExtended, Algorithm::TdbParallel] {
-        let run = compute_cover(&graph, &constraint, algorithm);
+    for algorithm in [
+        Algorithm::TdbPlusPlus,
+        Algorithm::TdbExtended,
+        Algorithm::TdbParallel,
+    ] {
+        let run = Solver::new(algorithm).solve(&graph, &constraint).unwrap();
         let verification = verify_cover(&graph, &run.cover, &constraint);
         println!(
             "  {:<10} cover size {:>5}  time {:>8.3}s  valid={} minimal={}",
@@ -69,10 +84,31 @@ fn main() {
         assert!(verification.is_valid_and_minimal());
     }
 
-    // --- 3. Sampling spot checks -----------------------------------------------
+    // --- 3. Time budgets -------------------------------------------------------
+    // A solver with a time budget fails fast instead of running unbounded: the
+    // exhaustive BUR baseline cannot finish this graph in a millisecond.
+    match Solver::new(Algorithm::Bur)
+        .with_time_budget(Duration::from_millis(1))
+        .solve(&graph, &constraint)
+    {
+        Err(SolveError::BudgetExceeded { budget, elapsed }) => println!(
+            "\nBUR with a {:.0}ms budget stopped after {:.3}ms, as intended",
+            budget.as_secs_f64() * 1e3,
+            elapsed.as_secs_f64() * 1e3
+        ),
+        Ok(run) => println!(
+            "\nBUR finished within the 1ms budget (size {}) — fast machine!",
+            run.cover_size()
+        ),
+        Err(other) => panic!("unexpected solve error: {other}"),
+    }
+
+    // --- 4. Sampling spot checks -----------------------------------------------
     // Pick random vertices outside the cover and confirm none of them sits on a
     // hop-constrained cycle in the reduced graph.
-    let run = top_down_cover(&graph, &constraint, &TopDownConfig::tdb_plus_plus());
+    let run = Solver::new(Algorithm::TdbPlusPlus)
+        .solve(&graph, &constraint)
+        .unwrap();
     let active = run.cover.reduced_active_set(graph.num_vertices());
     let mut searcher = tdb::cycle::BlockSearcher::new(graph.num_vertices());
     let mut rng = Xoshiro256::seed_from_u64(7);

@@ -12,11 +12,16 @@
 //! * [`cycle`] (`tdb-cycle`) — hop-constrained cycle search primitives: naive
 //!   DFS, block/barrier DFS, BFS filter, bounded enumeration.
 //! * [`core`] (`tdb-core`) — the cover algorithms (`BUR`, `BUR+`, `DARC-DV`,
-//!   `TDB`, `TDB+`, `TDB++`, parallel extension) and the verifier.
+//!   `TDB`, `TDB+`, `TDB++`, parallel extension) behind the unified
+//!   [`Solver`](tdb_core::Solver) API, and the verifier.
 //! * [`datasets`] (`tdb-datasets`) — the paper's Table II catalog and synthetic
 //!   proxy synthesis.
 //!
 //! ## Quickstart
+//!
+//! Every algorithm is reached through one entry point: pick an
+//! [`Algorithm`](tdb_core::Algorithm), build a [`Solver`](tdb_core::Solver),
+//! and solve any graph.
 //!
 //! ```
 //! use tdb::prelude::*;
@@ -29,12 +34,19 @@
 //! ]);
 //!
 //! let constraint = HopConstraint::new(5);
-//! let run = top_down_cover(&graph, &constraint, &TopDownConfig::tdb_plus_plus());
+//! let run = Solver::new(Algorithm::TdbPlusPlus)
+//!     .solve(&graph, &constraint)
+//!     .unwrap();
 //!
 //! // Vertex 2 sits on both cycles, so one vertex suffices.
 //! assert_eq!(run.cover_size(), 1);
 //! assert!(verify_cover(&graph, &run.cover, &constraint).is_valid_and_minimal());
 //! ```
+//!
+//! A solver is configured once and reused: scan order, worker threads, and a
+//! wall-clock budget all hang off the builder, and a budgeted solve returns
+//! [`SolveError::BudgetExceeded`](tdb_core::SolveError) instead of running
+//! unbounded.
 //!
 //! See `examples/` for end-to-end scenarios (fraud detection on an e-commerce
 //! network, deadlock-potential analysis of a lock graph, clocked-register
@@ -63,7 +75,9 @@ mod tests {
     #[test]
     fn facade_reexports_are_usable() {
         let g = crate::graph::gen::directed_cycle(4);
-        let run = top_down_cover(&g, &HopConstraint::new(4), &TopDownConfig::tdb_plus_plus());
+        let run = Solver::new(Algorithm::TdbPlusPlus)
+            .solve(&g, &HopConstraint::new(4))
+            .unwrap();
         assert_eq!(run.cover_size(), 1);
     }
 }

@@ -1,5 +1,6 @@
 //! Cross-crate integration tests: dataset proxies flow through generation,
-//! serialization, every cover algorithm, and independent verification.
+//! serialization, every cover algorithm (via the unified `Solver`), and
+//! independent verification.
 
 use tdb::prelude::*;
 use tdb_core::Algorithm;
@@ -18,13 +19,19 @@ fn tiny_proxy(dataset: Dataset) -> CsrGraph {
     )
 }
 
+fn solve(g: &CsrGraph, constraint: &HopConstraint, algorithm: Algorithm) -> CoverRun {
+    Solver::new(algorithm)
+        .solve(g, constraint)
+        .expect("unbudgeted solve cannot fail")
+}
+
 #[test]
 fn every_algorithm_is_valid_on_dataset_proxies() {
     let constraint = HopConstraint::new(4);
     for dataset in [Dataset::WikiVote, Dataset::AsCaida, Dataset::Gnutella31] {
         let g = tiny_proxy(dataset);
         for algorithm in Algorithm::all() {
-            let run = tdb_core::compute_cover(&g, &constraint, algorithm);
+            let run = solve(&g, &constraint, algorithm);
             let verification = verify_cover(&g, &run.cover, &constraint);
             assert!(
                 verification.is_valid,
@@ -40,8 +47,8 @@ fn top_down_and_parallel_agree_on_proxies() {
     let constraint = HopConstraint::new(5);
     for dataset in [Dataset::EmailEuAll, Dataset::WebGoogle] {
         let g = tiny_proxy(dataset);
-        let sequential = top_down_cover(&g, &constraint, &TopDownConfig::tdb_plus_plus());
-        let parallel = parallel_top_down_cover(&g, &constraint, &ParallelConfig::default());
+        let sequential = solve(&g, &constraint, Algorithm::TdbPlusPlus);
+        let parallel = solve(&g, &constraint, Algorithm::TdbParallel);
         assert_eq!(sequential.cover, parallel.cover, "{dataset:?}");
     }
 }
@@ -50,7 +57,8 @@ fn top_down_and_parallel_agree_on_proxies() {
 fn graph_io_round_trip_preserves_cover_results() {
     let g = tiny_proxy(Dataset::Slashdot0902);
     let constraint = HopConstraint::new(4);
-    let before = top_down_cover(&g, &constraint, &TopDownConfig::tdb_plus_plus());
+    let solver = Solver::new(Algorithm::TdbPlusPlus);
+    let before = solver.solve(&g, &constraint).unwrap();
 
     let dir = std::env::temp_dir().join(format!("tdb_integration_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -59,14 +67,14 @@ fn graph_io_round_trip_preserves_cover_results() {
     let text_path = dir.join("proxy.txt");
     io::write_edge_list(&g, &text_path).unwrap();
     let text_graph = io::read_edge_list(&text_path).unwrap();
-    let after_text = top_down_cover(&text_graph, &constraint, &TopDownConfig::tdb_plus_plus());
+    let after_text = solver.solve(&text_graph, &constraint).unwrap();
     assert_eq!(before.cover, after_text.cover);
 
     // Binary round trip.
     let bin_path = dir.join("proxy.tdbg");
     io::write_binary(&g, &bin_path).unwrap();
     let bin_graph = io::read_binary(&bin_path).unwrap();
-    let after_bin = top_down_cover(&bin_graph, &constraint, &TopDownConfig::tdb_plus_plus());
+    let after_bin = solver.solve(&bin_graph, &constraint).unwrap();
     assert_eq!(before.cover, after_bin.cover);
 
     std::fs::remove_dir_all(&dir).ok();
@@ -81,11 +89,16 @@ fn cover_size_ordering_matches_the_paper_trend() {
     let mut total_bur_plus = 0usize;
     let mut total_darc = 0usize;
     let mut total_tdb = 0usize;
-    for dataset in [Dataset::WikiVote, Dataset::AsCaida, Dataset::Gnutella31, Dataset::EmailEuAll] {
+    for dataset in [
+        Dataset::WikiVote,
+        Dataset::AsCaida,
+        Dataset::Gnutella31,
+        Dataset::EmailEuAll,
+    ] {
         let g = tiny_proxy(dataset);
-        total_bur_plus += tdb_core::compute_cover(&g, &constraint, Algorithm::BurPlus).cover_size();
-        total_darc += tdb_core::compute_cover(&g, &constraint, Algorithm::DarcDv).cover_size();
-        total_tdb += tdb_core::compute_cover(&g, &constraint, Algorithm::TdbPlusPlus).cover_size();
+        total_bur_plus += solve(&g, &constraint, Algorithm::BurPlus).cover_size();
+        total_darc += solve(&g, &constraint, Algorithm::DarcDv).cover_size();
+        total_tdb += solve(&g, &constraint, Algorithm::TdbPlusPlus).cover_size();
     }
     assert!(
         total_bur_plus <= total_darc,
@@ -107,8 +120,8 @@ fn tdb_variants_report_decreasing_search_effort() {
     // noisy in CI, so the assertion is on the amount of search performed.
     let g = tiny_proxy(Dataset::WikiTalk);
     let constraint = HopConstraint::new(5);
-    let tdb_plus = top_down_cover(&g, &constraint, &TopDownConfig::tdb_plus());
-    let tdb_pp = top_down_cover(&g, &constraint, &TopDownConfig::tdb_plus_plus());
+    let tdb_plus = solve(&g, &constraint, Algorithm::TdbPlus);
+    let tdb_pp = solve(&g, &constraint, Algorithm::TdbPlusPlus);
     assert_eq!(tdb_plus.cover, tdb_pp.cover);
     assert!(
         tdb_pp.metrics.cycle_queries <= tdb_plus.metrics.cycle_queries,
@@ -124,11 +137,11 @@ fn two_cycle_table_ratio_exceeds_one_on_reciprocal_proxies() {
     // Table IV: including 2-cycles grows the cover substantially on graphs with
     // reciprocated edges.
     let g = tiny_proxy(Dataset::Slashdot0902);
-    let without = top_down_cover(&g, &HopConstraint::new(5), &TopDownConfig::tdb_plus_plus());
-    let with = top_down_cover(
+    let without = solve(&g, &HopConstraint::new(5), Algorithm::TdbPlusPlus);
+    let with = solve(
         &g,
         &HopConstraint::with_two_cycles(5),
-        &TopDownConfig::tdb_plus_plus(),
+        Algorithm::TdbPlusPlus,
     );
     assert!(with.cover_size() > without.cover_size());
     assert!(verify_cover(&g, &with.cover, &HopConstraint::with_two_cycles(5)).is_valid);
@@ -149,8 +162,8 @@ fn runtime_gap_tdb_vs_darc_on_a_dense_proxy() {
         },
     );
     let constraint = HopConstraint::new(5);
-    let darc = tdb_core::compute_cover(&g, &constraint, Algorithm::DarcDv);
-    let tdb = tdb_core::compute_cover(&g, &constraint, Algorithm::TdbPlusPlus);
+    let darc = solve(&g, &constraint, Algorithm::DarcDv);
+    let tdb = solve(&g, &constraint, Algorithm::TdbPlusPlus);
     assert!(
         darc.metrics.elapsed > tdb.metrics.elapsed * 3,
         "expected DARC-DV ({:?}) to be much slower than TDB++ ({:?})",
@@ -164,9 +177,21 @@ fn scaling_the_proxy_grows_the_cover() {
     // Sanity link between tdb-datasets and tdb-core: a larger proxy of the same
     // dataset has at least as many short cycles to cover.
     let constraint = HopConstraint::new(4);
-    let small = synthesize(Dataset::WikiVote, &SynthesisConfig { scale: 0.002, ..SynthesisConfig::tiny() });
-    let large = synthesize(Dataset::WikiVote, &SynthesisConfig { scale: 0.02, ..SynthesisConfig::tiny() });
-    let small_run = top_down_cover(&small, &constraint, &TopDownConfig::tdb_plus_plus());
-    let large_run = top_down_cover(&large, &constraint, &TopDownConfig::tdb_plus_plus());
+    let small = synthesize(
+        Dataset::WikiVote,
+        &SynthesisConfig {
+            scale: 0.002,
+            ..SynthesisConfig::tiny()
+        },
+    );
+    let large = synthesize(
+        Dataset::WikiVote,
+        &SynthesisConfig {
+            scale: 0.02,
+            ..SynthesisConfig::tiny()
+        },
+    );
+    let small_run = solve(&small, &constraint, Algorithm::TdbPlusPlus);
+    let large_run = solve(&large, &constraint, Algorithm::TdbPlusPlus);
     assert!(large_run.cover_size() >= small_run.cover_size());
 }
