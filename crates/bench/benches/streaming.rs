@@ -1,0 +1,73 @@
+//! Streaming bench: incremental cover maintenance under sustained edge churn
+//! versus full re-solves — the headline measurement of the `tdb-dynamic`
+//! subsystem.
+//!
+//! Two views are reported:
+//!
+//! * `Microbench` rows timing one applied update batch against one static
+//!   re-solve on the same graph, and
+//! * a full churn scenario report (updates/sec, per-refresh speedup, validity
+//!   audit) from `tdb_bench::streaming`.
+//!
+//! `TDB_BENCH_STREAM_SCALE=acceptance` switches the scenario to the 50k-vertex
+//! / 10k-update acceptance workload; the default stays small enough for the CI
+//! smoke pass.
+
+use tdb_bench::microbench::Microbench;
+use tdb_bench::streaming::{format_stream_report, run_stream, StreamConfig};
+use tdb_core::{Algorithm, HopConstraint, Solver};
+use tdb_dynamic::{EdgeBatch, SolveDynamic};
+use tdb_graph::gen::{erdos_renyi_gnm, Xoshiro256};
+use tdb_graph::VertexId;
+
+fn main() {
+    let bench = Microbench::new("streaming");
+
+    // Microbench rows: one batch of churn vs one full re-solve, same graph.
+    let n = 5_000usize;
+    let g = erdos_renyi_gnm(n, 20_000, 11);
+    let constraint = HopConstraint::new(4);
+    let solver = Solver::new(Algorithm::TdbPlusPlus);
+    let mut dynamic = solver
+        .solve_dynamic(g.clone(), &constraint)
+        .expect("unbudgeted solve cannot fail");
+    let mut rng = Xoshiro256::seed_from_u64(1234);
+    for batch_size in [10usize, 100, 1_000] {
+        bench.bench(&format!("apply_batch/{batch_size}"), || {
+            let mut batch = EdgeBatch::new();
+            for _ in 0..batch_size / 2 {
+                let u = rng.next_index(n) as VertexId;
+                let v = rng.next_index(n) as VertexId;
+                if u != v {
+                    batch.insert(u, v);
+                    batch.remove(u, v); // net-zero so the graph stays bounded
+                }
+            }
+            dynamic.apply(&batch).updates()
+        });
+    }
+    bench.bench("full_resolve/baseline", || {
+        solver.solve(&g, &constraint).unwrap().cover_size()
+    });
+
+    // The churn scenario with per-batch validity audit.
+    let config = match std::env::var("TDB_BENCH_STREAM_SCALE").as_deref() {
+        Ok("acceptance") => StreamConfig::acceptance(),
+        _ => StreamConfig::smoke(),
+    };
+    println!(
+        "\n## streaming scenario (|V|={}, {} updates, batch {}, churn {:.0}%)",
+        config.vertices,
+        config.updates,
+        config.batch_size,
+        config.churn * 100.0
+    );
+    let report = run_stream(&config);
+    for line in format_stream_report(&report) {
+        println!("{line}");
+    }
+    assert_eq!(
+        report.valid_batches, report.batches,
+        "an intermediate cover failed the validity audit"
+    );
+}

@@ -8,13 +8,23 @@
 //! ```
 //!
 //! Subcommands: `table2`, `table3`, `table4`, `figure6`, `figure7`, `figure8`,
-//! `figure9`, `figure10`, `large`, `all`. Options: `--scale <f64>`,
+//! `figure9`, `figure10`, `large`, `stream`, `all`. Options: `--scale <f64>`,
 //! `--seed <u64>`, `--slow-limit <edges>`, `--verify`, `--k <list>` (comma
 //! separated, default `3,4,5,6,7`), `--budget <seconds>` (wall-clock budget
 //! per cell; overruns print as `-`).
+//!
+//! The `stream` subcommand drives the `tdb-dynamic` churn scenario and prints
+//! updates/sec plus the per-refresh speedup over full re-solves:
+//!
+//! ```text
+//! cargo run --release -p tdb-bench --bin experiments -- stream \
+//!     --stream-vertices 50000 --stream-edges 200000 --stream-updates 10000 \
+//!     --stream-batch 100 --stream-churn 0.5 --stream-compact 0 --verify
+//! ```
 
 use std::process::ExitCode;
 
+use tdb_bench::streaming::{format_stream_report, run_stream, StreamConfig};
 use tdb_bench::{
     figure10_rows, figure67_rows, figure89_rows, format_rows, proxy, run_cell, table2_rows,
     table3_rows, table4_rows, ExperimentConfig,
@@ -26,6 +36,7 @@ use tdb_graph::Graph;
 struct Options {
     command: String,
     config: ExperimentConfig,
+    stream: StreamConfig,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,7 +47,9 @@ fn parse_args() -> Result<Options, String> {
     let mut slow_limit = 60_000usize;
     let mut verify = false;
     let mut ks = vec![3usize, 4, 5, 6, 7];
+    let mut ks_explicit = false;
     let mut budget = None;
+    let mut stream = StreamConfig::acceptance();
 
     let mut it = args.into_iter().peekable();
     if let Some(first) = it.peek() {
@@ -79,8 +92,56 @@ fn parse_args() -> Result<Options, String> {
                     .map(|s| s.trim().parse::<usize>())
                     .collect::<Result<Vec<_>, _>>()
                     .map_err(|e| format!("--k: {e}"))?;
+                ks_explicit = true;
+            }
+            "--stream-vertices" => {
+                stream.vertices = value("--stream-vertices")?
+                    .parse()
+                    .map_err(|e| format!("--stream-vertices: {e}"))?;
+            }
+            "--stream-edges" => {
+                stream.initial_edges = value("--stream-edges")?
+                    .parse()
+                    .map_err(|e| format!("--stream-edges: {e}"))?;
+            }
+            "--stream-updates" => {
+                stream.updates = value("--stream-updates")?
+                    .parse()
+                    .map_err(|e| format!("--stream-updates: {e}"))?;
+            }
+            "--stream-batch" => {
+                let b: usize = value("--stream-batch")?
+                    .parse()
+                    .map_err(|e| format!("--stream-batch: {e}"))?;
+                if b == 0 {
+                    return Err("--stream-batch: batch size must be positive".into());
+                }
+                stream.batch_size = b;
+            }
+            "--stream-churn" => {
+                let c: f64 = value("--stream-churn")?
+                    .parse()
+                    .map_err(|e| format!("--stream-churn: {e}"))?;
+                if !(0.0..=1.0).contains(&c) {
+                    return Err(format!("--stream-churn: expected 0.0..=1.0, got {c}"));
+                }
+                stream.churn = c;
+            }
+            "--stream-compact" => {
+                stream.compaction_threshold = value("--stream-compact")?
+                    .parse()
+                    .map_err(|e| format!("--stream-compact: {e}"))?;
             }
             other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    // The stream scenario shares the global --seed / --k / --verify flags.
+    stream.seed = seed;
+    stream.verify_each_batch = verify;
+    if ks_explicit {
+        if let Some(&k) = ks.first() {
+            stream.k = k;
         }
     }
 
@@ -97,6 +158,7 @@ fn parse_args() -> Result<Options, String> {
             verify,
             time_budget: budget,
         },
+        stream,
     })
 }
 
@@ -142,7 +204,8 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS]");
+            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|stream|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS]");
+            eprintln!("       stream flags: [--stream-vertices N] [--stream-edges M] [--stream-updates U] [--stream-batch B] [--stream-churn 0..1] [--stream-compact T]");
             return ExitCode::FAILURE;
         }
     };
@@ -183,6 +246,31 @@ fn main() -> ExitCode {
             &format_rows(&figure10_rows(cfg)),
         ),
         "large" => large_scale(cfg),
+        "stream" => {
+            let s = &options.stream;
+            let mut lines = vec![format!(
+                "workload  {} updates, batch {}, churn {:.0}%, k = {}, compact {}",
+                s.updates,
+                s.batch_size,
+                s.churn * 100.0,
+                s.k,
+                if s.compaction_threshold == 0 {
+                    "auto".to_string()
+                } else {
+                    s.compaction_threshold.to_string()
+                }
+            )];
+            let report = run_stream(s);
+            lines.extend(format_stream_report(&report));
+            print_block(
+                "Streaming: incremental cover maintenance vs full re-solve",
+                &lines,
+            );
+            if s.verify_each_batch && report.valid_batches != report.batches {
+                eprintln!("error: an intermediate cover failed the validity audit");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             print_block(
                 "Table II: dataset statistics (paper vs proxy)",

@@ -1,0 +1,357 @@
+//! Streaming churn scenario: sustained edge insert/delete load against a
+//! [`tdb_dynamic::DynamicCover`], measured in updates/sec and compared with
+//! the only static alternative — a full re-solve per refresh.
+//!
+//! The scenario drives three consumers:
+//!
+//! * the `streaming` bench target (`cargo bench -p tdb-bench`),
+//! * the `experiments stream` subcommand (batch size / churn ratio /
+//!   compaction threshold exposed as flags), and
+//! * the CI smoke step (tiny graph, fixed seed, per-batch validity audit).
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use tdb_core::prelude::*;
+use tdb_dynamic::{DynamicConfig, EdgeBatch, SolveDynamic, UpdateMetrics};
+use tdb_graph::gen::{erdos_renyi_gnm, Xoshiro256};
+use tdb_graph::{Graph, VertexId};
+
+/// Parameters of a streaming churn run.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Vertices of the synthetic initial graph.
+    pub vertices: usize,
+    /// Edges of the synthetic initial graph.
+    pub initial_edges: usize,
+    /// Total edge updates to stream.
+    pub updates: usize,
+    /// Updates per [`EdgeBatch`].
+    pub batch_size: usize,
+    /// Fraction of updates that are removals (the rest are insertions),
+    /// in `0.0..=1.0`.
+    pub churn: f64,
+    /// Hop constraint `k`.
+    pub k: usize,
+    /// RNG seed for graph synthesis and the update stream.
+    pub seed: u64,
+    /// Delta compaction threshold (`0` = the engine's automatic policy).
+    pub compaction_threshold: usize,
+    /// Audit cover validity after every batch (outside the timed region).
+    pub verify_each_batch: bool,
+    /// Full re-solves to sample for the baseline comparison.
+    pub resolve_samples: usize,
+}
+
+impl StreamConfig {
+    /// The acceptance workload: 10k-update churn over a 50k-vertex graph.
+    pub fn acceptance() -> Self {
+        StreamConfig {
+            vertices: 50_000,
+            initial_edges: 200_000,
+            updates: 10_000,
+            batch_size: 100,
+            churn: 0.5,
+            k: 4,
+            seed: 42,
+            compaction_threshold: 0,
+            verify_each_batch: true,
+            resolve_samples: 2,
+        }
+    }
+
+    /// Tiny configuration for unit tests and the CI smoke step.
+    pub fn smoke() -> Self {
+        StreamConfig {
+            vertices: 1_000,
+            initial_edges: 4_000,
+            updates: 500,
+            batch_size: 50,
+            churn: 0.5,
+            k: 4,
+            seed: 7,
+            compaction_threshold: 0,
+            verify_each_batch: true,
+            resolve_samples: 2,
+        }
+    }
+}
+
+/// Outcome of one streaming churn run.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Vertices of the initial graph.
+    pub vertices: usize,
+    /// Edges of the initial graph.
+    pub initial_edges: usize,
+    /// Time of the seeding static solve.
+    pub seed_solve: Duration,
+    /// Cover size right after seeding.
+    pub seed_cover: usize,
+    /// Updates that were actually applied (excludes generator misses).
+    pub updates_applied: u64,
+    /// Batches streamed.
+    pub batches: usize,
+    /// Wall-clock total of all `apply` calls (excluding validity audits and
+    /// the closing re-minimization, reported as [`StreamReport::minimize`]).
+    pub incremental_elapsed: Duration,
+    /// Wall-clock of the single closing `minimize()` pass.
+    pub minimize: Duration,
+    /// Mean `apply` time per batch.
+    pub mean_batch: Duration,
+    /// Mean wall-clock of a full static re-solve on the final graph.
+    pub resolve: Duration,
+    /// `resolve / mean_batch`: how many times cheaper one incrementally
+    /// maintained batch is than the re-solve a static deployment would need
+    /// to stay fresh.
+    pub speedup_per_batch: f64,
+    /// Batches whose cover passed the validity audit (`== batches` when
+    /// `verify_each_batch` and nothing is wrong).
+    pub valid_batches: usize,
+    /// Whether validity was audited at all.
+    pub verified: bool,
+    /// Final cover size after a closing `minimize()`.
+    pub final_cover: usize,
+    /// Cover size of the static re-solve on the final graph.
+    pub resolve_cover: usize,
+    /// Engine counters accumulated over the stream.
+    pub totals: UpdateMetrics,
+}
+
+impl StreamReport {
+    /// Applied updates per second of engine time.
+    pub fn updates_per_sec(&self) -> f64 {
+        self.updates_applied as f64 / self.incremental_elapsed.as_secs_f64()
+    }
+}
+
+/// Run the streaming churn scenario.
+pub fn run_stream(config: &StreamConfig) -> StreamReport {
+    assert!(config.batch_size > 0, "batch_size must be positive");
+    assert!(
+        (0.0..=1.0).contains(&config.churn),
+        "churn must be within 0.0..=1.0"
+    );
+    let constraint = HopConstraint::new(config.k);
+    let graph = erdos_renyi_gnm(config.vertices, config.initial_edges, config.seed);
+    let initial_edges = graph.num_edges();
+
+    let solver = Solver::new(Algorithm::TdbPlusPlus);
+    let seed_timer = Instant::now();
+    let mut dynamic = solver
+        .solve_dynamic_with_config(
+            graph,
+            &constraint,
+            DynamicConfig {
+                compaction_threshold: config.compaction_threshold,
+                ..Default::default()
+            },
+        )
+        .expect("unbudgeted solve cannot fail");
+    let seed_solve = seed_timer.elapsed();
+    let seed_cover = dynamic.cover().len();
+
+    // The update stream: removals sample the live edge set, insertions draw
+    // fresh (u, v) pairs. Deterministic in the config seed.
+    let mut rng = Xoshiro256::seed_from_u64(config.seed ^ 0x5EED_57EA);
+    let mut live: Vec<(VertexId, VertexId)> = dynamic
+        .graph()
+        .base()
+        .edges()
+        .map(|e| (e.source, e.target))
+        .collect();
+    let mut present: HashSet<(VertexId, VertexId)> = live.iter().copied().collect();
+    let churn_permille = (config.churn * 1000.0) as usize;
+
+    let mut incremental_elapsed = Duration::ZERO;
+    let mut batches = 0usize;
+    let mut valid_batches = 0usize;
+    let mut updates_applied = 0u64;
+    let mut streamed = 0usize;
+    while streamed < config.updates {
+        let mut batch = EdgeBatch::new();
+        while batch.len() < config.batch_size && streamed + batch.len() < config.updates {
+            let remove = !live.is_empty() && rng.next_index(1000) < churn_permille;
+            if remove {
+                let idx = rng.next_index(live.len());
+                let (u, v) = live.swap_remove(idx);
+                present.remove(&(u, v));
+                batch.remove(u, v);
+            } else {
+                let mut placed = false;
+                for _ in 0..8 {
+                    let u = rng.next_index(config.vertices) as VertexId;
+                    let v = rng.next_index(config.vertices) as VertexId;
+                    if u != v && present.insert((u, v)) {
+                        live.push((u, v));
+                        batch.insert(u, v);
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    break; // graph nearly complete; stop padding this batch
+                }
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        streamed += batch.len();
+        let window = dynamic.apply(&batch);
+        incremental_elapsed += window.elapsed;
+        updates_applied += window.updates();
+        batches += 1;
+        if config.verify_each_batch && dynamic.is_valid() {
+            valid_batches += 1;
+        }
+    }
+
+    let minimize_timer = Instant::now();
+    dynamic.minimize();
+    let minimize = minimize_timer.elapsed();
+    let final_cover = dynamic.cover().len();
+
+    // Baseline: the static alternative is a full re-solve per refresh.
+    let final_graph = dynamic.materialize();
+    let samples = config.resolve_samples.max(1);
+    let mut resolve_total = Duration::ZERO;
+    let mut resolve_cover = 0usize;
+    for _ in 0..samples {
+        let t = Instant::now();
+        let run = solver
+            .solve(&final_graph, &constraint)
+            .expect("unbudgeted solve cannot fail");
+        resolve_total += t.elapsed();
+        resolve_cover = run.cover_size();
+    }
+    let resolve = resolve_total / samples as u32;
+    let mean_batch = if batches > 0 {
+        incremental_elapsed / batches as u32
+    } else {
+        Duration::ZERO
+    };
+    let speedup_per_batch = if mean_batch.as_secs_f64() > 0.0 {
+        resolve.as_secs_f64() / mean_batch.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+
+    StreamReport {
+        vertices: config.vertices,
+        initial_edges,
+        seed_solve,
+        seed_cover,
+        updates_applied,
+        batches,
+        incremental_elapsed,
+        minimize,
+        mean_batch,
+        resolve,
+        speedup_per_batch,
+        valid_batches,
+        verified: config.verify_each_batch,
+        final_cover,
+        resolve_cover,
+        totals: *dynamic.totals(),
+    }
+}
+
+/// Render a report as the fixed-width lines the harness prints.
+pub fn format_stream_report(r: &StreamReport) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(format!(
+        "graph     |V|={} |E|0={}  seed solve {:.3}s (cover {})",
+        r.vertices,
+        r.initial_edges,
+        r.seed_solve.as_secs_f64(),
+        r.seed_cover
+    ));
+    out.push(format!(
+        "stream    {} updates in {} batches  {:.3}s incremental  {:.0} updates/sec",
+        r.updates_applied,
+        r.batches,
+        r.incremental_elapsed.as_secs_f64(),
+        r.updates_per_sec()
+    ));
+    out.push(format!(
+        "batch     mean {:.3}ms/batch vs full re-solve {:.3}ms  => {:.1}x per refresh",
+        r.mean_batch.as_secs_f64() * 1e3,
+        r.resolve.as_secs_f64() * 1e3,
+        r.speedup_per_batch
+    ));
+    out.push(format!(
+        "covers    final {} (re-solve {})  breakers {}  pruned {}  compactions {}  minimize {:.3}ms",
+        r.final_cover,
+        r.resolve_cover,
+        r.totals.breakers_added,
+        r.totals.pruned,
+        r.totals.compactions,
+        r.minimize.as_secs_f64() * 1e3
+    ));
+    out.push(if r.verified {
+        format!(
+            "validity  {}/{} batches valid{}",
+            r.valid_batches,
+            r.batches,
+            if r.valid_batches == r.batches {
+                " (all)"
+            } else {
+                "  ** FAILURE **"
+            }
+        )
+    } else {
+        "validity  not audited".to_string()
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_stream_is_valid_throughout() {
+        let mut config = StreamConfig::smoke();
+        config.vertices = 300;
+        config.initial_edges = 1_200;
+        config.updates = 200;
+        config.batch_size = 25;
+        let report = run_stream(&config);
+        assert!(report.batches > 0);
+        assert_eq!(
+            report.valid_batches, report.batches,
+            "an intermediate cover was invalid"
+        );
+        assert!(report.updates_applied > 0);
+        assert!(report.incremental_elapsed > Duration::ZERO);
+        let lines = format_stream_report(&report);
+        assert!(lines.iter().any(|l| l.contains("updates/sec")));
+        assert!(lines.iter().any(|l| l.contains("(all)")));
+    }
+
+    #[test]
+    fn pure_insert_and_pure_remove_streams() {
+        for churn in [0.0, 1.0] {
+            let config = StreamConfig {
+                vertices: 200,
+                initial_edges: 800,
+                updates: 120,
+                batch_size: 30,
+                churn,
+                k: 4,
+                seed: 3,
+                compaction_threshold: 0,
+                verify_each_batch: true,
+                resolve_samples: 1,
+            };
+            let report = run_stream(&config);
+            assert_eq!(report.valid_batches, report.batches, "churn {churn}");
+            if churn == 0.0 {
+                assert_eq!(report.totals.removes, 0);
+            } else {
+                assert_eq!(report.totals.inserts, 0);
+            }
+        }
+    }
+}

@@ -71,6 +71,19 @@ impl CycleCover {
         active
     }
 
+    /// Add a vertex to the cover (no-op if present). Returns `true` when the
+    /// cover changed. Used by the incremental repair path in `tdb-dynamic`,
+    /// which breaks newly exposed cycles one vertex at a time.
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        match self.vertices.binary_search(&v) {
+            Ok(_) => false,
+            Err(idx) => {
+                self.vertices.insert(idx, v);
+                true
+            }
+        }
+    }
+
     /// Remove a vertex from the cover (no-op if absent). Used by the minimal
     /// pruning pass.
     pub fn remove(&mut self, v: VertexId) -> bool {

@@ -69,7 +69,7 @@ pub mod two_cycle;
 pub mod verify;
 
 pub use cover::{CoverRun, CycleCover, RunMetrics};
-pub use solver::{CoverAlgorithm, SolveContext, SolveError, SolveProgress, Solver};
+pub use solver::{CoverAlgorithm, SolveContext, SolveError, SolveProgress, Solver, TwoCycleMode};
 pub use tdb_cycle::HopConstraint;
 
 use tdb_graph::CsrGraph;
@@ -226,7 +226,9 @@ pub mod prelude {
     pub use crate::parallel::{
         parallel_top_down_cover, parallel_top_down_cover_with, ParallelConfig,
     };
-    pub use crate::solver::{CoverAlgorithm, SolveContext, SolveError, SolveProgress, Solver};
+    pub use crate::solver::{
+        CoverAlgorithm, SolveContext, SolveError, SolveProgress, Solver, TwoCycleMode,
+    };
     pub use crate::top_down::{top_down_cover, top_down_cover_with, ScanOrder, TopDownConfig};
     pub use crate::two_cycle::{combined_cover, minimal_two_cycle_cover};
     pub use crate::verify::{is_valid_cover, verify_cover};

@@ -12,7 +12,7 @@
 
 use tdb_cycle::find_cycle::find_cycle_through;
 use tdb_cycle::{BlockSearcher, HopConstraint};
-use tdb_graph::{Graph, VertexId};
+use tdb_graph::{GraphView, VertexId};
 
 use crate::cover::{CycleCover, RunMetrics};
 use crate::solver::{SolveContext, SolveError};
@@ -33,8 +33,8 @@ pub enum SearchEngine {
 ///
 /// Returns the number of removed vertices. `metrics.cycle_queries` is advanced
 /// by one per examined vertex.
-pub fn minimal_prune<G: Graph>(
-    g: &G,
+pub fn minimal_prune<V: GraphView>(
+    g: &V,
     cover: &mut CycleCover,
     constraint: &HopConstraint,
     engine: SearchEngine,
@@ -47,8 +47,8 @@ pub fn minimal_prune<G: Graph>(
 
 /// Budget-aware variant of [`minimal_prune`]: checks the context's deadline
 /// once per examined cover vertex.
-pub fn minimal_prune_with<G: Graph>(
-    g: &G,
+pub fn minimal_prune_with<V: GraphView>(
+    g: &V,
     cover: &mut CycleCover,
     constraint: &HopConstraint,
     engine: SearchEngine,
@@ -56,7 +56,7 @@ pub fn minimal_prune_with<G: Graph>(
     ctx: &mut SolveContext,
 ) -> Result<usize, SolveError> {
     ctx.ensure_armed();
-    let n = g.num_vertices();
+    let n = g.vertex_count();
     // G − R + {v}: all non-cover vertices are active; cover vertices inactive.
     let mut active = cover.reduced_active_set(n);
     let mut block = match engine {
@@ -94,12 +94,12 @@ pub fn minimal_prune_with<G: Graph>(
 /// *original* cover; a cover can have several individually-redundant vertices
 /// of which only a subset can actually be removed together. [`minimal_prune`]
 /// performs the committed, order-dependent removal.
-pub fn redundant_vertices<G: Graph>(
-    g: &G,
+pub fn redundant_vertices<V: GraphView>(
+    g: &V,
     cover: &CycleCover,
     constraint: &HopConstraint,
 ) -> Vec<VertexId> {
-    let n = g.num_vertices();
+    let n = g.vertex_count();
     let mut active = cover.reduced_active_set(n);
     let mut searcher = BlockSearcher::new(n);
     let mut redundant = Vec::new();

@@ -38,11 +38,14 @@ use tdb_cycle::HopConstraint;
 use tdb_graph::CsrGraph;
 
 use crate::bottom_up::BottomUpConfig;
-use crate::cover::{CoverRun, RunMetrics};
+use crate::cover::{CoverRun, CycleCover, RunMetrics};
 use crate::darc::DarcDvConfig;
 use crate::parallel::ParallelConfig;
+use crate::stats::Timer;
 use crate::top_down::{ScanOrder, TopDownConfig};
+use crate::two_cycle::minimal_two_cycle_cover;
 use crate::Algorithm;
+use tdb_graph::{Graph, VertexId};
 
 /// Why a solve did not produce a cover.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -250,6 +253,27 @@ pub trait CoverAlgorithm {
     ) -> Result<CoverRun, SolveError>;
 }
 
+/// How a [`Solver`] treats 2-cycles (bidirectional edge pairs), the Table IV
+/// dimension of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TwoCycleMode {
+    /// Cover whatever the caller's [`HopConstraint`] asks for (the default):
+    /// 2-cycles are covered iff `constraint.include_two_cycles` is set.
+    #[default]
+    FollowConstraint,
+    /// Force Table IV mode: the constraint is upgraded to
+    /// [`HopConstraint::with_two_cycles`] regardless of what the caller passed,
+    /// and the configured algorithm covers lengths `2..=k` directly.
+    Integrated,
+    /// The paper's "verify 2-cycles separately" strategy, generalized from
+    /// [`crate::two_cycle::combined_cover`] to every algorithm: a minimal
+    /// matching-based 2-cycle cover is computed first, and the configured
+    /// algorithm then covers the `3..=k` cycles of the residual graph. The
+    /// union is valid for `2..=k` but typically a little larger than
+    /// [`TwoCycleMode::Integrated`].
+    Separate,
+}
+
 /// The unified entry point: configure once, solve any graph.
 ///
 /// `Solver` maps an [`Algorithm`] to its family configuration and applies the
@@ -274,6 +298,7 @@ pub struct Solver {
     threads: usize,
     time_budget: Option<Duration>,
     seed: u64,
+    two_cycle_mode: TwoCycleMode,
 }
 
 impl Solver {
@@ -285,6 +310,7 @@ impl Solver {
             threads: 0,
             time_budget: None,
             seed: 0,
+            two_cycle_mode: TwoCycleMode::FollowConstraint,
         }
     }
 
@@ -320,6 +346,31 @@ impl Solver {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Also cover 2-cycles (Table IV mode), regardless of the constraint the
+    /// caller passes to [`Solver::solve`].
+    ///
+    /// `with_two_cycles(true)` selects [`TwoCycleMode::Integrated`]; `false`
+    /// restores the default [`TwoCycleMode::FollowConstraint`]. Use
+    /// [`Solver::with_two_cycle_mode`] for the separate two-phase strategy.
+    pub fn with_two_cycles(self, enabled: bool) -> Self {
+        self.with_two_cycle_mode(if enabled {
+            TwoCycleMode::Integrated
+        } else {
+            TwoCycleMode::FollowConstraint
+        })
+    }
+
+    /// Select how 2-cycles are handled (see [`TwoCycleMode`]).
+    pub fn with_two_cycle_mode(mut self, mode: TwoCycleMode) -> Self {
+        self.two_cycle_mode = mode;
+        self
+    }
+
+    /// The configured 2-cycle handling.
+    pub fn two_cycle_mode(&self) -> TwoCycleMode {
+        self.two_cycle_mode
     }
 
     /// The scan order the configured algorithm will use.
@@ -380,7 +431,46 @@ impl Solver {
         ctx: &mut SolveContext,
     ) -> Result<CoverRun, SolveError> {
         ctx.arm();
-        self.build_algorithm().solve(g, constraint, ctx)
+        match self.two_cycle_mode {
+            TwoCycleMode::FollowConstraint => self.build_algorithm().solve(g, constraint, ctx),
+            TwoCycleMode::Integrated => {
+                let upgraded = HopConstraint::with_two_cycles(constraint.max_hops);
+                self.build_algorithm().solve(g, &upgraded, ctx)
+            }
+            TwoCycleMode::Separate => self.solve_separate(g, constraint.max_hops, ctx),
+        }
+    }
+
+    /// The [`TwoCycleMode::Separate`] strategy: minimal 2-cycle cover first,
+    /// then the configured algorithm on the residual graph for `3..=k`.
+    fn solve_separate(
+        &self,
+        g: &CsrGraph,
+        k: usize,
+        ctx: &mut SolveContext,
+    ) -> Result<CoverRun, SolveError> {
+        let timer = Timer::start();
+        let two = minimal_two_cycle_cover(g);
+        let mut remove = vec![false; g.num_vertices()];
+        for v in two.iter() {
+            remove[v as usize] = true;
+        }
+        let residual = g.remove_vertices(&remove);
+        let rest = self
+            .build_algorithm()
+            .solve(&residual, &HopConstraint::new(k), ctx)?;
+
+        let mut metrics = rest.metrics;
+        metrics.algorithm = format!("2CYC+{}", self.algorithm.name());
+        metrics.include_two_cycles = true;
+        metrics.working_edges = g.num_edges();
+        let mut vertices: Vec<VertexId> = two.into_vertices();
+        vertices.extend(rest.cover.iter());
+        metrics.elapsed = timer.elapsed();
+        Ok(CoverRun {
+            cover: CycleCover::from_vertices(vertices),
+            metrics,
+        })
     }
 }
 
@@ -481,6 +571,69 @@ mod tests {
     fn g_num_vertices(g: &CsrGraph) -> u64 {
         use tdb_graph::Graph;
         g.num_vertices() as u64
+    }
+
+    #[test]
+    fn two_cycle_builder_upgrades_the_constraint() {
+        use tdb_graph::gen::{preferential_attachment, PreferentialConfig};
+        let g = preferential_attachment(&PreferentialConfig {
+            num_vertices: 80,
+            out_degree: 3,
+            reciprocity: 0.5,
+            random_rewire: 0.15,
+            seed: 11,
+        });
+        let plain = HopConstraint::new(4);
+        let upgraded = HopConstraint::with_two_cycles(4);
+        for algorithm in Algorithm::all() {
+            let via_builder = Solver::new(algorithm)
+                .with_two_cycles(true)
+                .solve(&g, &plain)
+                .unwrap();
+            let via_constraint = Solver::new(algorithm).solve(&g, &upgraded).unwrap();
+            assert_eq!(via_builder.cover, via_constraint.cover, "{algorithm}");
+            assert!(via_builder.metrics.include_two_cycles, "{algorithm}");
+            assert!(
+                verify_cover(&g, &via_builder.cover, &upgraded).is_valid,
+                "{algorithm}"
+            );
+        }
+        // Turning the flag back off restores FollowConstraint.
+        let solver = Solver::new(Algorithm::TdbPlusPlus)
+            .with_two_cycles(true)
+            .with_two_cycles(false);
+        assert_eq!(solver.two_cycle_mode(), TwoCycleMode::FollowConstraint);
+    }
+
+    #[test]
+    fn separate_two_cycle_mode_is_valid_and_labelled() {
+        use crate::two_cycle::covers_all_two_cycles;
+        use tdb_graph::gen::{preferential_attachment, PreferentialConfig};
+        let g = preferential_attachment(&PreferentialConfig {
+            num_vertices: 100,
+            out_degree: 3,
+            reciprocity: 0.4,
+            random_rewire: 0.1,
+            seed: 29,
+        });
+        let upgraded = HopConstraint::with_two_cycles(4);
+        for algorithm in [Algorithm::TdbPlusPlus, Algorithm::BurPlus] {
+            let run = Solver::new(algorithm)
+                .with_two_cycle_mode(TwoCycleMode::Separate)
+                .solve(&g, &HopConstraint::new(4))
+                .unwrap();
+            assert!(
+                verify_cover(&g, &run.cover, &upgraded).is_valid,
+                "{algorithm}"
+            );
+            assert!(covers_all_two_cycles(&g, &run.cover), "{algorithm}");
+            assert_eq!(
+                run.metrics.algorithm,
+                format!("2CYC+{}", algorithm.name()),
+                "{algorithm}"
+            );
+            assert!(run.metrics.include_two_cycles);
+        }
     }
 
     #[test]

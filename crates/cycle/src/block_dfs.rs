@@ -23,7 +23,7 @@
 //! All scratch state is epoch-stamped so a long-lived [`BlockSearcher`] performs
 //! no `O(n)` work between queries.
 
-use tdb_graph::{ActiveSet, Graph, VertexId};
+use tdb_graph::{ActiveSet, GraphView, VertexId};
 
 use crate::HopConstraint;
 
@@ -82,9 +82,9 @@ impl BlockSearcher {
     /// Whether a hop-constrained simple cycle through `s` exists in the active
     /// subgraph. Equivalent to `self.find_cycle_through(..).is_some()` but
     /// without materializing the witness.
-    pub fn is_on_constrained_cycle<G: Graph>(
+    pub fn is_on_constrained_cycle<V: GraphView>(
         &mut self,
-        g: &G,
+        g: &V,
         active: &ActiveSet,
         s: VertexId,
         constraint: &HopConstraint,
@@ -98,16 +98,16 @@ impl BlockSearcher {
     /// Returns `None` when no such cycle exists — this is the "vertex `s` is
     /// not necessary" outcome that lets the top-down algorithm release `s` from
     /// the cover.
-    pub fn find_cycle_through<G: Graph>(
+    pub fn find_cycle_through<V: GraphView>(
         &mut self,
-        g: &G,
+        g: &V,
         active: &ActiveSet,
         s: VertexId,
         constraint: &HopConstraint,
     ) -> Option<Vec<VertexId>> {
-        debug_assert_eq!(g.num_vertices(), self.block.len());
+        debug_assert_eq!(g.vertex_count(), self.block.len());
         self.stats.queries += 1;
-        if !active.is_active(s) || g.out_degree(s) == 0 || g.in_degree(s) == 0 {
+        if !active.is_active(s) || g.out_deg(s) == 0 || g.in_deg(s) == 0 {
             return None;
         }
         self.bump_epoch();
@@ -153,9 +153,9 @@ impl BlockSearcher {
 
     /// Algorithm 9 (`NodeNecessary`), specialised to terminate at the first
     /// witness. Recursion depth is bounded by `k + 1`.
-    fn dfs<G: Graph>(
+    fn dfs<V: GraphView>(
         &mut self,
-        g: &G,
+        g: &V,
         active: &ActiveSet,
         s: VertexId,
         u: VertexId,
@@ -173,7 +173,7 @@ impl BlockSearcher {
 
         let sz = stack.len(); // vertices on the open path, = cycle length if closed now
         let mut found = false;
-        for &v in g.out_neighbors(u) {
+        for v in g.out_iter(u) {
             self.stats.edges_scanned += 1;
             if !active.is_active(v) {
                 continue;
@@ -213,6 +213,19 @@ impl BlockSearcher {
         if !found {
             stack.pop();
             self.on_stack[u as usize] = false;
+            // If a true short distance to `s` was discovered for `u` mid-scan
+            // (the excluded-2-cycle branch above lowered `u.block` below the
+            // pessimistic failed-subtree bound), re-propagate it now that the
+            // subtree has unwound: vertices explored *after* the discovery
+            // acquired failed-subtree bounds conditioned on `u` sitting on the
+            // stack, and those bounds are stale the moment `u` pops — without
+            // this repair they incorrectly prune later branches that reach `s`
+            // through `u` (e.g. w -> u -> s).
+            let pessimistic = (k + 1 - hops_to_u) as u32;
+            let current = self.block_of(u);
+            if current < pessimistic {
+                self.unblock(g, active, u, current);
+            }
         }
         found
     }
@@ -221,12 +234,12 @@ impl BlockSearcher {
     /// improved bound backwards over in-neighbors that are not on the stack.
     /// Implemented with an explicit worklist so that long in-neighbor chains
     /// cannot overflow the call stack.
-    fn unblock<G: Graph>(&mut self, g: &G, active: &ActiveSet, u: VertexId, level: u32) {
+    fn unblock<V: GraphView>(&mut self, g: &V, active: &ActiveSet, u: VertexId, level: u32) {
         self.unblock_worklist.clear();
         self.unblock_worklist.push((u, level));
         while let Some((x, l)) = self.unblock_worklist.pop() {
             self.set_block(x, l);
-            for &w in g.in_neighbors(x) {
+            for w in g.in_iter(x) {
                 if active.is_active(w) && !self.on_stack[w as usize] && self.block_of(w) > l + 1 {
                     self.unblock_worklist.push((w, l + 1));
                 }
@@ -244,9 +257,10 @@ mod tests {
         directed_cycle, directed_path, erdos_renyi_gnm, layered_dag, preferential_attachment,
         PreferentialConfig,
     };
+    use tdb_graph::Graph;
 
-    fn all_active(g: &impl Graph) -> ActiveSet {
-        ActiveSet::all_active(g.num_vertices())
+    fn all_active(g: &impl GraphView) -> ActiveSet {
+        ActiveSet::all_active(g.vertex_count())
     }
 
     #[test]
@@ -324,6 +338,56 @@ mod tests {
             let naive = find_cycle_through(&g, &active, v, &constraint).is_some();
             let block = searcher.is_on_constrained_cycle(&g, &active, v, &constraint);
             assert_eq!(naive, block, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn stale_bound_after_two_cycle_discovery_is_repropagated_on_pop() {
+        // Regression shape for the pop-time Unblock repair: scanning from 0,
+        // the subtree of 3 first rejects the 2-cycle 0 <-> 3 (lowering 3's
+        // block to its true distance 1), then visits 11, which fails and
+        // records a pessimistic bound *conditioned on 3 being on the stack*.
+        // When 3 pops, that bound is stale — the 4-cycle 0 -> 7 -> 11 -> 3 -> 0
+        // reaches 0 through 3 — and must be repaired, or the 7-branch prunes
+        // the only witness.
+        let g = graph_from_edges(&[(0, 3), (3, 0), (3, 11), (0, 7), (7, 11), (11, 3)]);
+        let active = all_active(&g);
+        let constraint = HopConstraint::new(4);
+        let mut searcher = BlockSearcher::new(g.num_vertices());
+        for v in [0u32, 3, 7, 11] {
+            let naive = find_cycle_through(&g, &active, v, &constraint).is_some();
+            let block = searcher.is_on_constrained_cycle(&g, &active, v, &constraint);
+            assert_eq!(naive, block, "vertex {v}");
+        }
+        let witness = searcher
+            .find_cycle_through(&g, &active, 0, &constraint)
+            .unwrap();
+        assert!(is_valid_cycle(&g, &active, &witness, &constraint));
+    }
+
+    #[test]
+    fn differential_test_on_reciprocated_random_graphs() {
+        // Dense-in-2-cycles random graphs stress the pop-time repair path far
+        // harder than plain G(n, m): reciprocated pairs are what seed the
+        // stale bounds.
+        for seed in 0..10u64 {
+            let g = preferential_attachment(&PreferentialConfig {
+                num_vertices: 40,
+                out_degree: 3,
+                reciprocity: 0.6,
+                random_rewire: 0.25,
+                seed,
+            });
+            let active = all_active(&g);
+            let mut searcher = BlockSearcher::new(g.num_vertices());
+            for k in [3usize, 4, 5, 6] {
+                let constraint = HopConstraint::new(k);
+                for v in g.vertices() {
+                    let naive = find_cycle_through(&g, &active, v, &constraint).is_some();
+                    let block = searcher.is_on_constrained_cycle(&g, &active, v, &constraint);
+                    assert_eq!(naive, block, "seed {seed}, k {k}, vertex {v}");
+                }
+            }
         }
     }
 

@@ -1,0 +1,306 @@
+//! Edge-anchored hop-constrained cycle search — the inner primitive of the
+//! incremental cover maintenance in `tdb-dynamic`.
+//!
+//! When an edge `(u, v)` is inserted into a graph whose constrained cycles are
+//! already covered, the only cycles that can newly violate the cover are the
+//! ones *containing that edge*. Finding them does not need a full per-vertex
+//! scan: a cycle through `(u, v)` is the edge plus a simple path from `v` back
+//! to `u`, so the query is a bounded path search.
+//!
+//! [`EdgeCycleSearcher`] answers it with a bounded bidirectional strategy:
+//!
+//! 1. a *backward* hop-bounded BFS from `u` (over in-edges, [`BoundedBfs`])
+//!    computes `dist(x, u)` for every active vertex within `k − 1` hops, and
+//! 2. a *forward* DFS from `v` extends simple paths, pruning any branch whose
+//!    optimistic completion `|path| + dist(x, u)` already exceeds `k`.
+//!
+//! The BFS distances ignore the DFS's on-path exclusions, so they are
+//! admissible lower bounds and the search is exact: it returns a witness iff a
+//! constrained simple cycle through the edge exists in the active subgraph.
+//! Like the other engines in this crate, all scratch state is reusable across
+//! queries, and the search is generic over [`GraphView`] so it runs directly
+//! on the `DeltaGraph` overlay.
+
+use tdb_graph::{ActiveSet, GraphView, VertexId};
+
+use crate::reach::{BoundedBfs, Direction};
+use crate::HopConstraint;
+
+/// Reusable engine finding hop-constrained simple cycles through a given edge.
+#[derive(Debug, Clone)]
+pub struct EdgeCycleSearcher {
+    bfs: BoundedBfs,
+    on_path: Vec<bool>,
+    path: Vec<VertexId>,
+}
+
+impl EdgeCycleSearcher {
+    /// Create a searcher for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        EdgeCycleSearcher {
+            bfs: BoundedBfs::new(n),
+            on_path: vec![false; n],
+            path: Vec::new(),
+        }
+    }
+
+    /// Number of vertices the scratch state is sized for.
+    pub fn capacity(&self) -> usize {
+        self.on_path.len()
+    }
+
+    /// Grow the scratch state to serve graphs with at least `n` vertices.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if n > self.on_path.len() {
+            self.bfs = BoundedBfs::new(n);
+            self.on_path = vec![false; n];
+        }
+    }
+
+    /// Find one constrained simple cycle containing the directed edge
+    /// `(u, v)` in the active subgraph.
+    ///
+    /// The witness is returned as `[u, v, x1, ..., xt]` with the closing edge
+    /// `xt -> u` implicit (for a 2-cycle, just `[u, v]`). Returns `None` when
+    /// the edge is absent, an endpoint is inactive, or every cycle through the
+    /// edge violates the hop constraint.
+    pub fn find_cycle_through_edge<V: GraphView>(
+        &mut self,
+        g: &V,
+        active: &ActiveSet,
+        u: VertexId,
+        v: VertexId,
+        constraint: &HopConstraint,
+    ) -> Option<Vec<VertexId>> {
+        debug_assert!(g.vertex_count() <= self.capacity());
+        if u == v || !active.is_active(u) || !active.is_active(v) || !g.contains_edge(u, v) {
+            return None;
+        }
+        // Backward pass: hop-bounded distances *to* u. Any return path needs
+        // at most k - 1 edges (the edge (u, v) spends one hop).
+        self.bfs
+            .run(g, active, u, constraint.max_hops - 1, Direction::Backward);
+        self.bfs.distance(v)?; // v cannot reach u => no cycle through (u, v)
+
+        self.path.clear();
+        self.path.push(u);
+        self.path.push(v);
+        self.on_path[u as usize] = true;
+        self.on_path[v as usize] = true;
+        let found = self.dfs(g, active, u, v, constraint);
+        let witness = if found { Some(self.path.clone()) } else { None };
+        for &x in &self.path {
+            self.on_path[x as usize] = false;
+        }
+        self.path.clear();
+        witness
+    }
+
+    /// Whether any constrained simple cycle contains the edge `(u, v)`.
+    pub fn edge_on_constrained_cycle<V: GraphView>(
+        &mut self,
+        g: &V,
+        active: &ActiveSet,
+        u: VertexId,
+        v: VertexId,
+        constraint: &HopConstraint,
+    ) -> bool {
+        self.find_cycle_through_edge(g, active, u, v, constraint)
+            .is_some()
+    }
+
+    /// Forward DFS from `c` (the current path tip) toward `target`, pruned by
+    /// the backward BFS distances. Recursion depth is bounded by `k`.
+    fn dfs<V: GraphView>(
+        &mut self,
+        g: &V,
+        active: &ActiveSet,
+        target: VertexId,
+        c: VertexId,
+        constraint: &HopConstraint,
+    ) -> bool {
+        let d = self.path.len(); // vertices on the open path, = cycle length if closed now
+        let k = constraint.max_hops;
+        for w in g.out_iter(c) {
+            if w == target {
+                if constraint.covers_len(d) {
+                    return true;
+                }
+                continue;
+            }
+            if d >= k || !active.is_active(w) || self.on_path[w as usize] {
+                continue;
+            }
+            // Optimistic completion bound: extending to w yields d + 1 path
+            // vertices, and the shortest continuation w ->* target adds at
+            // least dist(w) - 1 more, so the cycle has >= d + dist(w)
+            // vertices. Unreached w (None) cannot close within the budget.
+            match self.bfs.distance(w) {
+                Some(dist) if d + dist as usize <= k => {}
+                _ => continue,
+            }
+            self.path.push(w);
+            self.on_path[w as usize] = true;
+            if self.dfs(g, active, target, w, constraint) {
+                return true;
+            }
+            self.path.pop();
+            self.on_path[w as usize] = false;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_cycles;
+    use crate::find_cycle::is_valid_cycle;
+    use tdb_graph::builder::graph_from_edges;
+    use tdb_graph::gen::{erdos_renyi_gnm, Xoshiro256};
+    use tdb_graph::{DeltaGraph, Graph};
+
+    fn all_active(g: &impl GraphView) -> ActiveSet {
+        ActiveSet::all_active(g.vertex_count())
+    }
+
+    #[test]
+    fn finds_cycle_through_each_triangle_edge() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0)]);
+        let active = all_active(&g);
+        let constraint = HopConstraint::new(4);
+        let mut s = EdgeCycleSearcher::new(3);
+        for (u, v) in [(0, 1), (1, 2), (2, 0)] {
+            let c = s
+                .find_cycle_through_edge(&g, &active, u, v, &constraint)
+                .unwrap();
+            assert_eq!(c[0], u);
+            assert_eq!(c[1], v);
+            assert!(is_valid_cycle(&g, &active, &c, &constraint), "{c:?}");
+        }
+        // An absent edge never has a cycle through it.
+        assert!(s
+            .find_cycle_through_edge(&g, &active, 1, 0, &constraint)
+            .is_none());
+    }
+
+    #[test]
+    fn hop_constraint_bounds_the_witness() {
+        // A 3-cycle and a 5-cycle sharing the edge (0, 1).
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (1, 3), (3, 4), (4, 5), (5, 0)]);
+        let active = all_active(&g);
+        let mut s = EdgeCycleSearcher::new(g.num_vertices());
+        let c3 = s
+            .find_cycle_through_edge(&g, &active, 0, 1, &HopConstraint::new(3))
+            .unwrap();
+        assert_eq!(c3.len(), 3);
+        // k = 4: only the 3-cycle fits; the edge (1, 3) only closes at length 5.
+        assert!(s
+            .find_cycle_through_edge(&g, &active, 1, 3, &HopConstraint::new(4))
+            .is_none());
+        let c5 = s
+            .find_cycle_through_edge(&g, &active, 1, 3, &HopConstraint::new(5))
+            .unwrap();
+        assert_eq!(c5.len(), 5);
+    }
+
+    #[test]
+    fn two_cycle_modes() {
+        let g = graph_from_edges(&[(0, 1), (1, 0)]);
+        let active = all_active(&g);
+        let mut s = EdgeCycleSearcher::new(2);
+        assert!(s
+            .find_cycle_through_edge(&g, &active, 0, 1, &HopConstraint::new(5))
+            .is_none());
+        let c = s
+            .find_cycle_through_edge(&g, &active, 0, 1, &HopConstraint::with_two_cycles(5))
+            .unwrap();
+        assert_eq!(c, vec![0, 1]);
+    }
+
+    #[test]
+    fn cover_vertices_block_witnesses() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (1, 3), (3, 0)]);
+        let mut active = all_active(&g);
+        let constraint = HopConstraint::new(4);
+        let mut s = EdgeCycleSearcher::new(g.num_vertices());
+        assert!(s.edge_on_constrained_cycle(&g, &active, 0, 1, &constraint));
+        active.deactivate(2);
+        // The 3-cycle is gone but 0 -> 1 -> 3 -> 0 remains.
+        let c = s
+            .find_cycle_through_edge(&g, &active, 0, 1, &constraint)
+            .unwrap();
+        assert_eq!(c, vec![0, 1, 3]);
+        active.deactivate(3);
+        assert!(!s.edge_on_constrained_cycle(&g, &active, 0, 1, &constraint));
+        // Inactive endpoints short-circuit.
+        active.deactivate(0);
+        assert!(!s.edge_on_constrained_cycle(&g, &active, 0, 1, &constraint));
+    }
+
+    #[test]
+    fn agrees_with_enumeration_on_random_graphs() {
+        // Exactness: for every edge of a batch of random graphs, the searcher
+        // reports a cycle through that edge iff full enumeration contains one.
+        for seed in 0..10u64 {
+            let g = erdos_renyi_gnm(18, 60, seed);
+            let mut active = all_active(&g);
+            // Punch holes to exercise reduced-graph behaviour.
+            let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xABCD);
+            for _ in 0..4 {
+                active.deactivate(rng.next_index(18) as VertexId);
+            }
+            for k in [3usize, 4, 5] {
+                for include2 in [false, true] {
+                    let constraint = if include2 {
+                        HopConstraint::with_two_cycles(k)
+                    } else {
+                        HopConstraint::new(k)
+                    };
+                    let cycles = enumerate_cycles(&g, &active, &constraint, 1_000_000);
+                    let mut s = EdgeCycleSearcher::new(g.num_vertices());
+                    for e in g.edges() {
+                        let expected = cycles.iter().any(|c| {
+                            c.iter()
+                                .zip(c.iter().cycle().skip(1))
+                                .take(c.len())
+                                .any(|(&a, &b)| a == e.source && b == e.target)
+                        });
+                        let got = s.edge_on_constrained_cycle(
+                            &g,
+                            &active,
+                            e.source,
+                            e.target,
+                            &constraint,
+                        );
+                        assert_eq!(
+                            got, expected,
+                            "seed {seed}, k {k}, include2 {include2}, edge {e}"
+                        );
+                        if let Some(c) =
+                            s.find_cycle_through_edge(&g, &active, e.source, e.target, &constraint)
+                        {
+                            assert!(is_valid_cycle(&g, &active, &c, &constraint), "{c:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runs_on_delta_graph_overlays() {
+        let mut g = DeltaGraph::new(graph_from_edges(&[(0, 1), (1, 2)]));
+        let constraint = HopConstraint::new(3);
+        let mut s = EdgeCycleSearcher::new(3);
+        let active = ActiveSet::all_active(3);
+        assert!(!s.edge_on_constrained_cycle(&g, &active, 0, 1, &constraint));
+        g.insert_edge(2, 0);
+        let c = s
+            .find_cycle_through_edge(&g, &active, 2, 0, &constraint)
+            .unwrap();
+        assert_eq!(c, vec![2, 0, 1]);
+        g.remove_edge(1, 2);
+        assert!(!s.edge_on_constrained_cycle(&g, &active, 2, 0, &constraint));
+    }
+}

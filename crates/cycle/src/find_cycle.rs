@@ -6,7 +6,7 @@
 //! that closes back on the start. The worst case is `O(n^k)`, which is exactly
 //! the complexity the paper attributes to the bottom-up family.
 
-use tdb_graph::{ActiveSet, Graph, VertexId};
+use tdb_graph::{ActiveSet, GraphView, VertexId};
 
 use crate::HopConstraint;
 
@@ -19,8 +19,12 @@ use crate::HopConstraint;
 ///
 /// `start` itself must be active; inactive query vertices trivially return
 /// `None`.
-pub fn find_cycle_through<G: Graph>(
-    g: &G,
+///
+/// Generic over [`GraphView`], so the search runs identically on a plain
+/// [`tdb_graph::CsrGraph`] and on the [`tdb_graph::DeltaGraph`] overlay used
+/// by the incremental-maintenance subsystem.
+pub fn find_cycle_through<V: GraphView>(
+    g: &V,
     active: &ActiveSet,
     start: VertexId,
     constraint: &HopConstraint,
@@ -28,7 +32,7 @@ pub fn find_cycle_through<G: Graph>(
     if !active.is_active(start) {
         return None;
     }
-    let mut on_path = vec![false; g.num_vertices()];
+    let mut on_path = vec![false; g.vertex_count()];
     let mut path: Vec<VertexId> = Vec::with_capacity(constraint.max_hops + 1);
     path.push(start);
     on_path[start as usize] = true;
@@ -39,8 +43,8 @@ pub fn find_cycle_through<G: Graph>(
     }
 }
 
-fn dfs<G: Graph>(
-    g: &G,
+fn dfs<V: GraphView>(
+    g: &V,
     active: &ActiveSet,
     start: VertexId,
     constraint: &HopConstraint,
@@ -49,7 +53,7 @@ fn dfs<G: Graph>(
 ) -> bool {
     let current = *path.last().expect("path never empty");
     let len = path.len(); // number of vertices on the open path
-    for &next in g.out_neighbors(current) {
+    for next in g.out_iter(current) {
         if !active.is_active(next) {
             continue;
         }
@@ -82,8 +86,8 @@ fn dfs<G: Graph>(
 /// Check whether the returned vertex sequence really is a hop-constrained
 /// simple cycle of the graph. Used by tests and by the verifier to validate
 /// witnesses produced by any of the search routines.
-pub fn is_valid_cycle<G: Graph>(
-    g: &G,
+pub fn is_valid_cycle<V: GraphView>(
+    g: &V,
     active: &ActiveSet,
     cycle: &[VertexId],
     constraint: &HopConstraint,
@@ -95,7 +99,7 @@ pub fn is_valid_cycle<G: Graph>(
     // All vertices distinct and active.
     let mut seen = std::collections::HashSet::with_capacity(len);
     for &v in cycle {
-        if (v as usize) >= g.num_vertices() || !active.is_active(v) || !seen.insert(v) {
+        if (v as usize) >= g.vertex_count() || !active.is_active(v) || !seen.insert(v) {
             return false;
         }
     }
@@ -103,7 +107,7 @@ pub fn is_valid_cycle<G: Graph>(
     for i in 0..len {
         let u = cycle[i];
         let v = cycle[(i + 1) % len];
-        if !g.has_edge(u, v) {
+        if !g.contains_edge(u, v) {
             return false;
         }
     }
@@ -115,9 +119,10 @@ mod tests {
     use super::*;
     use tdb_graph::builder::graph_from_edges;
     use tdb_graph::gen::{directed_cycle, directed_path, layered_dag};
+    use tdb_graph::Graph;
 
-    fn all_active(g: &impl Graph) -> ActiveSet {
-        ActiveSet::all_active(g.num_vertices())
+    fn all_active(g: &impl GraphView) -> ActiveSet {
+        ActiveSet::all_active(g.vertex_count())
     }
 
     #[test]

@@ -31,12 +31,14 @@
 
 pub mod bfs_filter;
 pub mod block_dfs;
+pub mod edge_search;
 pub mod enumerate;
 pub mod find_cycle;
 pub mod reach;
 
 pub use bfs_filter::BfsFilter;
 pub use block_dfs::BlockSearcher;
+pub use edge_search::EdgeCycleSearcher;
 pub use find_cycle::find_cycle_through;
 
 /// The hop constraint governing which cycles must be covered.

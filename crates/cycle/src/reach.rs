@@ -6,7 +6,7 @@
 //! direction (distance *to* the query vertex), while the verifier and some
 //! examples walk forward.
 
-use tdb_graph::{ActiveSet, Graph, VertexId};
+use tdb_graph::{ActiveSet, GraphView, VertexId};
 
 /// Direction of a BFS traversal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,15 +51,15 @@ impl BoundedBfs {
     /// After the call, [`BoundedBfs::distance`] reports distances (in hops) of
     /// vertices reached within `max_hops`; unreached vertices report `None`.
     /// Returns the number of vertices reached (including the source).
-    pub fn run<G: Graph>(
+    pub fn run<V: GraphView>(
         &mut self,
-        g: &G,
+        g: &V,
         active: &ActiveSet,
         source: VertexId,
         max_hops: usize,
         direction: Direction,
     ) -> usize {
-        debug_assert_eq!(g.num_vertices(), self.dist.len());
+        debug_assert_eq!(g.vertex_count(), self.dist.len());
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Extremely rare wrap-around: fall back to a full reset.
@@ -79,13 +79,20 @@ impl BoundedBfs {
             if d as usize >= max_hops {
                 continue;
             }
-            let neighbors = match direction {
-                Direction::Forward => g.out_neighbors(u),
-                Direction::Backward => g.in_neighbors(u),
-            };
-            for &v in neighbors {
-                if active.is_active(v) && self.epoch_of[v as usize] != self.epoch {
-                    self.visit(v, d + 1);
+            match direction {
+                Direction::Forward => {
+                    for v in g.out_iter(u) {
+                        if active.is_active(v) && self.epoch_of[v as usize] != self.epoch {
+                            self.visit(v, d + 1);
+                        }
+                    }
+                }
+                Direction::Backward => {
+                    for v in g.in_iter(u) {
+                        if active.is_active(v) && self.epoch_of[v as usize] != self.epoch {
+                            self.visit(v, d + 1);
+                        }
+                    }
                 }
             }
         }
@@ -117,14 +124,14 @@ impl BoundedBfs {
 
 /// Convenience wrapper: hop-bounded distance from `u` to `v` over active
 /// vertices, or `None` if `v` is unreachable within `max_hops`.
-pub fn bounded_distance<G: Graph>(
-    g: &G,
+pub fn bounded_distance<V: GraphView>(
+    g: &V,
     active: &ActiveSet,
     u: VertexId,
     v: VertexId,
     max_hops: usize,
 ) -> Option<u32> {
-    let mut bfs = BoundedBfs::new(g.num_vertices());
+    let mut bfs = BoundedBfs::new(g.vertex_count());
     bfs.run(g, active, u, max_hops, Direction::Forward);
     bfs.distance(v)
 }

@@ -1,0 +1,672 @@
+//! The incremental cover maintenance engine.
+//!
+//! # Invariants
+//!
+//! A [`DynamicCover`] keeps a hop-constrained cycle cover **valid after every
+//! applied update** without re-solving:
+//!
+//! * **Insertion** of `(u, v)` can only expose constrained cycles that contain
+//!   the new edge. If either endpoint is already covered there is nothing to
+//!   do; otherwise the engine repeatedly runs the edge-anchored bidirectional
+//!   search ([`EdgeCycleSearcher`]) on the reduced graph and *breaks* each
+//!   witness by adding one of its vertices to the cover, until no uncovered
+//!   cycle through the edge remains. Every other cycle of the graph was
+//!   already covered, so validity is restored exactly when the loop exits.
+//! * **Removal** of an edge only destroys cycles, so the cover stays valid
+//!   unconditionally — but vertices may have become redundant. The engine
+//!   marks the cover *dirty* and re-minimizes lazily (on demand via
+//!   [`DynamicCover::minimize`], or per batch with
+//!   [`DynamicConfig::auto_minimize`]) by running the paper's Algorithm 7
+//!   (`tdb_core::minimal`) directly over the [`DeltaGraph`] overlay.
+//!
+//! Minimality is therefore *eventual*: always restorable in one
+//! [`DynamicCover::minimize`] call, while validity is unconditional — the
+//! property a fraud- or deadlock-detection service actually needs between
+//! batches.
+//!
+//! The overlay is compacted back into a clean CSR once the delta exceeds a
+//! threshold, keeping neighbor scans fast under sustained churn.
+
+use std::time::Instant;
+
+use tdb_core::minimal::{minimal_prune_with, SearchEngine};
+use tdb_core::solver::{SolveContext, SolveError, Solver, TwoCycleMode};
+use tdb_core::{Algorithm, CycleCover, RunMetrics};
+use tdb_cycle::{EdgeCycleSearcher, HopConstraint};
+use tdb_graph::{ActiveSet, CsrGraph, DeltaGraph, GraphView, VertexId};
+
+use crate::batch::{EdgeBatch, EdgeOp, UpdateMetrics};
+
+/// Tuning knobs of a [`DynamicCover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicConfig {
+    /// Compact the [`DeltaGraph`] once its overlay holds this many entries.
+    /// `0` selects an automatic threshold of `max(1024, base_edges / 4)`,
+    /// recomputed after every compaction.
+    pub compaction_threshold: usize,
+    /// After this many repairs for a single inserted edge, fall back to
+    /// covering the edge's source endpoint, which breaks every remaining
+    /// cycle through the edge at once. Guards against pathological inserts
+    /// that thread thousands of distinct cycles.
+    pub max_breakers_per_insert: usize,
+    /// Re-minimize automatically at the end of every [`DynamicCover::apply`]
+    /// call that left the cover dirty. Off by default: minimization costs one
+    /// cycle query per cover vertex, which sustained streams amortize better
+    /// on demand.
+    pub auto_minimize: bool,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            compaction_threshold: 0,
+            max_breakers_per_insert: 16,
+            auto_minimize: false,
+        }
+    }
+}
+
+/// A hop-constrained cycle cover maintained incrementally under edge updates.
+///
+/// ```
+/// use tdb_dynamic::{DynamicCover, SolveDynamic};
+/// use tdb_core::{Algorithm, HopConstraint, Solver};
+/// use tdb_graph::builder::graph_from_edges;
+///
+/// let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0)]);
+/// let constraint = HopConstraint::new(4);
+/// let mut dynamic = Solver::new(Algorithm::TdbPlusPlus)
+///     .solve_dynamic(g, &constraint)
+///     .unwrap();
+/// assert_eq!(dynamic.cover().len(), 1);
+///
+/// // Streaming updates keep the cover valid without re-solving.
+/// dynamic.insert_edge(1, 3);
+/// dynamic.insert_edge(3, 0);     // new cycle 0 -> 1 -> 3 -> 0 is repaired
+/// assert!(dynamic.is_valid());
+/// dynamic.remove_edge(1, 2);     // cover may now be oversized ...
+/// dynamic.minimize();            // ... minimal again on demand
+/// assert!(dynamic.is_valid());
+/// ```
+#[derive(Debug)]
+pub struct DynamicCover {
+    graph: DeltaGraph,
+    cover: CycleCover,
+    constraint: HopConstraint,
+    config: DynamicConfig,
+    /// Complement of the cover: the reduced graph the searches run on.
+    active: ActiveSet,
+    searcher: EdgeCycleSearcher,
+    dirty: bool,
+    totals: UpdateMetrics,
+}
+
+impl DynamicCover {
+    /// Seed a dynamic cover by solving `graph` with the default static
+    /// algorithm (`TDB++`).
+    pub fn new(graph: CsrGraph, constraint: HopConstraint) -> Self {
+        Solver::new(Algorithm::TdbPlusPlus)
+            .solve_dynamic(graph, &constraint)
+            .expect("unbudgeted solve cannot fail")
+    }
+
+    /// Wrap an existing valid cover of `graph` without re-solving.
+    ///
+    /// The caller asserts validity; a cover that misses a constrained cycle
+    /// stays invalid until the offending region is touched by updates. Use
+    /// [`DynamicCover::is_valid`] to audit.
+    pub fn from_cover(graph: CsrGraph, cover: CycleCover, constraint: HopConstraint) -> Self {
+        Self::from_cover_with_config(graph, cover, constraint, DynamicConfig::default())
+    }
+
+    /// [`DynamicCover::from_cover`] with explicit tuning knobs.
+    pub fn from_cover_with_config(
+        graph: CsrGraph,
+        cover: CycleCover,
+        constraint: HopConstraint,
+        config: DynamicConfig,
+    ) -> Self {
+        let graph = DeltaGraph::new(graph);
+        let n = graph.vertex_count();
+        let active = cover.reduced_active_set(n);
+        DynamicCover {
+            searcher: EdgeCycleSearcher::new(n),
+            graph,
+            cover,
+            constraint,
+            config,
+            active,
+            dirty: false,
+            totals: UpdateMetrics::default(),
+        }
+    }
+
+    /// The current cover. Valid for the current graph at every point; minimal
+    /// whenever [`DynamicCover::is_dirty`] is `false`.
+    pub fn cover(&self) -> &CycleCover {
+        &self.cover
+    }
+
+    /// The maintained graph (base + delta).
+    pub fn graph(&self) -> &DeltaGraph {
+        &self.graph
+    }
+
+    /// The hop constraint being maintained.
+    pub fn constraint(&self) -> &HopConstraint {
+        &self.constraint
+    }
+
+    /// The engine's tuning knobs.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.config
+    }
+
+    /// Whether the cover might currently be non-minimal (never invalid).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Counters accumulated since construction.
+    pub fn totals(&self) -> &UpdateMetrics {
+        &self.totals
+    }
+
+    /// Materialize the current graph as a clean [`CsrGraph`] (for verification
+    /// or hand-off to the static solvers).
+    pub fn materialize(&self) -> CsrGraph {
+        self.graph.materialize()
+    }
+
+    /// Full validity audit: does the cover intersect every constrained cycle
+    /// of the *current* graph? Costs a static verification pass — meant for
+    /// tests and acceptance checks, not the hot path (the engine maintains
+    /// this invariant by construction).
+    pub fn is_valid(&self) -> bool {
+        let g = self.materialize();
+        tdb_core::verify::is_valid_cover(&g, &self.cover, &self.constraint)
+    }
+
+    /// Insert the directed edge `(u, v)` and repair the cover.
+    ///
+    /// Returns the number of vertices added to the cover (0 for duplicate
+    /// edges and for edges with a covered endpoint). The cover is valid again
+    /// when this returns.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> usize {
+        let start = Instant::now();
+        let mut window = UpdateMetrics::default();
+        let added = self.insert_inner(u, v, &mut window);
+        self.maybe_compact(&mut window);
+        window.elapsed = start.elapsed();
+        self.totals.absorb(&window);
+        added
+    }
+
+    /// Remove the directed edge `(u, v)`.
+    ///
+    /// Returns whether the edge existed. The cover remains valid; it is
+    /// marked dirty for lazy re-minimization.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let start = Instant::now();
+        let mut window = UpdateMetrics::default();
+        let removed = self.remove_inner(u, v, &mut window);
+        self.maybe_compact(&mut window);
+        window.elapsed = start.elapsed();
+        self.totals.absorb(&window);
+        removed
+    }
+
+    /// Apply a batch of updates in order, returning this batch's metrics.
+    ///
+    /// The cover is valid after every individual operation; compaction and
+    /// (optional) re-minimization are amortized across the batch.
+    pub fn apply(&mut self, batch: &EdgeBatch) -> UpdateMetrics {
+        let start = Instant::now();
+        let mut window = UpdateMetrics::default();
+        for op in batch {
+            match op {
+                EdgeOp::Insert(u, v) => {
+                    self.insert_inner(u, v, &mut window);
+                }
+                EdgeOp::Remove(u, v) => {
+                    self.remove_inner(u, v, &mut window);
+                }
+            }
+            self.maybe_compact(&mut window);
+        }
+        if self.config.auto_minimize && self.dirty {
+            window.pruned += self.minimize_inner() as u64;
+        }
+        window.elapsed = start.elapsed();
+        self.totals.absorb(&window);
+        window
+    }
+
+    /// Re-minimize the cover (Algorithm 7 over the live overlay), clearing the
+    /// dirty flag. Returns the number of vertices removed.
+    pub fn minimize(&mut self) -> usize {
+        let start = Instant::now();
+        let removed = self.minimize_inner();
+        let mut window = UpdateMetrics {
+            pruned: removed as u64,
+            ..Default::default()
+        };
+        window.elapsed = start.elapsed();
+        self.totals.absorb(&window);
+        removed
+    }
+
+    /// Force a delta compaction regardless of the threshold.
+    pub fn compact(&mut self) {
+        self.graph.compact();
+        self.totals.compactions += 1;
+    }
+
+    fn insert_inner(&mut self, u: VertexId, v: VertexId, window: &mut UpdateMetrics) -> usize {
+        if !self.graph.insert_edge(u, v) {
+            window.noops += 1;
+            return 0;
+        }
+        window.inserts += 1;
+        self.sync_capacity();
+        if self.cover.contains(u) || self.cover.contains(v) {
+            // Every cycle through (u, v) passes through a covered endpoint.
+            return 0;
+        }
+        let mut added = 0usize;
+        loop {
+            window.edge_queries += 1;
+            let Some(cycle) = self.searcher.find_cycle_through_edge(
+                &self.graph,
+                &self.active,
+                u,
+                v,
+                &self.constraint,
+            ) else {
+                break;
+            };
+            window.cycles_repaired += 1;
+            let breaker = if added >= self.config.max_breakers_per_insert {
+                u // covers the edge itself: breaks all remaining cycles at once
+            } else {
+                Self::pick_breaker(&self.graph, &cycle)
+            };
+            self.cover.insert(breaker);
+            self.active.deactivate(breaker);
+            added += 1;
+            window.breakers_added += 1;
+            if breaker == u || breaker == v {
+                break; // endpoint covered: nothing through (u, v) survives
+            }
+        }
+        if added > 0 {
+            // A breaker can sit on another cover vertex's witness cycle and
+            // make it redundant, so minimality is no longer guaranteed.
+            self.dirty = true;
+        }
+        added
+    }
+
+    fn remove_inner(&mut self, u: VertexId, v: VertexId, window: &mut UpdateMetrics) -> bool {
+        if !self.graph.remove_edge(u, v) {
+            window.noops += 1;
+            return false;
+        }
+        window.removes += 1;
+        // Destroying cycles never invalidates the cover, but cover vertices
+        // whose every witness cycle used (u, v) are now redundant.
+        if !self.cover.is_empty() {
+            self.dirty = true;
+        }
+        true
+    }
+
+    fn minimize_inner(&mut self) -> usize {
+        let mut metrics = RunMetrics::new(
+            "dynamic-minimize",
+            self.constraint.max_hops,
+            self.constraint.include_two_cycles,
+        );
+        let mut ctx = SolveContext::new();
+        let removed = minimal_prune_with(
+            &self.graph,
+            &mut self.cover,
+            &self.constraint,
+            SearchEngine::Block,
+            &mut metrics,
+            &mut ctx,
+        )
+        .unwrap_or_else(|e: SolveError| unreachable!("unbudgeted pruning cannot fail: {e}"));
+        self.active = self.cover.reduced_active_set(self.graph.vertex_count());
+        self.dirty = false;
+        removed
+    }
+
+    /// Breaker heuristic: the highest-degree vertex of the witness cycle.
+    /// Hubs sit on many cycles, so covering them preempts future repairs —
+    /// the same bias the static top-down scan exhibits on skewed graphs.
+    /// Deterministic: ties resolve to the earliest cycle position.
+    fn pick_breaker(graph: &DeltaGraph, cycle: &[VertexId]) -> VertexId {
+        let mut best = cycle[0];
+        let mut best_deg = graph.out_deg(best) + graph.in_deg(best);
+        for &x in &cycle[1..] {
+            let deg = graph.out_deg(x) + graph.in_deg(x);
+            if deg > best_deg {
+                best = x;
+                best_deg = deg;
+            }
+        }
+        best
+    }
+
+    /// Grow the activation mask and searcher scratch after the graph gained
+    /// vertices (cheap no-op otherwise).
+    fn sync_capacity(&mut self) {
+        let n = self.graph.vertex_count();
+        if self.active.len() < n {
+            self.active = self.cover.reduced_active_set(n);
+        }
+        self.searcher.ensure_capacity(n);
+    }
+
+    fn maybe_compact(&mut self, window: &mut UpdateMetrics) {
+        let threshold = if self.config.compaction_threshold == 0 {
+            (self.graph.base().edge_count() / 4).max(1024)
+        } else {
+            self.config.compaction_threshold
+        };
+        if self.graph.delta_len() >= threshold {
+            self.graph.compact();
+            window.compactions += 1;
+        }
+    }
+}
+
+/// Extension trait giving [`Solver`] a dynamic entry point.
+///
+/// Lives here (rather than on `Solver` itself) because `tdb-core` cannot
+/// depend on this crate; importing the trait — it is in `tdb::prelude` —
+/// makes `solver.solve_dynamic(graph, &constraint)` read exactly like the
+/// static `solver.solve(&graph, &constraint)`.
+pub trait SolveDynamic {
+    /// Solve `graph` statically, then wrap graph and cover in a
+    /// [`DynamicCover`] ready for streaming updates.
+    fn solve_dynamic(
+        &self,
+        graph: CsrGraph,
+        constraint: &HopConstraint,
+    ) -> Result<DynamicCover, SolveError>;
+
+    /// [`SolveDynamic::solve_dynamic`] with explicit engine tuning.
+    fn solve_dynamic_with_config(
+        &self,
+        graph: CsrGraph,
+        constraint: &HopConstraint,
+        config: DynamicConfig,
+    ) -> Result<DynamicCover, SolveError>;
+}
+
+impl SolveDynamic for Solver {
+    fn solve_dynamic(
+        &self,
+        graph: CsrGraph,
+        constraint: &HopConstraint,
+    ) -> Result<DynamicCover, SolveError> {
+        self.solve_dynamic_with_config(graph, constraint, DynamicConfig::default())
+    }
+
+    fn solve_dynamic_with_config(
+        &self,
+        graph: CsrGraph,
+        constraint: &HopConstraint,
+        config: DynamicConfig,
+    ) -> Result<DynamicCover, SolveError> {
+        let run = self.solve(&graph, constraint)?;
+        // A solver in a 2-cycle mode (`with_two_cycles` / `TwoCycleMode`)
+        // seeds a cover for lengths 2..=k even when the caller passed a plain
+        // constraint. The engine must maintain what the seed actually covers,
+        // or the first update would silently drop the Table IV semantics
+        // (insert repairs skipping new 2-cycles, minimize stripping vertices
+        // that only break 2-cycles).
+        let maintained = match self.two_cycle_mode() {
+            TwoCycleMode::FollowConstraint => *constraint,
+            TwoCycleMode::Integrated | TwoCycleMode::Separate => {
+                HopConstraint::with_two_cycles(constraint.max_hops)
+            }
+        };
+        Ok(DynamicCover::from_cover_with_config(
+            graph, run.cover, maintained, config,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::verify::verify_cover;
+    use tdb_graph::builder::graph_from_edges;
+    use tdb_graph::gen::{directed_cycle, erdos_renyi_gnm};
+
+    fn seeded(g: CsrGraph, k: usize) -> DynamicCover {
+        DynamicCover::new(g, HopConstraint::new(k))
+    }
+
+    #[test]
+    fn insertion_exposing_a_cycle_is_repaired() {
+        // A path 0 -> 1 -> 2: no cycles, empty cover.
+        let mut d = seeded(graph_from_edges(&[(0, 1), (1, 2)]), 4);
+        assert!(d.cover().is_empty());
+        assert_eq!(
+            d.insert_edge(2, 0),
+            1,
+            "closing the triangle needs a breaker"
+        );
+        assert!(d.is_valid());
+        assert_eq!(d.cover().len(), 1);
+        // Duplicate insert is a no-op.
+        assert_eq!(d.insert_edge(2, 0), 0);
+        assert_eq!(d.totals().noops, 1);
+    }
+
+    #[test]
+    fn covered_endpoint_makes_insertion_free() {
+        let mut d = seeded(directed_cycle(3), 4);
+        let covered = d.cover().iter().next().unwrap();
+        // Any new edge touching the covered vertex cannot expose a cycle.
+        let far = (covered + 1) % 3;
+        assert_eq!(d.insert_edge(far, covered), 0);
+        assert_eq!(d.totals().edge_queries, 0, "no search should run");
+        assert!(d.is_valid());
+    }
+
+    #[test]
+    fn removal_keeps_validity_and_minimize_restores_minimality() {
+        // Two triangles sharing vertex 2.
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let mut d = seeded(g, 4);
+        assert_eq!(d.cover().len(), 1, "shared vertex 2 covers both");
+        // Removing an edge of the first triangle cannot invalidate.
+        assert!(d.remove_edge(0, 1));
+        assert!(d.is_valid());
+        assert!(d.is_dirty());
+        // Now only the second triangle remains; vertex 2 is still needed.
+        assert_eq!(d.minimize(), 0);
+        assert!(!d.is_dirty());
+        // Removing the second triangle's edge leaves no cycles at all.
+        assert!(d.remove_edge(3, 4));
+        assert_eq!(d.minimize(), 1, "the lone cover vertex is now redundant");
+        assert!(d.cover().is_empty());
+        assert!(d.is_valid());
+    }
+
+    #[test]
+    fn absent_removal_is_a_noop() {
+        let mut d = seeded(directed_cycle(4), 4);
+        assert!(!d.remove_edge(0, 2));
+        assert!(!d.is_dirty());
+        assert_eq!(d.totals().noops, 1);
+    }
+
+    #[test]
+    fn batch_apply_tracks_metrics_and_stays_valid() {
+        let mut d = seeded(graph_from_edges(&[(0, 1), (1, 2), (2, 3)]), 5);
+        let mut batch = EdgeBatch::new();
+        batch.insert(3, 0).insert(2, 0).remove(0, 1).insert(0, 1);
+        let m = d.apply(&batch);
+        assert_eq!(m.inserts + m.removes + m.noops, 4);
+        assert!(m.updates() >= 3);
+        assert!(d.is_valid());
+        let v = verify_cover(&d.materialize(), d.cover(), d.constraint());
+        assert!(v.is_valid);
+    }
+
+    #[test]
+    fn auto_minimize_config_keeps_cover_minimal_per_batch() {
+        let g = erdos_renyi_gnm(40, 160, 3);
+        let constraint = HopConstraint::new(4);
+        let mut d = Solver::new(Algorithm::TdbPlusPlus)
+            .solve_dynamic_with_config(
+                g,
+                &constraint,
+                DynamicConfig {
+                    auto_minimize: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let mut batch = EdgeBatch::new();
+        for i in 0..20u32 {
+            batch.remove(i % 40, (i * 7 + 1) % 40);
+            batch.insert((i * 3) % 40, (i * 11 + 2) % 40);
+        }
+        d.apply(&batch);
+        assert!(!d.is_dirty());
+        let v = verify_cover(&d.materialize(), d.cover(), d.constraint());
+        assert!(v.is_valid, "auto-minimized cover invalid");
+        assert!(v.is_minimal, "auto-minimized cover not minimal");
+    }
+
+    #[test]
+    fn vertex_growth_through_insertions() {
+        let mut d = seeded(graph_from_edges(&[(0, 1)]), 4);
+        // Grow the graph with a brand-new triangle on fresh vertex ids.
+        assert_eq!(d.insert_edge(1, 7), 0);
+        assert_eq!(d.insert_edge(7, 8), 0);
+        let added = d.insert_edge(8, 1);
+        assert_eq!(added, 1, "new cycle over grown vertices must be repaired");
+        assert!(d.is_valid());
+        assert_eq!(d.graph().vertex_count(), 9);
+    }
+
+    #[test]
+    fn two_cycle_constraints_are_maintained() {
+        let mut d = DynamicCover::new(
+            graph_from_edges(&[(0, 1), (1, 2)]),
+            HopConstraint::with_two_cycles(4),
+        );
+        assert!(d.cover().is_empty());
+        assert_eq!(
+            d.insert_edge(1, 0),
+            1,
+            "the 2-cycle {{0, 1}} needs a breaker"
+        );
+        assert!(d.is_valid());
+    }
+
+    #[test]
+    fn compaction_threshold_triggers_and_preserves_state() {
+        let g = erdos_renyi_gnm(30, 120, 5);
+        let constraint = HopConstraint::new(4);
+        let mut d = Solver::new(Algorithm::TdbPlusPlus)
+            .solve_dynamic_with_config(
+                g,
+                &constraint,
+                DynamicConfig {
+                    compaction_threshold: 8,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let mut batch = EdgeBatch::new();
+        for i in 0..30u32 {
+            batch.insert((i * 13 + 1) % 30, (i * 17 + 4) % 30);
+        }
+        let m = d.apply(&batch);
+        assert!(m.compactions > 0, "threshold of 8 must have fired");
+        assert!(d.graph().delta_len() < 8 + 1);
+        assert!(d.is_valid());
+    }
+
+    #[test]
+    fn fallback_breaker_bounds_repair_work() {
+        // A dense bipartite-ish shape where inserting (hub, sink) exposes many
+        // distinct cycles at once.
+        let mut edges = Vec::new();
+        for i in 1..=12u32 {
+            edges.push((0, i)); // hub fans out
+            edges.push((i, 13)); // all feed the sink
+        }
+        let mut d = Solver::new(Algorithm::TdbPlusPlus)
+            .solve_dynamic_with_config(
+                graph_from_edges(&edges),
+                &HopConstraint::new(3),
+                DynamicConfig {
+                    max_breakers_per_insert: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(d.cover().is_empty());
+        // Closing sink -> hub exposes twelve 3-cycles; the cap forces the
+        // endpoint fallback after two individual breakers.
+        let added = d.insert_edge(13, 0);
+        assert!(added <= 3, "cap 2 + endpoint fallback, got {added}");
+        assert!(d.is_valid());
+        d.minimize();
+        let v = verify_cover(&d.materialize(), d.cover(), d.constraint());
+        assert!(v.is_valid && v.is_minimal);
+    }
+
+    #[test]
+    fn two_cycle_solver_mode_is_carried_into_maintenance() {
+        // Regression: a solver in Table IV mode seeds a 2..=k cover; the
+        // engine must keep maintaining 2..=k, not the caller's plain 3..=k.
+        let g = graph_from_edges(&[(0, 1), (1, 0), (1, 2), (2, 3)]);
+        for mode in [TwoCycleMode::Integrated, TwoCycleMode::Separate] {
+            let mut d = Solver::new(Algorithm::TdbPlusPlus)
+                .with_two_cycle_mode(mode)
+                .solve_dynamic(g.clone(), &HopConstraint::new(4))
+                .unwrap();
+            assert!(d.constraint().include_two_cycles, "{mode:?}");
+            assert!(!d.cover().is_empty(), "{mode:?}: the 2-cycle needs cover");
+            // minimize() must not strip the 2-cycle breaker...
+            d.minimize();
+            assert!(d.is_valid(), "{mode:?} after minimize");
+            assert!(!d.cover().is_empty(), "{mode:?}: stripped by minimize");
+            // ...and a freshly streamed 2-cycle (on uncovered vertices 2, 3)
+            // must be repaired.
+            assert_eq!(d.insert_edge(3, 2), 1, "{mode:?}: new 2-cycle ignored");
+            assert!(d.is_valid(), "{mode:?} after update");
+        }
+    }
+
+    #[test]
+    fn solve_dynamic_seeds_from_any_algorithm() {
+        let g = erdos_renyi_gnm(25, 100, 8);
+        let constraint = HopConstraint::new(4);
+        for algorithm in [
+            Algorithm::BurPlus,
+            Algorithm::TdbPlusPlus,
+            Algorithm::DarcDv,
+        ] {
+            let mut d = Solver::new(algorithm)
+                .solve_dynamic(g.clone(), &constraint)
+                .unwrap();
+            assert!(d.is_valid(), "{algorithm}");
+            d.insert_edge(3, 17);
+            d.insert_edge(17, 3);
+            d.remove_edge(0, 1);
+            assert!(d.is_valid(), "{algorithm} after updates");
+        }
+    }
+}

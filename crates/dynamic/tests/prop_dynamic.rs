@@ -1,0 +1,175 @@
+//! Property-style tests for the incremental maintenance engine: after any
+//! random insert/delete sequence the dynamic cover must agree with a
+//! from-scratch solve of the final graph — valid per the independent verifier,
+//! minimal after re-minimization, and of comparable size.
+//!
+//! Deterministic random cases driven by the vendored xoshiro256** RNG replace
+//! proptest (the workspace builds offline, matching `prop_core.rs`); each case
+//! is reproducible from its printed seed.
+
+use tdb_core::prelude::*;
+use tdb_core::verify::verify_by_enumeration;
+use tdb_dynamic::{DynamicConfig, DynamicCover, EdgeBatch, EdgeOp, SolveDynamic};
+use tdb_graph::builder::graph_from_edges;
+use tdb_graph::gen::{random_edge_list, Xoshiro256};
+use tdb_graph::{CsrGraph, Graph, GraphView, VertexId};
+
+fn random_graph(rng: &mut Xoshiro256, n: u32, max_edges: usize) -> CsrGraph {
+    graph_from_edges(&random_edge_list(rng, n, max_edges))
+}
+
+/// A random stream of insertions and removals over `n` vertices. Removals are
+/// drawn from the live edge set so a meaningful fraction actually hits.
+fn random_ops(rng: &mut Xoshiro256, g: &CsrGraph, n: u32, count: usize) -> Vec<EdgeOp> {
+    let mut live: Vec<(VertexId, VertexId)> = g.edges().map(|e| (e.source, e.target)).collect();
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        let remove = !live.is_empty() && rng.next_index(3) == 0;
+        if remove {
+            let idx = rng.next_index(live.len());
+            let (u, v) = live.swap_remove(idx);
+            ops.push(EdgeOp::Remove(u, v));
+        } else {
+            let u = rng.next_index(n as usize) as VertexId;
+            let v = rng.next_index(n as usize) as VertexId;
+            if u == v {
+                continue;
+            }
+            live.push((u, v));
+            ops.push(EdgeOp::Insert(u, v));
+        }
+    }
+    ops
+}
+
+/// After an arbitrary update sequence, the dynamic cover is valid on the final
+/// graph (checked both by the block verifier and by brute-force enumeration),
+/// and after re-minimization it is minimal and within a small factor of the
+/// from-scratch solver's cover size.
+#[test]
+fn incremental_matches_scratch_after_random_churn() {
+    for case in 0..32u64 {
+        let mut rng = Xoshiro256::seed_from_u64(9000 + case);
+        let g = random_graph(&mut rng, 16, 50);
+        let k = 3 + rng.next_index(3);
+        let constraint = HopConstraint::new(k);
+        let ops = random_ops(&mut rng, &g, 16, 60);
+
+        let mut dynamic = Solver::new(Algorithm::TdbPlusPlus)
+            .solve_dynamic(g, &constraint)
+            .unwrap();
+        for chunk in ops.chunks(10) {
+            let batch: EdgeBatch = chunk.iter().copied().collect();
+            dynamic.apply(&batch);
+            // The headline invariant: valid after *every* batch.
+            assert!(dynamic.is_valid(), "case {case}: invalid mid-stream");
+        }
+
+        let final_graph = dynamic.materialize();
+        assert!(
+            verify_by_enumeration(&final_graph, dynamic.cover(), &constraint, 1_000_000).is_ok(),
+            "case {case}: brute-force found an uncovered cycle"
+        );
+
+        dynamic.minimize();
+        let v = verify_cover(&final_graph, dynamic.cover(), &constraint);
+        assert!(v.is_valid, "case {case}: invalid after minimize");
+        assert!(
+            v.is_minimal,
+            "case {case}: redundant after minimize: {:?}",
+            v.redundant
+        );
+
+        // Size parity with a from-scratch solve. Minimal covers are not
+        // unique, so exact equality is not required — but the maintained
+        // cover must stay in the same league as the static solver's.
+        let scratch = Solver::new(Algorithm::TdbPlusPlus)
+            .solve(&final_graph, &constraint)
+            .unwrap();
+        assert!(
+            dynamic.cover().len() <= 2 * scratch.cover_size() + 2,
+            "case {case}: dynamic {} vs scratch {}",
+            dynamic.cover().len(),
+            scratch.cover_size()
+        );
+        if scratch.cover_size() == 0 {
+            assert!(dynamic.cover().is_empty(), "case {case}");
+        }
+    }
+}
+
+/// Tearing a graph all the way down leaves an empty cover, and rebuilding it
+/// edge-for-edge leaves a cover equivalent to solving the rebuilt graph.
+#[test]
+fn teardown_and_rebuild_round_trip() {
+    for case in 0..16u64 {
+        let mut rng = Xoshiro256::seed_from_u64(11_000 + case);
+        let g = random_graph(&mut rng, 14, 40);
+        let constraint = HopConstraint::new(4);
+        let edges: Vec<(VertexId, VertexId)> = g.edges().map(|e| (e.source, e.target)).collect();
+
+        let mut dynamic = DynamicCover::new(g, constraint);
+        for &(u, v) in &edges {
+            dynamic.remove_edge(u, v);
+        }
+        assert_eq!(dynamic.graph().edge_count(), 0, "case {case}");
+        dynamic.minimize();
+        assert!(
+            dynamic.cover().is_empty(),
+            "case {case}: empty graph, nonempty cover"
+        );
+
+        for &(u, v) in &edges {
+            dynamic.insert_edge(u, v);
+        }
+        assert!(dynamic.is_valid(), "case {case}");
+        dynamic.minimize();
+        let rebuilt = dynamic.materialize();
+        assert_eq!(rebuilt.num_edges(), edges.len(), "case {case}");
+        let v = verify_cover(&rebuilt, dynamic.cover(), &constraint);
+        assert!(v.is_valid && v.is_minimal, "case {case}");
+    }
+}
+
+/// The engine behaves identically across compaction policies: compacting
+/// aggressively, lazily, or never must produce the same cover trajectory.
+#[test]
+fn compaction_policy_does_not_change_results() {
+    for case in 0..12u64 {
+        let mut rng = Xoshiro256::seed_from_u64(13_000 + case);
+        let g = random_graph(&mut rng, 16, 50);
+        let constraint = HopConstraint::new(4);
+        let ops = random_ops(&mut rng, &g, 16, 50);
+
+        let covers: Vec<Vec<VertexId>> = [1usize, 16, usize::MAX]
+            .into_iter()
+            .map(|threshold| {
+                let mut d = Solver::new(Algorithm::TdbPlusPlus)
+                    .solve_dynamic_with_config(
+                        g.clone(),
+                        &constraint,
+                        DynamicConfig {
+                            compaction_threshold: threshold,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                for &op in &ops {
+                    match op {
+                        EdgeOp::Insert(u, v) => {
+                            d.insert_edge(u, v);
+                        }
+                        EdgeOp::Remove(u, v) => {
+                            d.remove_edge(u, v);
+                        }
+                    }
+                }
+                d.minimize();
+                assert!(d.is_valid(), "case {case}, threshold {threshold}");
+                d.cover().iter().collect()
+            })
+            .collect();
+        assert_eq!(covers[0], covers[1], "case {case}: threshold 1 vs 16");
+        assert_eq!(covers[1], covers[2], "case {case}: threshold 16 vs never");
+    }
+}

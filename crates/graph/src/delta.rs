@@ -1,0 +1,495 @@
+//! Mutable adjacency overlay on an immutable [`CsrGraph`] — the storage layer
+//! of the `tdb-dynamic` incremental-maintenance subsystem.
+//!
+//! A [`DeltaGraph`] is a CSR *base* plus two per-vertex overlays:
+//!
+//! * **inserted** edges that are not in the base, kept as sorted vectors, and
+//! * **tombstoned** base edges that have been removed, also kept sorted.
+//!
+//! Neighbor iteration merges the base slice (skipping tombstones) with the
+//! inserted list in one sorted, duplicate-free pass, so the overlay satisfies
+//! the [`GraphView`] contract and every view-generic search primitive works on
+//! it unchanged. Lookups and updates are `O(log d)` per endpoint.
+//!
+//! The overlay degrades as it grows (each neighbor scan walks base + delta);
+//! [`DeltaGraph::compact`] rebuilds a clean CSR from the merged edge set and
+//! clears the overlays. Callers — `tdb-dynamic` in particular — compact once
+//! the [`DeltaGraph::delta_len`] exceeds a workload-dependent threshold,
+//! mirroring the "static index + cheap customization layer" design of routing
+//! engines.
+
+use crate::csr::CsrGraph;
+use crate::types::{Edge, VertexId};
+use crate::view::GraphView;
+use crate::Graph;
+
+/// A directed graph stored as an immutable CSR base plus a mutable edge delta.
+///
+/// ```
+/// use tdb_graph::{builder::graph_from_edges, DeltaGraph, GraphView};
+///
+/// let base = graph_from_edges(&[(0, 1), (1, 2), (2, 0)]);
+/// let mut g = DeltaGraph::new(base);
+/// assert!(g.insert_edge(0, 2));
+/// assert!(g.remove_edge(1, 2));
+/// assert_eq!(g.out_iter(0).collect::<Vec<_>>(), vec![1, 2]);
+/// assert_eq!(g.out_iter(1).count(), 0);
+/// assert_eq!(g.edge_count(), 3);
+/// g.compact();
+/// assert_eq!(g.delta_len(), 0);
+/// assert!(g.contains_edge(0, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaGraph {
+    base: CsrGraph,
+    /// Inserted out-/in-adjacency, indexed by vertex, each list sorted.
+    ins_out: Vec<Vec<VertexId>>,
+    ins_in: Vec<Vec<VertexId>>,
+    /// Tombstoned base out-/in-adjacency, indexed by vertex, each list sorted.
+    del_out: Vec<Vec<VertexId>>,
+    del_in: Vec<Vec<VertexId>>,
+    /// Live overlay entry counts (inserted edges / tombstones).
+    inserted: usize,
+    deleted: usize,
+}
+
+impl DeltaGraph {
+    /// Wrap a CSR base with an empty delta.
+    pub fn new(base: CsrGraph) -> Self {
+        let n = base.num_vertices();
+        DeltaGraph {
+            base,
+            ins_out: vec![Vec::new(); n],
+            ins_in: vec![Vec::new(); n],
+            del_out: vec![Vec::new(); n],
+            del_in: vec![Vec::new(); n],
+            inserted: 0,
+            deleted: 0,
+        }
+    }
+
+    /// The immutable CSR base (without the delta applied).
+    pub fn base(&self) -> &CsrGraph {
+        &self.base
+    }
+
+    /// Number of live overlay entries: inserted edges plus tombstones.
+    ///
+    /// This is the quantity compaction thresholds are expressed in — it bounds
+    /// the extra work every neighbor scan pays relative to a clean CSR.
+    pub fn delta_len(&self) -> usize {
+        self.inserted + self.deleted
+    }
+
+    /// Number of inserted (non-base) edges currently live.
+    pub fn inserted_len(&self) -> usize {
+        self.inserted
+    }
+
+    /// Number of tombstoned base edges.
+    pub fn deleted_len(&self) -> usize {
+        self.deleted
+    }
+
+    /// Grow the vertex set so that `v` is a valid vertex id.
+    ///
+    /// New vertices start isolated. The CSR base is untouched; base adjacency
+    /// for ids beyond the base vertex count is empty.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        let needed = v as usize + 1;
+        if needed > self.ins_out.len() {
+            self.ins_out.resize(needed, Vec::new());
+            self.ins_in.resize(needed, Vec::new());
+            self.del_out.resize(needed, Vec::new());
+            self.del_in.resize(needed, Vec::new());
+        }
+    }
+
+    #[inline]
+    fn base_out(&self, v: VertexId) -> &[VertexId] {
+        if (v as usize) < self.base.num_vertices() {
+            self.base.out_neighbors(v)
+        } else {
+            &[]
+        }
+    }
+
+    #[inline]
+    fn base_in(&self, v: VertexId) -> &[VertexId] {
+        if (v as usize) < self.base.num_vertices() {
+            self.base.in_neighbors(v)
+        } else {
+            &[]
+        }
+    }
+
+    /// Whether the base (ignoring tombstones) contains `(u, v)`.
+    #[inline]
+    fn base_has(&self, u: VertexId, v: VertexId) -> bool {
+        self.base_out(u).binary_search(&v).is_ok()
+    }
+
+    /// Insert the directed edge `(u, v)`.
+    ///
+    /// Grows the vertex set as needed. Self-loops are rejected (they never lie
+    /// on a simple cycle of length ≥ 2, matching [`crate::GraphBuilder`]'s
+    /// normalization). Returns `true` when the edge was absent before the call
+    /// — including the case of resurrecting a tombstoned base edge.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.ensure_vertex(u.max(v));
+        // Resurrect a tombstoned base edge.
+        if let Ok(idx) = self.del_out[u as usize].binary_search(&v) {
+            self.del_out[u as usize].remove(idx);
+            let in_idx = self.del_in[v as usize]
+                .binary_search(&u)
+                .expect("tombstone lists out of sync");
+            self.del_in[v as usize].remove(in_idx);
+            self.deleted -= 1;
+            return true;
+        }
+        if self.base_has(u, v) {
+            return false; // live in the base already
+        }
+        match self.ins_out[u as usize].binary_search(&v) {
+            Ok(_) => false, // already inserted
+            Err(idx) => {
+                self.ins_out[u as usize].insert(idx, v);
+                let in_idx = self.ins_in[v as usize]
+                    .binary_search(&u)
+                    .expect_err("insert lists out of sync");
+                self.ins_in[v as usize].insert(in_idx, u);
+                self.inserted += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove the directed edge `(u, v)`.
+    ///
+    /// Returns `true` when the edge was present (either a base edge, which is
+    /// tombstoned, or an inserted edge, which is dropped from the overlay).
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.ins_out.len() || v as usize >= self.ins_out.len() {
+            return false;
+        }
+        if let Ok(idx) = self.ins_out[u as usize].binary_search(&v) {
+            self.ins_out[u as usize].remove(idx);
+            let in_idx = self.ins_in[v as usize]
+                .binary_search(&u)
+                .expect("insert lists out of sync");
+            self.ins_in[v as usize].remove(in_idx);
+            self.inserted -= 1;
+            return true;
+        }
+        if self.base_has(u, v) {
+            if let Err(idx) = self.del_out[u as usize].binary_search(&v) {
+                self.del_out[u as usize].insert(idx, v);
+                let in_idx = self.del_in[v as usize]
+                    .binary_search(&u)
+                    .expect_err("tombstone lists out of sync");
+                self.del_in[v as usize].insert(in_idx, u);
+                self.deleted += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Materialize the current (base + delta) edge set as a clean [`CsrGraph`].
+    pub fn materialize(&self) -> CsrGraph {
+        let n = self.vertex_count();
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.edge_count());
+        for u in 0..n as VertexId {
+            for v in self.out_iter(u) {
+                edges.push(Edge::new(u, v));
+            }
+        }
+        CsrGraph::from_edges(n, &mut edges)
+    }
+
+    /// Rebuild the CSR base from the merged edge set and clear the overlays.
+    ///
+    /// Costs `O(n + m)`; afterwards neighbor iteration is pure slice traversal
+    /// again. A no-op when the delta is empty.
+    pub fn compact(&mut self) {
+        if self.delta_len() == 0 && self.base.num_vertices() == self.ins_out.len() {
+            return;
+        }
+        self.base = self.materialize();
+        for list in self
+            .ins_out
+            .iter_mut()
+            .chain(self.ins_in.iter_mut())
+            .chain(self.del_out.iter_mut())
+            .chain(self.del_in.iter_mut())
+        {
+            list.clear();
+        }
+        self.inserted = 0;
+        self.deleted = 0;
+    }
+}
+
+impl GraphView for DeltaGraph {
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        self.ins_out.len()
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.base.num_edges() + self.inserted - self.deleted
+    }
+
+    #[inline]
+    fn out_iter(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        MergedNeighbors::new(
+            self.base_out(v),
+            &self.ins_out[v as usize],
+            &self.del_out[v as usize],
+        )
+    }
+
+    #[inline]
+    fn in_iter(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        MergedNeighbors::new(
+            self.base_in(v),
+            &self.ins_in[v as usize],
+            &self.del_in[v as usize],
+        )
+    }
+
+    #[inline]
+    fn out_deg(&self, v: VertexId) -> usize {
+        self.base_out(v).len() + self.ins_out[v as usize].len() - self.del_out[v as usize].len()
+    }
+
+    #[inline]
+    fn in_deg(&self, v: VertexId) -> usize {
+        self.base_in(v).len() + self.ins_in[v as usize].len() - self.del_in[v as usize].len()
+    }
+
+    #[inline]
+    fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.ins_out.len() {
+            return false;
+        }
+        if self.ins_out[u as usize].binary_search(&v).is_ok() {
+            return true;
+        }
+        self.base_has(u, v) && self.del_out[u as usize].binary_search(&v).is_err()
+    }
+}
+
+/// Sorted merge of a base adjacency slice (minus tombstones) with an inserted
+/// overlay list. All three inputs are ascending and duplicate-free; the
+/// invariants of [`DeltaGraph`] guarantee the base and overlay are disjoint,
+/// but equal heads are deduplicated anyway for robustness.
+struct MergedNeighbors<'a> {
+    base: &'a [VertexId],
+    ins: &'a [VertexId],
+    del: &'a [VertexId],
+    b: usize,
+    i: usize,
+    d: usize,
+}
+
+impl<'a> MergedNeighbors<'a> {
+    fn new(base: &'a [VertexId], ins: &'a [VertexId], del: &'a [VertexId]) -> Self {
+        MergedNeighbors {
+            base,
+            ins,
+            del,
+            b: 0,
+            i: 0,
+            d: 0,
+        }
+    }
+
+    /// Advance `b` past tombstoned base entries; the tombstone cursor moves in
+    /// lockstep because both lists are sorted.
+    #[inline]
+    fn skip_tombstones(&mut self) {
+        while self.b < self.base.len() {
+            let x = self.base[self.b];
+            while self.d < self.del.len() && self.del[self.d] < x {
+                self.d += 1;
+            }
+            if self.d < self.del.len() && self.del[self.d] == x {
+                self.b += 1;
+                self.d += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Iterator for MergedNeighbors<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        self.skip_tombstones();
+        let b_next = self.base.get(self.b).copied();
+        let i_next = self.ins.get(self.i).copied();
+        match (b_next, i_next) {
+            (None, None) => None,
+            (Some(x), None) => {
+                self.b += 1;
+                Some(x)
+            }
+            (None, Some(y)) => {
+                self.i += 1;
+                Some(y)
+            }
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    self.b += 1;
+                    if x == y {
+                        self.i += 1;
+                    }
+                    Some(x)
+                } else {
+                    self.i += 1;
+                    Some(y)
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let upper = (self.base.len() - self.b) + (self.ins.len() - self.i);
+        (upper.saturating_sub(self.del.len() - self.d), Some(upper))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::gen::{erdos_renyi_gnm, Xoshiro256};
+
+    fn collect_out(g: &DeltaGraph, v: VertexId) -> Vec<VertexId> {
+        g.out_iter(v).collect()
+    }
+
+    #[test]
+    fn insert_and_remove_round_trip() {
+        let mut g = DeltaGraph::new(graph_from_edges(&[(0, 1), (1, 2), (2, 0)]));
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.insert_edge(0, 2));
+        assert!(!g.insert_edge(0, 2), "duplicate insert must be a no-op");
+        assert!(!g.insert_edge(0, 1), "base edge re-insert must be a no-op");
+        assert!(!g.insert_edge(1, 1), "self-loop rejected");
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.remove_edge(0, 2), "inserted edge removable");
+        assert!(!g.remove_edge(0, 2));
+        assert!(g.remove_edge(0, 1), "base edge tombstoned");
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.contains_edge(0, 1));
+        assert!(g.contains_edge(1, 2));
+        // Resurrect the tombstoned base edge.
+        assert!(g.insert_edge(0, 1));
+        assert!(g.contains_edge(0, 1));
+        assert_eq!(g.delta_len(), 0, "resurrection cancels the tombstone");
+    }
+
+    #[test]
+    fn merged_iteration_is_sorted_and_consistent() {
+        let mut g = DeltaGraph::new(graph_from_edges(&[(0, 2), (0, 5), (0, 7)]));
+        g.insert_edge(0, 1);
+        g.insert_edge(0, 6);
+        g.insert_edge(0, 9);
+        g.remove_edge(0, 5);
+        assert_eq!(collect_out(&g, 0), vec![1, 2, 6, 7, 9]);
+        assert_eq!(g.out_deg(0), 5);
+        // In-adjacency mirrors.
+        assert_eq!(g.in_iter(9).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(g.in_iter(5).count(), 0);
+    }
+
+    #[test]
+    fn vertex_growth_beyond_base() {
+        let mut g = DeltaGraph::new(graph_from_edges(&[(0, 1)]));
+        assert_eq!(g.vertex_count(), 2);
+        assert!(g.insert_edge(1, 5));
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(collect_out(&g, 1), vec![5]);
+        assert_eq!(collect_out(&g, 5), Vec::<VertexId>::new());
+        assert!(g.insert_edge(5, 0));
+        assert!(g.contains_edge(5, 0));
+        let m = g.materialize();
+        assert_eq!(m.num_vertices(), 6);
+        assert_eq!(m.num_edges(), 3);
+    }
+
+    #[test]
+    fn compact_preserves_the_edge_set() {
+        let mut g = DeltaGraph::new(graph_from_edges(&[(0, 1), (1, 2), (2, 0), (2, 3)]));
+        g.insert_edge(3, 0);
+        g.insert_edge(1, 3);
+        g.remove_edge(2, 3);
+        let before = g.materialize();
+        assert!(g.delta_len() > 0);
+        g.compact();
+        assert_eq!(g.delta_len(), 0);
+        let after = g.materialize();
+        assert_eq!(before.num_vertices(), after.num_vertices());
+        assert_eq!(before.num_edges(), after.num_edges());
+        assert!(before.edges().zip(after.edges()).all(|(a, b)| a == b));
+        // Still mutable after compaction.
+        assert!(g.insert_edge(2, 3));
+        assert!(g.contains_edge(2, 3));
+    }
+
+    #[test]
+    fn random_update_sequence_matches_reference_set() {
+        // Differential test against a straightforward HashSet of edges.
+        use std::collections::HashSet;
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        let base = erdos_renyi_gnm(30, 90, 9);
+        let mut reference: HashSet<(VertexId, VertexId)> =
+            base.edges().map(|e| (e.source, e.target)).collect();
+        let mut g = DeltaGraph::new(base);
+        for step in 0..2_000 {
+            let u = rng.next_index(30) as VertexId;
+            let v = rng.next_index(30) as VertexId;
+            if rng.next_index(3) == 0 {
+                assert_eq!(
+                    g.remove_edge(u, v),
+                    reference.remove(&(u, v)),
+                    "step {step}"
+                );
+            } else {
+                let newly = u != v && reference.insert((u, v));
+                assert_eq!(g.insert_edge(u, v), newly, "step {step}");
+            }
+            if step % 500 == 250 {
+                g.compact();
+            }
+        }
+        assert_eq!(g.edge_count(), reference.len());
+        for &(u, v) in &reference {
+            assert!(g.contains_edge(u, v), "missing ({u}, {v})");
+        }
+        let m = g.materialize();
+        assert_eq!(m.num_edges(), reference.len());
+        for e in m.edges() {
+            assert!(reference.contains(&(e.source, e.target)), "phantom {e}");
+        }
+    }
+
+    #[test]
+    fn degrees_stay_consistent_under_churn() {
+        let mut g = DeltaGraph::new(graph_from_edges(&[(0, 1), (0, 2), (3, 0)]));
+        g.remove_edge(0, 1);
+        g.insert_edge(0, 3);
+        assert_eq!(g.out_deg(0), g.out_iter(0).count());
+        assert_eq!(g.in_deg(0), g.in_iter(0).count());
+        assert_eq!(g.in_deg(3), g.in_iter(3).count());
+    }
+}

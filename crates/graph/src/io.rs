@@ -95,54 +95,72 @@ pub fn to_binary(graph: &CsrGraph) -> Vec<u8> {
 
 /// A minimal little-endian reader over a byte slice (std-only replacement for
 /// the `bytes` crate's `Buf`).
+///
+/// Every read is checked: running off the end of the buffer yields a typed
+/// [`GraphError::Format`] instead of a panic, so arbitrarily truncated or
+/// corrupted input can never abort the process.
 struct ByteReader<'a> {
     data: &'a [u8],
+    consumed: usize,
 }
 
 impl<'a> ByteReader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        ByteReader { data }
+        ByteReader { data, consumed: 0 }
     }
 
     fn remaining(&self) -> usize {
         self.data.len()
     }
 
-    fn take<const N: usize>(&mut self) -> [u8; N] {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], GraphError> {
+        if self.data.len() < N {
+            return Err(GraphError::Format(format!(
+                "truncated input: need {N} bytes at offset {}, have {}",
+                self.consumed,
+                self.data.len()
+            )));
+        }
         let (head, tail) = self.data.split_at(N);
         self.data = tail;
-        head.try_into().expect("split_at returned N bytes")
+        self.consumed += N;
+        Ok(head.try_into().expect("split_at returned N bytes"))
     }
 
-    fn get_u32_le(&mut self) -> u32 {
-        u32::from_le_bytes(self.take::<4>())
+    fn get_u32_le(&mut self) -> Result<u32, GraphError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
     }
 
-    fn get_u64_le(&mut self) -> u64 {
-        u64::from_le_bytes(self.take::<8>())
+    fn get_u64_le(&mut self) -> Result<u64, GraphError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
     }
 }
 
 /// Deserialize a graph from the compact binary format.
+///
+/// Untrusted input is safe here: truncated buffers, bad magic/version,
+/// header counts that would overflow or exceed the id space, out-of-range
+/// edge endpoints, and trailing garbage all produce a typed
+/// [`GraphError::Format`] — never a panic.
 pub fn from_binary(data: &[u8]) -> Result<CsrGraph, GraphError> {
     if data.len() < 24 {
         return Err(GraphError::Format("buffer shorter than header".into()));
     }
     let mut data = ByteReader::new(data);
-    let magic = data.take::<4>();
+    let magic = data.take::<4>()?;
     if &magic != MAGIC {
         return Err(GraphError::Format(format!(
             "bad magic {magic:?}, expected {MAGIC:?}"
         )));
     }
-    let version = data.get_u32_le();
+    let version = data.get_u32_le()?;
     if version != VERSION {
         return Err(GraphError::Format(format!(
             "unsupported version {version}, expected {VERSION}"
         )));
     }
-    let n = data.get_u64_le() as usize;
-    let m = data.get_u64_le() as usize;
+    let n = data.get_u64_le()? as usize;
+    let m = data.get_u64_le()? as usize;
     // Header fields are untrusted: bound-check without overflow (`m * 8` could
     // wrap) and reject vertex counts outside the u32 id space before sizing
     // any allocation from them.
@@ -157,11 +175,17 @@ pub fn from_binary(data: &[u8]) -> Result<CsrGraph, GraphError> {
             data.remaining() / 8
         )));
     }
+    if data.remaining() != m * 8 {
+        return Err(GraphError::Format(format!(
+            "trailing garbage: {} bytes after the {m} declared edge records",
+            data.remaining() - m * 8
+        )));
+    }
     let mut builder = GraphBuilder::with_capacity(n, m);
     builder.reserve_vertices(n);
     for _ in 0..m {
-        let u = data.get_u32_le();
-        let v = data.get_u32_le();
+        let u = data.get_u32_le()?;
+        let v = data.get_u32_le()?;
         if u as usize >= n || v as usize >= n {
             return Err(GraphError::Format(format!(
                 "edge ({u}, {v}) out of range for {n} vertices"
@@ -292,6 +316,96 @@ mod tests {
             from_binary(&bytes),
             Err(GraphError::Format(msg)) if msg.contains("u32 id space")
         ));
+    }
+
+    #[test]
+    fn binary_rejects_trailing_garbage() {
+        let mut bytes = to_binary(&sample());
+        bytes.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        assert!(matches!(
+            from_binary(&bytes),
+            Err(GraphError::Format(msg)) if msg.contains("trailing")
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_edges() {
+        let g = sample();
+        let mut bytes = to_binary(&g);
+        // Overwrite the first edge's target with an id beyond the vertex count.
+        let target_off = 24 + 4;
+        bytes[target_off..target_off + 4].copy_from_slice(&(g.num_vertices() as u32).to_le_bytes());
+        assert!(matches!(
+            from_binary(&bytes),
+            Err(GraphError::Format(msg)) if msg.contains("out of range")
+        ));
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_buffer_is_a_typed_error() {
+        // The codec must survive truncation at *every* byte boundary: a typed
+        // Format error, never a panic, and never a silently-parsed prefix.
+        let bytes = to_binary(&sample());
+        for len in 0..bytes.len() {
+            match from_binary(&bytes[..len]) {
+                Err(GraphError::Format(_)) => {}
+                other => panic!("truncation to {len} bytes produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_corruption_never_panics() {
+        use crate::gen::{erdos_renyi_gnm, Xoshiro256};
+        // Deterministic corruption fuzzing of the manual LE codec: flip bytes,
+        // splice lengths, and assert the result is always Ok or a typed error.
+        let g = erdos_renyi_gnm(40, 150, 3);
+        let clean = to_binary(&g);
+        let mut rng = Xoshiro256::seed_from_u64(0xC0FFEE);
+        for case in 0..500 {
+            let mut bytes = clean.clone();
+            // Corrupt 1..=4 positions.
+            for _ in 0..=rng.next_index(4) {
+                let pos = rng.next_index(bytes.len());
+                bytes[pos] = bytes[pos].wrapping_add(1 + rng.next_index(255) as u8);
+            }
+            // Occasionally also truncate or extend.
+            match rng.next_index(4) {
+                0 => {
+                    let keep = rng.next_index(bytes.len() + 1);
+                    bytes.truncate(keep);
+                }
+                1 => bytes.push(rng.next_index(256) as u8),
+                _ => {}
+            }
+            match from_binary(&bytes) {
+                Ok(parsed) => {
+                    // A corrupted payload can still be a well-formed graph;
+                    // it must at least respect its own header.
+                    assert!(
+                        parsed.num_vertices() <= u32::MAX as usize + 1,
+                        "case {case}"
+                    );
+                }
+                Err(GraphError::Format(msg)) => assert!(!msg.is_empty(), "case {case}"),
+                Err(other) => panic!("case {case}: unexpected error variant {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_on_random_graphs() {
+        use crate::gen::erdos_renyi_gnm;
+        for seed in 0..6u64 {
+            let g = erdos_renyi_gnm(60, 240, seed);
+            let back = from_binary(&to_binary(&g)).unwrap();
+            assert_eq!(back.num_vertices(), g.num_vertices(), "seed {seed}");
+            assert_eq!(back.num_edges(), g.num_edges(), "seed {seed}");
+            assert!(
+                g.edges().zip(back.edges()).all(|(a, b)| a == b),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //! * [`ActiveSet`] — a cheap vertex activation mask used by the bottom-up and
 //!   top-down cover algorithms to "delete" or "insert" vertices without touching
 //!   the adjacency arrays.
+//! * [`GraphView`] — the iterator-based view trait (every [`Graph`] is one)
+//!   that lets the search primitives run over storages without contiguous
+//!   adjacency slices.
+//! * [`DeltaGraph`] — a mutable inserted/tombstoned edge overlay on
+//!   [`CsrGraph`] with merged neighbor iteration and threshold-based
+//!   compaction; the storage layer of the `tdb-dynamic` streaming subsystem.
 //! * [`gen`] — deterministic synthetic graph generators (Erdős–Rényi, directed
 //!   preferential attachment, R-MAT, classic topologies, small-world) driven by a
 //!   vendored SplitMix64/xoshiro256** RNG so that every experiment is bit-for-bit
@@ -47,17 +53,21 @@
 pub mod active;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod gen;
 pub mod io;
 pub mod line_graph;
 pub mod metrics;
 pub mod scc;
 pub mod types;
+pub mod view;
 
 pub use active::ActiveSet;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use delta::DeltaGraph;
 pub use types::{Edge, GraphError, VertexId, INVALID_VERTEX};
+pub use view::GraphView;
 
 /// Read-only view of a directed graph with both adjacency directions.
 ///

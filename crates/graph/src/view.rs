@@ -1,0 +1,133 @@
+//! Iterator-based graph views — the abstraction that lets cycle searches run
+//! over storages that cannot hand out contiguous adjacency slices.
+//!
+//! The [`Graph`](crate::Graph) trait exposes neighbors as sorted `&[VertexId]`
+//! slices, which is perfect for the immutable [`CsrGraph`](crate::CsrGraph) but
+//! impossible for layered storages such as [`DeltaGraph`](crate::DeltaGraph),
+//! whose adjacency is the *merge* of a CSR base, an inserted-edge overlay and a
+//! tombstone set. [`GraphView`] relaxes the contract to "sorted, deduplicated
+//! iteration": every [`Graph`] automatically is a [`GraphView`] (the blanket
+//! impl below iterates the slices), and overlay structures implement
+//! [`GraphView`] directly with merged iteration.
+//!
+//! The hop-constrained search primitives in `tdb-cycle` (naive DFS, block DFS,
+//! bounded BFS, the edge-cycle search) and the minimal-pruning pass in
+//! `tdb-core` are generic over this trait, so the same search code serves both
+//! the static solve path and the incremental maintenance path in `tdb-dynamic`.
+
+use crate::types::VertexId;
+use crate::Graph;
+
+/// Read-only directed-graph view with iterator-based adjacency access.
+///
+/// Contract mirrors [`Graph`]: vertex ids are dense `0..vertex_count()`, and
+/// both neighbor iterators yield ascending, duplicate-free ids. Method names
+/// are deliberately distinct from [`Graph`]'s so that a type implementing both
+/// (every [`Graph`] does, through the blanket impl) never produces ambiguous
+/// method calls.
+pub trait GraphView {
+    /// Number of vertices. Vertex ids are `0..vertex_count() as VertexId`.
+    fn vertex_count(&self) -> usize;
+
+    /// Number of directed edges.
+    fn edge_count(&self) -> usize;
+
+    /// Out-neighbors of `v`, ascending and duplicate-free.
+    fn out_iter(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_;
+
+    /// In-neighbors of `v`, ascending and duplicate-free.
+    fn in_iter(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_;
+
+    /// Out-degree of `v`. Implementations with O(1) degree should override.
+    #[inline]
+    fn out_deg(&self, v: VertexId) -> usize {
+        self.out_iter(v).count()
+    }
+
+    /// In-degree of `v`. Implementations with O(1) degree should override.
+    #[inline]
+    fn in_deg(&self, v: VertexId) -> usize {
+        self.in_iter(v).count()
+    }
+
+    /// Whether the directed edge `(u, v)` is present.
+    #[inline]
+    fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_iter(u).any(|w| w == v)
+    }
+
+    /// Iterator over every vertex id.
+    #[inline]
+    fn vertex_ids(&self) -> std::ops::Range<VertexId> {
+        0..self.vertex_count() as VertexId
+    }
+}
+
+impl<G: Graph> GraphView for G {
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.num_edges()
+    }
+
+    #[inline]
+    fn out_iter(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.out_neighbors(v).iter().copied()
+    }
+
+    #[inline]
+    fn in_iter(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.in_neighbors(v).iter().copied()
+    }
+
+    #[inline]
+    fn out_deg(&self, v: VertexId) -> usize {
+        self.out_degree(v)
+    }
+
+    #[inline]
+    fn in_deg(&self, v: VertexId) -> usize {
+        self.in_degree(v)
+    }
+
+    #[inline]
+    fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.has_edge(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn blanket_impl_mirrors_graph() {
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (0, 2)]);
+        assert_eq!(g.vertex_count(), g.num_vertices());
+        assert_eq!(g.edge_count(), g.num_edges());
+        assert_eq!(g.out_iter(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(g.in_iter(2).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(g.out_deg(0), 2);
+        assert_eq!(g.in_deg(0), 1);
+        assert!(g.contains_edge(2, 0));
+        assert!(!g.contains_edge(1, 0));
+        assert_eq!(g.vertex_ids().count(), 3);
+    }
+
+    // A minimal generic consumer, proving search-style code can be written
+    // against the view alone.
+    fn count_edges_via_view<V: GraphView>(g: &V) -> usize {
+        g.vertex_ids().map(|v| g.out_iter(v).count()).sum()
+    }
+
+    #[test]
+    fn generic_consumers_accept_any_graph() {
+        let g = graph_from_edges(&[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(count_edges_via_view(&g), 3);
+    }
+}

@@ -14,6 +14,10 @@
 //! * [`core`] (`tdb-core`) — the cover algorithms (`BUR`, `BUR+`, `DARC-DV`,
 //!   `TDB`, `TDB+`, `TDB++`, parallel extension) behind the unified
 //!   [`Solver`](tdb_core::Solver) API, and the verifier.
+//! * [`dynamic`] (`tdb-dynamic`) — incremental cover maintenance over
+//!   streaming edge updates: a [`DeltaGraph`](tdb_graph::DeltaGraph) overlay
+//!   plus the [`DynamicCover`](tdb_dynamic::DynamicCover) engine, reached
+//!   through [`SolveDynamic::solve_dynamic`](tdb_dynamic::SolveDynamic).
 //! * [`datasets`] (`tdb-datasets`) — the paper's Table II catalog and synthetic
 //!   proxy synthesis.
 //!
@@ -43,10 +47,34 @@
 //! assert!(verify_cover(&graph, &run.cover, &constraint).is_valid_and_minimal());
 //! ```
 //!
-//! A solver is configured once and reused: scan order, worker threads, and a
-//! wall-clock budget all hang off the builder, and a budgeted solve returns
+//! A solver is configured once and reused: scan order, worker threads, a
+//! wall-clock budget, and 2-cycle handling (`with_two_cycles`, Table IV mode)
+//! all hang off the builder, and a budgeted solve returns
 //! [`SolveError::BudgetExceeded`](tdb_core::SolveError) instead of running
 //! unbounded.
+//!
+//! ## Streaming
+//!
+//! For live workloads, the same solver seeds an incrementally maintained
+//! cover: edge insertions repair the cover by searching only for cycles
+//! through the new edge, removals defer re-minimization, and the cover is
+//! valid after every update.
+//!
+//! ```
+//! use tdb::prelude::*;
+//!
+//! let graph = tdb::graph::gen::erdos_renyi_gnm(500, 2_000, 7);
+//! let constraint = HopConstraint::new(4);
+//! let mut live = Solver::new(Algorithm::TdbPlusPlus)
+//!     .solve_dynamic(graph, &constraint)
+//!     .unwrap();
+//!
+//! let mut batch = EdgeBatch::new();
+//! batch.insert(0, 99).insert(99, 0).remove(0, 1);
+//! let metrics = live.apply(&batch);
+//! assert!(metrics.updates() >= 2);
+//! assert!(live.is_valid());
+//! ```
 //!
 //! See `examples/` for end-to-end scenarios (fraud detection on an e-commerce
 //! network, deadlock-potential analysis of a lock graph, clocked-register
@@ -59,13 +87,19 @@
 pub use tdb_core as core;
 pub use tdb_cycle as cycle;
 pub use tdb_datasets as datasets;
+pub use tdb_dynamic as dynamic;
 pub use tdb_graph as graph;
 
 /// The most commonly used items across the workspace, re-exported together.
 pub mod prelude {
     pub use tdb_core::prelude::*;
     pub use tdb_cycle::HopConstraint;
-    pub use tdb_graph::{ActiveSet, CsrGraph, Graph, GraphBuilder, VertexId};
+    pub use tdb_dynamic::{
+        DynamicConfig, DynamicCover, EdgeBatch, EdgeOp, SolveDynamic, UpdateMetrics,
+    };
+    pub use tdb_graph::{
+        ActiveSet, CsrGraph, DeltaGraph, Graph, GraphBuilder, GraphView, VertexId,
+    };
 }
 
 #[cfg(test)]
