@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Subcommands: `table2`, `table3`, `table4`, `figure6`, `figure7`, `figure8`,
-//! `figure9`, `figure10`, `large`, `stream`, `all`. Options: `--scale <f64>`,
+//! `figure9`, `figure10`, `large`, `stream`, `sharding`, `all`. Options: `--scale <f64>`,
 //! `--seed <u64>`, `--slow-limit <edges>`, `--verify`, `--k <list>` (comma
 //! separated, default `3,4,5,6,7`), `--budget <seconds>` (wall-clock budget
 //! per cell; overruns print as `-`).
@@ -21,9 +21,20 @@
 //!     --stream-vertices 50000 --stream-edges 200000 --stream-updates 10000 \
 //!     --stream-batch 100 --stream-churn 0.5 --stream-compact 0 --verify
 //! ```
+//!
+//! The `sharding` subcommand (also reachable as plain `--sharding`) builds a
+//! seeded multi-SCC graph and compares the sequential whole-graph solve with
+//! the SCC-partitioned `Solver::with_sharding` pipeline:
+//!
+//! ```text
+//! cargo run --release -p tdb-bench --bin experiments -- --sharding \
+//!     --shard-components 8 --shard-vertices 12500 --shard-edges 50000 \
+//!     --shard-threads 4
+//! ```
 
 use std::process::ExitCode;
 
+use tdb_bench::sharding::{format_sharding_report, run_sharding, ShardingConfig};
 use tdb_bench::streaming::{format_stream_report, run_stream, StreamConfig};
 use tdb_bench::{
     figure10_rows, figure67_rows, figure89_rows, format_rows, proxy, run_cell, table2_rows,
@@ -37,6 +48,7 @@ struct Options {
     command: String,
     config: ExperimentConfig,
     stream: StreamConfig,
+    sharding: ShardingConfig,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -50,11 +62,15 @@ fn parse_args() -> Result<Options, String> {
     let mut ks_explicit = false;
     let mut budget = None;
     let mut stream = StreamConfig::acceptance();
+    let mut sharding = ShardingConfig::acceptance();
+    let mut sharding_flag = false;
 
     let mut it = args.into_iter().peekable();
+    let mut command_explicit = false;
     if let Some(first) = it.peek() {
         if !first.starts_with("--") {
             command = it.next().unwrap();
+            command_explicit = true;
         }
     }
     while let Some(arg) = it.next() {
@@ -132,17 +148,71 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--stream-compact: {e}"))?;
             }
+            "--sharding" => sharding_flag = true,
+            "--shard-components" => {
+                let c: usize = value("--shard-components")?
+                    .parse()
+                    .map_err(|e| format!("--shard-components: {e}"))?;
+                if c == 0 {
+                    return Err("--shard-components: need at least one component".into());
+                }
+                sharding.components = c;
+            }
+            "--shard-vertices" => {
+                let v: usize = value("--shard-vertices")?
+                    .parse()
+                    .map_err(|e| format!("--shard-vertices: {e}"))?;
+                if v < 2 {
+                    return Err("--shard-vertices: a non-trivial SCC needs >= 2 vertices".into());
+                }
+                sharding.vertices_per_component = v;
+            }
+            "--shard-edges" => {
+                sharding.edges_per_component = value("--shard-edges")?
+                    .parse()
+                    .map_err(|e| format!("--shard-edges: {e}"))?;
+            }
+            "--shard-threads" => {
+                let t: usize = value("--shard-threads")?
+                    .parse()
+                    .map_err(|e| format!("--shard-threads: {e}"))?;
+                if t == 0 {
+                    return Err("--shard-threads: need at least one thread".into());
+                }
+                sharding.threads = t;
+            }
+            "--shard-algo" => {
+                let raw = value("--shard-algo")?;
+                sharding.algorithm = raw
+                    .parse::<Algorithm>()
+                    .map_err(|e| format!("--shard-algo: {e}"))?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
 
-    // The stream scenario shares the global --seed / --k / --verify flags.
+    // The stream and sharding scenarios share the global --seed / --k /
+    // --verify flags.
     stream.seed = seed;
     stream.verify_each_batch = verify;
+    sharding.seed = seed;
+    sharding.verify = verify;
     if ks_explicit {
         if let Some(&k) = ks.first() {
             stream.k = k;
+            sharding.k = k;
         }
+    }
+    // `--sharding` selects the scenario without requiring a positional
+    // command; a conflicting explicit subcommand is an error, not silently
+    // overridden.
+    if sharding_flag {
+        if command_explicit && command != "sharding" {
+            return Err(format!(
+                "--sharding conflicts with the {command:?} subcommand; drop one of the two"
+            ));
+        }
+        command = "sharding".to_string();
     }
 
     Ok(Options {
@@ -159,6 +229,7 @@ fn parse_args() -> Result<Options, String> {
             time_budget: budget,
         },
         stream,
+        sharding,
     })
 }
 
@@ -204,8 +275,9 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|stream|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS]");
+            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|stream|sharding|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS]");
             eprintln!("       stream flags: [--stream-vertices N] [--stream-edges M] [--stream-updates U] [--stream-batch B] [--stream-churn 0..1] [--stream-compact T]");
+            eprintln!("       sharding flags: [--sharding] [--shard-components C] [--shard-vertices N] [--shard-edges M] [--shard-threads T] [--shard-algo NAME]");
             return ExitCode::FAILURE;
         }
     };
@@ -246,6 +318,28 @@ fn main() -> ExitCode {
             &format_rows(&figure10_rows(cfg)),
         ),
         "large" => large_scale(cfg),
+        "sharding" => {
+            let s = &options.sharding;
+            let mut lines = vec![format!(
+                "workload  {} components x {} vertices, ~{} edges each, k = {}, algorithm {}",
+                s.components,
+                s.vertices_per_component,
+                s.edges_per_component,
+                s.k,
+                s.algorithm.name(),
+            )];
+            let report = run_sharding(s);
+            lines.extend(format_sharding_report(&report));
+            print_block("Sharded solving: SCC-partitioned vs whole-graph", &lines);
+            if !report.covers_identical {
+                eprintln!("error: sharded and unsharded covers differ");
+                return ExitCode::FAILURE;
+            }
+            if report.verified == Some(false) {
+                eprintln!("error: the sharded cover failed the validity audit");
+                return ExitCode::FAILURE;
+            }
+        }
         "stream" => {
             let s = &options.stream;
             let mut lines = vec![format!(

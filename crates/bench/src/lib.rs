@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod microbench;
+pub mod sharding;
 pub mod streaming;
 
 use std::time::Duration;

@@ -34,8 +34,17 @@
 //! | Top-down (`TDB`, `TDB+`, `TDB++`) | §VI, Alg. 8–11 | [`top_down::TopDownConfig`] | the paper's contribution, `O(k·n·m)` |
 //!
 //! All of them produce covers that are **valid** (no constrained cycle
-//! survives) and **minimal** (no single vertex can be dropped), which
+//! survives) and — except `BUR` and `DARC-DV`, which skip the Algorithm-7
+//! pruning — **minimal** (no single vertex can be dropped), which
 //! [`verify::verify_cover`] checks independently.
+//!
+//! Because every constrained cycle lies inside one strongly connected
+//! component, the problem also **partitions exactly**:
+//! [`Solver::with_sharding`](solver::Solver::with_sharding) condenses the
+//! graph ([`partition::Partitioner`]), solves the non-trivial SCCs as
+//! independent compact shards on worker threads, and merges the per-shard
+//! covers — reproducing the unsharded cover while scaling across cores on
+//! multi-component graphs.
 //!
 //! ```
 //! use tdb_core::prelude::*;
@@ -62,6 +71,7 @@ pub mod cover;
 pub mod darc;
 pub mod minimal;
 pub mod parallel;
+pub mod partition;
 pub mod solver;
 pub mod stats;
 pub mod top_down;
@@ -69,7 +79,10 @@ pub mod two_cycle;
 pub mod verify;
 
 pub use cover::{CoverRun, CycleCover, RunMetrics};
-pub use solver::{CoverAlgorithm, SolveContext, SolveError, SolveProgress, Solver, TwoCycleMode};
+pub use partition::{Partition, Partitioner, Shard};
+pub use solver::{
+    CoverAlgorithm, ShardingMode, SolveContext, SolveError, SolveProgress, Solver, TwoCycleMode,
+};
 pub use tdb_cycle::HopConstraint;
 
 use tdb_graph::CsrGraph;
@@ -222,12 +235,13 @@ pub mod prelude {
     pub use crate::compute_cover;
     pub use crate::cover::{CoverRun, CycleCover, RunMetrics};
     pub use crate::darc::{darc_dv_cover, darc_dv_cover_with, DarcDvConfig};
-    pub use crate::minimal::{minimal_prune, SearchEngine};
+    pub use crate::minimal::{minimal_prune, minimal_prune_candidates_with, SearchEngine};
     pub use crate::parallel::{
         parallel_top_down_cover, parallel_top_down_cover_with, ParallelConfig,
     };
+    pub use crate::partition::{Partition, Partitioner, Shard};
     pub use crate::solver::{
-        CoverAlgorithm, SolveContext, SolveError, SolveProgress, Solver, TwoCycleMode,
+        CoverAlgorithm, ShardingMode, SolveContext, SolveError, SolveProgress, Solver, TwoCycleMode,
     };
     pub use crate::top_down::{top_down_cover, top_down_cover_with, ScanOrder, TopDownConfig};
     pub use crate::two_cycle::{combined_cover, minimal_two_cycle_cover};

@@ -55,6 +55,29 @@ pub fn minimal_prune_with<V: GraphView>(
     metrics: &mut RunMetrics,
     ctx: &mut SolveContext,
 ) -> Result<usize, SolveError> {
+    let candidates: Vec<VertexId> = cover.iter().collect();
+    minimal_prune_candidates_with(g, cover, &candidates, constraint, engine, metrics, ctx)
+}
+
+/// Algorithm 7 restricted to a candidate subset of the cover.
+///
+/// Only the vertices of `candidates` (which must be a subset of `cover`) are
+/// examined for redundancy; the rest of the cover is held fixed. This is what
+/// makes component-scoped re-minimization in `tdb-dynamic` sound *and* cheap:
+/// a caller that can prove the untested cover vertices still have intact
+/// witness cycles (e.g. because their strongly connected component saw no
+/// update) skips one cycle query per skipped vertex, and removing a candidate
+/// can never make a non-candidate redundant — pruning only ever *adds* active
+/// vertices, hence only adds cycles through the others.
+pub fn minimal_prune_candidates_with<V: GraphView>(
+    g: &V,
+    cover: &mut CycleCover,
+    candidates: &[VertexId],
+    constraint: &HopConstraint,
+    engine: SearchEngine,
+    metrics: &mut RunMetrics,
+    ctx: &mut SolveContext,
+) -> Result<usize, SolveError> {
     ctx.ensure_armed();
     let n = g.vertex_count();
     // G − R + {v}: all non-cover vertices are active; cover vertices inactive.
@@ -64,9 +87,9 @@ pub fn minimal_prune_with<V: GraphView>(
         SearchEngine::Naive => None,
     };
 
-    let candidates: Vec<VertexId> = cover.iter().collect();
     let mut removed = 0usize;
-    for v in candidates {
+    for &v in candidates {
+        debug_assert!(cover.contains(v), "candidate {v} is not a cover vertex");
         ctx.checkpoint()?;
         // Temporarily restore v into the graph.
         active.activate(v);
@@ -196,6 +219,44 @@ mod tests {
         let (pruned, _) = prune(&g, vec![0, 2], &constraint, SearchEngine::Naive);
         assert_eq!(pruned.len(), 1);
         assert!(redundant_vertices(&g, &pruned, &constraint).is_empty());
+    }
+
+    #[test]
+    fn candidate_restriction_only_touches_the_candidates() {
+        // Two disjoint triangles, both vertices of the first in the cover:
+        // one of them is redundant, but only candidates may be removed.
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let constraint = HopConstraint::new(3);
+        let mut cover = CycleCover::from_vertices(vec![0, 1, 3]);
+        let mut metrics = RunMetrics::new("test", 3, false);
+        let mut ctx = SolveContext::new();
+        // Restrict to vertex 3 (still needed): nothing changes, one query.
+        let removed = minimal_prune_candidates_with(
+            &g,
+            &mut cover,
+            &[3],
+            &constraint,
+            SearchEngine::Block,
+            &mut metrics,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(removed, 0);
+        assert_eq!(metrics.cycle_queries, 1);
+        assert_eq!(cover.as_slice(), &[0, 1, 3]);
+        // Restrict to vertex 0: it is redundant (1 also breaks the triangle).
+        let removed = minimal_prune_candidates_with(
+            &g,
+            &mut cover,
+            &[0],
+            &constraint,
+            SearchEngine::Block,
+            &mut metrics,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(cover.as_slice(), &[1, 3]);
     }
 
     #[test]

@@ -34,7 +34,10 @@ use crate::top_down::{top_down_cover, ScanOrder, TopDownConfig};
 /// Configuration of the parallel TDB++ extension.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelConfig {
-    /// Worker threads for the parallel phases. `0` means "number of CPUs".
+    /// Worker threads for the parallel phases. `0` means "number of CPUs":
+    /// the value of [`std::thread::available_parallelism`], falling back to
+    /// `1` on platforms where that is unknowable (see
+    /// [`ParallelConfig::resolved_threads`] for the exact resolution).
     pub num_threads: usize,
     /// Scan order of the sequential phase.
     pub scan_order: ScanOrder,
@@ -50,13 +53,14 @@ impl Default for ParallelConfig {
 }
 
 impl ParallelConfig {
-    fn resolved_threads(&self) -> usize {
+    /// The worker-thread count this configuration resolves to: `num_threads`
+    /// when positive, otherwise [`std::thread::available_parallelism`]
+    /// (falling back to `1` when the platform cannot report it).
+    pub fn resolved_threads(&self) -> usize {
         if self.num_threads > 0 {
             self.num_threads
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            crate::solver::available_threads()
         }
     }
 }
@@ -376,8 +380,27 @@ mod tests {
 
     #[test]
     fn zero_thread_config_resolves_to_available_parallelism() {
+        // Pin the documented contract exactly: 0 resolves to the value of
+        // available_parallelism, or to 1 when the platform cannot report it —
+        // never to 0 (which would panic the chunked sharding below).
         let cfg = ParallelConfig::default();
+        assert_eq!(cfg.num_threads, 0, "default must take the CPU-count path");
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(cfg.resolved_threads(), expected);
         assert!(cfg.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_thread_counts_are_passed_through_unchanged() {
+        for threads in [1usize, 2, 7, 64] {
+            let cfg = ParallelConfig {
+                num_threads: threads,
+                scan_order: ScanOrder::Ascending,
+            };
+            assert_eq!(cfg.resolved_threads(), threads);
+        }
     }
 
     #[test]

@@ -231,6 +231,45 @@ impl<'a> SolveContext<'a> {
     pub fn completed_solves(&self) -> u64 {
         self.solves
     }
+
+    /// Capture the budget state for propagation into per-shard contexts.
+    pub(crate) fn snapshot(&self) -> ContextSnapshot {
+        ContextSnapshot {
+            seed: self.seed,
+            budget: self.budget,
+            deadline: self.deadline,
+            armed_at: self.armed_at,
+        }
+    }
+}
+
+/// A copyable snapshot of a [`SolveContext`]'s budget state.
+///
+/// The sharded executor cannot hand the parent context to worker threads (it
+/// may carry a non-`Sync` progress callback), so it snapshots the armed
+/// deadline once and materializes an equivalent child context per shard:
+/// every shard then races the *same* wall-clock deadline the caller armed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ContextSnapshot {
+    seed: u64,
+    budget: Option<Duration>,
+    deadline: Option<Instant>,
+    armed_at: Option<Instant>,
+}
+
+impl ContextSnapshot {
+    /// A fresh context sharing this snapshot's seed and armed deadline.
+    pub(crate) fn materialize(self) -> SolveContext<'static> {
+        SolveContext {
+            seed: self.seed,
+            budget: self.budget,
+            deadline: self.deadline,
+            armed_at: self.armed_at,
+            totals: RunMetrics::default(),
+            solves: 0,
+            progress: None,
+        }
+    }
 }
 
 /// A hop-constrained cycle cover algorithm as a configured value.
@@ -274,11 +313,60 @@ pub enum TwoCycleMode {
     Separate,
 }
 
+/// Whether and how a [`Solver`] partitions the graph into strongly connected
+/// components and solves them as independent shards.
+///
+/// Every constrained cycle lies inside one SCC, so the cover of a graph is the
+/// disjoint union of the covers of its non-trivial components (see
+/// [`crate::partition`] for the argument). Sharding exploits that: components
+/// are extracted as compact subgraphs and solved concurrently, largest first,
+/// with the configured algorithm. Because the extraction preserves the
+/// relative order of vertex ids, a sharded solve with the default ascending
+/// scan order returns **exactly** the cover of the unsharded solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardingMode {
+    /// No partitioning: the algorithm runs once over the whole graph.
+    #[default]
+    Off,
+    /// Partition and solve shards on `available_parallelism` worker threads.
+    Auto,
+    /// Partition and solve shards on the given number of worker threads
+    /// (`0` behaves like [`ShardingMode::Auto`]; `1` still partitions, which
+    /// isolates the decomposition itself for benchmarks and tests).
+    Threads(usize),
+}
+
+impl ShardingMode {
+    /// Whether this mode partitions at all.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, ShardingMode::Off)
+    }
+
+    /// Worker threads this mode resolves to (`None` for [`ShardingMode::Off`]).
+    pub fn resolved_threads(&self) -> Option<usize> {
+        match *self {
+            ShardingMode::Off => None,
+            ShardingMode::Auto | ShardingMode::Threads(0) => Some(available_threads()),
+            ShardingMode::Threads(n) => Some(n),
+        }
+    }
+}
+
+/// The machine's available parallelism, defaulting to `1` when the platform
+/// cannot report it — the one resolution behind every "`0` = number of CPUs"
+/// knob in the crate ([`ShardingMode`], [`crate::parallel::ParallelConfig`]).
+pub(crate) fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// The unified entry point: configure once, solve any graph.
 ///
 /// `Solver` maps an [`Algorithm`] to its family configuration and applies the
-/// shared options (scan order, threads, time budget, seed) in one place, so
-/// that harnesses, examples and tests no longer hand-roll per-family dispatch.
+/// shared options (scan order, threads, time budget, seed, sharding) in one
+/// place, so that harnesses, examples and tests no longer hand-roll per-family
+/// dispatch.
 ///
 /// ```
 /// use tdb_core::prelude::*;
@@ -299,6 +387,7 @@ pub struct Solver {
     time_budget: Option<Duration>,
     seed: u64,
     two_cycle_mode: TwoCycleMode,
+    sharding: ShardingMode,
 }
 
 impl Solver {
@@ -311,6 +400,7 @@ impl Solver {
             time_budget: None,
             seed: 0,
             two_cycle_mode: TwoCycleMode::FollowConstraint,
+            sharding: ShardingMode::Off,
         }
     }
 
@@ -373,6 +463,43 @@ impl Solver {
         self.two_cycle_mode
     }
 
+    /// Partition the graph into strongly connected components and solve them
+    /// as independent shards (see [`ShardingMode`]).
+    ///
+    /// Composes with every [`Algorithm`] and every [`TwoCycleMode`]: each
+    /// shard runs the fully configured per-shard pipeline. With the default
+    /// ascending scan order the merged cover is identical to the unsharded
+    /// one; order variants that consult global degrees may differ in
+    /// composition but remain valid and minimal.
+    ///
+    /// A progress callback installed on the context is coarse-grained under
+    /// sharding: shards run on worker threads that cannot reach the caller's
+    /// (non-`Sync`) callback, so it fires per *completed pipeline*, not per
+    /// scanned vertex. For [`Algorithm::TdbParallel`] with auto thread count
+    /// (`with_threads(0)`), each shard's inner pre-filter is pinned to one
+    /// thread — the shard workers themselves are the parallelism.
+    pub fn with_sharding(mut self, mode: ShardingMode) -> Self {
+        self.sharding = mode;
+        self
+    }
+
+    /// The solver each shard runs: this configuration, except that the
+    /// parallel family's *auto* inner thread count is pinned to 1 so that
+    /// shard workers do not multiply against `available_parallelism` (an
+    /// explicit `with_threads(n)` is honored as given).
+    pub(crate) fn shard_solver(&self) -> Solver {
+        let mut shard = *self;
+        if matches!(self.algorithm, Algorithm::TdbParallel) && shard.threads == 0 {
+            shard.threads = 1;
+        }
+        shard
+    }
+
+    /// The configured sharding mode.
+    pub fn sharding_mode(&self) -> ShardingMode {
+        self.sharding
+    }
+
     /// The scan order the configured algorithm will use.
     fn resolved_scan_order(&self) -> ScanOrder {
         match self.scan_order {
@@ -431,6 +558,21 @@ impl Solver {
         ctx: &mut SolveContext,
     ) -> Result<CoverRun, SolveError> {
         ctx.arm();
+        match self.sharding.resolved_threads() {
+            None => self.solve_shard(g, constraint, ctx),
+            Some(threads) => crate::partition::solve_sharded(self, g, constraint, ctx, threads),
+        }
+    }
+
+    /// The per-shard (equivalently: unsharded) solve pipeline — two-cycle-mode
+    /// dispatch over an already-armed context. The sharded executor calls this
+    /// once per extracted component.
+    pub(crate) fn solve_shard(
+        &self,
+        g: &CsrGraph,
+        constraint: &HopConstraint,
+        ctx: &mut SolveContext,
+    ) -> Result<CoverRun, SolveError> {
         match self.two_cycle_mode {
             TwoCycleMode::FollowConstraint => self.build_algorithm().solve(g, constraint, ctx),
             TwoCycleMode::Integrated => {
@@ -438,6 +580,18 @@ impl Solver {
                 self.build_algorithm().solve(g, &upgraded, ctx)
             }
             TwoCycleMode::Separate => self.solve_separate(g, constraint.max_hops, ctx),
+        }
+    }
+
+    /// The `metrics.algorithm` label this solver's per-shard pipeline
+    /// reports: the algorithm's display name, prefixed with `2CYC+` in the
+    /// [`TwoCycleMode::Separate`] strategy. The single source of that format
+    /// — [`solve_separate`](Solver::solve_separate) and the sharded merge
+    /// both use it.
+    pub(crate) fn metrics_label(&self) -> String {
+        match self.two_cycle_mode {
+            TwoCycleMode::Separate => format!("2CYC+{}", self.algorithm.name()),
+            _ => self.algorithm.name().to_string(),
         }
     }
 
@@ -461,7 +615,7 @@ impl Solver {
             .solve(&residual, &HopConstraint::new(k), ctx)?;
 
         let mut metrics = rest.metrics;
-        metrics.algorithm = format!("2CYC+{}", self.algorithm.name());
+        metrics.algorithm = self.metrics_label();
         metrics.include_two_cycles = true;
         metrics.working_edges = g.num_edges();
         let mut vertices: Vec<VertexId> = two.into_vertices();

@@ -116,6 +116,11 @@ pub struct UpdateMetrics {
     pub edge_queries: u64,
     /// Vertices removed by lazy re-minimization during this window.
     pub pruned: u64,
+    /// Cover vertices actually re-examined by re-minimization. The
+    /// component-scoped minimize skips cover vertices whose strongly
+    /// connected component saw no update, so under localized churn this stays
+    /// far below the cover size.
+    pub minimize_checked: u64,
     /// Delta compactions triggered.
     pub compactions: u64,
     /// Wall-clock time spent inside the engine.
@@ -142,6 +147,7 @@ impl UpdateMetrics {
         self.breakers_added += other.breakers_added;
         self.edge_queries += other.edge_queries;
         self.pruned += other.pruned;
+        self.minimize_checked += other.minimize_checked;
         self.compactions += other.compactions;
         self.elapsed += other.elapsed;
     }

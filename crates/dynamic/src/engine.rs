@@ -27,12 +27,14 @@
 //! The overlay is compacted back into a clean CSR once the delta exceeds a
 //! threshold, keeping neighbor scans fast under sustained churn.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
-use tdb_core::minimal::{minimal_prune_with, SearchEngine};
+use tdb_core::minimal::{minimal_prune_candidates_with, SearchEngine};
 use tdb_core::solver::{SolveContext, SolveError, Solver, TwoCycleMode};
 use tdb_core::{Algorithm, CycleCover, RunMetrics};
 use tdb_cycle::{EdgeCycleSearcher, HopConstraint};
+use tdb_graph::scc::tarjan_scc;
 use tdb_graph::{ActiveSet, CsrGraph, DeltaGraph, GraphView, VertexId};
 
 use crate::batch::{EdgeBatch, EdgeOp, UpdateMetrics};
@@ -98,6 +100,20 @@ pub struct DynamicCover {
     active: ActiveSet,
     searcher: EdgeCycleSearcher,
     dirty: bool,
+    /// Component id per vertex as of the last [`DynamicCover::minimize`]
+    /// (`None` until the first full minimize establishes the invariant that
+    /// every cover vertex is non-redundant).
+    components: Option<Vec<u32>>,
+    /// Vertices touched since the last minimize: endpoints of applied edge
+    /// updates plus every breaker added by insert repairs. Marking breakers
+    /// too is what makes component-scoped minimization sound — a breaker can
+    /// land on another cover vertex's witness cycle, and its mark taints that
+    /// component for re-checking. Deduplicated through `dirty_mask`, so the
+    /// list is bounded by the vertex count no matter how long the stream runs
+    /// between minimizes.
+    dirty_vertices: Vec<VertexId>,
+    /// `dirty_mask[v]` mirrors membership of `v` in `dirty_vertices`.
+    dirty_mask: Vec<bool>,
     totals: UpdateMetrics,
 }
 
@@ -137,6 +153,9 @@ impl DynamicCover {
             config,
             active,
             dirty: false,
+            components: None,
+            dirty_vertices: Vec::new(),
+            dirty_mask: vec![false; n],
             totals: UpdateMetrics::default(),
         }
     }
@@ -235,7 +254,9 @@ impl DynamicCover {
             self.maybe_compact(&mut window);
         }
         if self.config.auto_minimize && self.dirty {
-            window.pruned += self.minimize_inner() as u64;
+            let (removed, checked) = self.minimize_inner();
+            window.pruned += removed as u64;
+            window.minimize_checked += checked as u64;
         }
         window.elapsed = start.elapsed();
         self.totals.absorb(&window);
@@ -244,11 +265,22 @@ impl DynamicCover {
 
     /// Re-minimize the cover (Algorithm 7 over the live overlay), clearing the
     /// dirty flag. Returns the number of vertices removed.
+    ///
+    /// The pass is **component-scoped**: every simple cycle lives inside one
+    /// strongly connected component, so a cover vertex can only have gained
+    /// or lost witness cycles if its component was touched since the last
+    /// minimize. The engine tracks touched vertices (update endpoints and
+    /// added breakers) and only re-examines cover vertices whose component —
+    /// in the component map of the *previous* minimize — contains one, plus
+    /// vertices that did not exist back then. The first call (no map yet)
+    /// examines the full cover. `totals().minimize_checked` counts the
+    /// vertices actually examined.
     pub fn minimize(&mut self) -> usize {
         let start = Instant::now();
-        let removed = self.minimize_inner();
+        let (removed, checked) = self.minimize_inner();
         let mut window = UpdateMetrics {
             pruned: removed as u64,
+            minimize_checked: checked as u64,
             ..Default::default()
         };
         window.elapsed = start.elapsed();
@@ -269,6 +301,8 @@ impl DynamicCover {
         }
         window.inserts += 1;
         self.sync_capacity();
+        self.mark_dirty(u);
+        self.mark_dirty(v);
         if self.cover.contains(u) || self.cover.contains(v) {
             // Every cycle through (u, v) passes through a covered endpoint.
             return 0;
@@ -293,6 +327,7 @@ impl DynamicCover {
             };
             self.cover.insert(breaker);
             self.active.deactivate(breaker);
+            self.mark_dirty(breaker);
             added += 1;
             window.breakers_added += 1;
             if breaker == u || breaker == v {
@@ -313,6 +348,8 @@ impl DynamicCover {
             return false;
         }
         window.removes += 1;
+        self.mark_dirty(u);
+        self.mark_dirty(v);
         // Destroying cycles never invalidates the cover, but cover vertices
         // whose every witness cycle used (u, v) are now redundant.
         if !self.cover.is_empty() {
@@ -321,16 +358,69 @@ impl DynamicCover {
         true
     }
 
-    fn minimize_inner(&mut self) -> usize {
+    /// The cover vertices that must be re-examined for redundancy: everything
+    /// on the first call, afterwards only vertices whose component (as mapped
+    /// at the previous minimize) contains a touched vertex, plus vertices
+    /// newer than that map.
+    ///
+    /// Soundness of skipping the rest: a skipped vertex `v` was non-redundant
+    /// at the previous minimize, i.e. it had a witness cycle `C` inside its
+    /// then-component `P(v)`. `P(v)` containing no touched vertex means no
+    /// edge incident to `P(v)` was inserted or removed (both endpoints of an
+    /// intra-component edge would be marked) and no breaker landed in `P(v)`,
+    /// so `C` still exists and still avoids every other cover vertex —
+    /// pruning elsewhere only *removes* cover vertices, which cannot cover
+    /// `C`. Hence `v` is still non-redundant.
+    fn minimize_candidates(&self) -> Vec<VertexId> {
+        let Some(map) = &self.components else {
+            return self.cover.iter().collect();
+        };
+        let mut touched_components: HashSet<u32> = HashSet::new();
+        for &d in &self.dirty_vertices {
+            if let Some(&c) = map.get(d as usize) {
+                touched_components.insert(c);
+            }
+        }
+        self.cover
+            .iter()
+            .filter(|&v| match map.get(v as usize) {
+                Some(c) => touched_components.contains(c),
+                None => true, // vertex born after the map: always re-examine
+            })
+            .collect()
+    }
+
+    /// Record `v` as touched since the last minimize (idempotent).
+    fn mark_dirty(&mut self, v: VertexId) {
+        let idx = v as usize;
+        if idx >= self.dirty_mask.len() {
+            self.dirty_mask.resize(idx + 1, false);
+        }
+        if !self.dirty_mask[idx] {
+            self.dirty_mask[idx] = true;
+            self.dirty_vertices.push(v);
+        }
+    }
+
+    fn minimize_inner(&mut self) -> (usize, usize) {
+        // Nothing happened since the map was last refreshed: skip the SCC
+        // pass entirely (a periodic minimize tick on a quiet stream must be
+        // free). The first minimize (no map yet) always runs in full, which
+        // is what handles caller-supplied covers of unknown minimality.
+        if self.components.is_some() && !self.dirty && self.dirty_vertices.is_empty() {
+            return (0, 0);
+        }
+        let candidates = self.minimize_candidates();
         let mut metrics = RunMetrics::new(
             "dynamic-minimize",
             self.constraint.max_hops,
             self.constraint.include_two_cycles,
         );
         let mut ctx = SolveContext::new();
-        let removed = minimal_prune_with(
+        let removed = minimal_prune_candidates_with(
             &self.graph,
             &mut self.cover,
+            &candidates,
             &self.constraint,
             SearchEngine::Block,
             &mut metrics,
@@ -339,7 +429,14 @@ impl DynamicCover {
         .unwrap_or_else(|e: SolveError| unreachable!("unbudgeted pruning cannot fail: {e}"));
         self.active = self.cover.reduced_active_set(self.graph.vertex_count());
         self.dirty = false;
-        removed
+        // Refresh the component map for the next round and forget the dirt it
+        // has now accounted for.
+        self.components = Some(tarjan_scc(&self.graph).component);
+        for &v in &self.dirty_vertices {
+            self.dirty_mask[v as usize] = false;
+        }
+        self.dirty_vertices.clear();
+        (removed, candidates.len())
     }
 
     /// Breaker heuristic: the highest-degree vertex of the witness cycle.
@@ -648,6 +745,55 @@ mod tests {
             assert_eq!(d.insert_edge(3, 2), 1, "{mode:?}: new 2-cycle ignored");
             assert!(d.is_valid(), "{mode:?} after update");
         }
+    }
+
+    #[test]
+    fn minimize_is_component_scoped_after_the_first_pass() {
+        // Two disjoint triangles: TDB++ covers them with {2, 5}.
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let mut d = seeded(g, 4);
+        assert_eq!(d.cover().as_slice(), &[2, 5]);
+        // First minimize is a full pass and establishes the component map.
+        assert_eq!(d.minimize(), 0);
+        assert_eq!(d.totals().minimize_checked, 2);
+        // Break only the second triangle: vertex 5 loses its witness, but the
+        // untouched first triangle must not be re-searched.
+        assert!(d.remove_edge(3, 4));
+        assert_eq!(d.minimize(), 1);
+        assert_eq!(
+            d.totals().minimize_checked,
+            3,
+            "only the dirty component's cover vertex may be re-examined"
+        );
+        assert_eq!(d.cover().as_slice(), &[2]);
+        assert!(d.is_valid());
+        let v = verify_cover(&d.materialize(), d.cover(), d.constraint());
+        assert!(v.is_valid && v.is_minimal);
+        // A minimize with no pending dirt examines nothing at all.
+        assert_eq!(d.minimize(), 0);
+        assert_eq!(d.totals().minimize_checked, 3);
+    }
+
+    #[test]
+    fn breaker_insertions_taint_their_component_for_minimize() {
+        // Soundness regression for the component-scoped pass: a breaker added
+        // by an insert repair can land on another cover vertex's witness
+        // cycle; the breaker's own dirty mark must force that component to be
+        // re-examined, or the stale vertex would survive minimize.
+        let mut d = seeded(graph_from_edges(&[(0, 1), (1, 2), (2, 0)]), 4);
+        assert_eq!(d.cover().as_slice(), &[2]);
+        d.minimize(); // establish the component map
+                      // Add a second triangle 0 -> 1 -> 3 -> 0 sharing the edge (0, 1):
+                      // its repair picks a breaker among {0, 1, 3}, and 0 and 1 both lie on
+                      // vertex 2's only witness cycle.
+        assert_eq!(d.insert_edge(1, 3), 0);
+        let added = d.insert_edge(3, 0);
+        assert_eq!(added, 1);
+        assert!(d.is_valid());
+        d.minimize();
+        let v = verify_cover(&d.materialize(), d.cover(), d.constraint());
+        assert!(v.is_valid, "witness {:?}", v.witness);
+        assert!(v.is_minimal, "redundant {:?}", v.redundant);
     }
 
     #[test]

@@ -33,6 +33,15 @@
 //! restored on demand ([`DynamicCover::minimize`]) or automatically per batch
 //! ([`DynamicConfig::auto_minimize`]).
 //!
+//! Re-minimization is **component-scoped**: every constrained cycle lives
+//! inside one strongly connected component, so only cover vertices whose
+//! component was touched since the last minimize (by an update endpoint or a
+//! repair breaker) can have changed redundancy status. The engine tracks the
+//! touched set against the SCC map of the previous minimize and re-examines
+//! just those vertices ([`UpdateMetrics::minimize_checked`] counts them) —
+//! under localized churn a refresh re-checks a handful of cover vertices
+//! instead of the whole cover.
+//!
 //! ```
 //! use tdb_core::{Algorithm, HopConstraint, Solver};
 //! use tdb_dynamic::{EdgeBatch, SolveDynamic};

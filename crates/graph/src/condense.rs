@@ -1,0 +1,294 @@
+//! SCC condensation and compact per-component subgraph extraction.
+//!
+//! Every simple cycle of a directed graph lies entirely inside one strongly
+//! connected component: a cycle visits each of its vertices and returns to its
+//! start, so all of its vertices are mutually reachable. A hop-constrained
+//! cycle cover of `G` is therefore exactly the disjoint union of covers of the
+//! non-trivial SCCs of `G` — vertices in trivial (singleton) components can
+//! never require covering, and no cover decision in one component can affect
+//! another. This module materializes that decomposition:
+//!
+//! * [`Condensation`] — one SCC pass ([`tarjan_scc`]) plus the bookkeeping a
+//!   partitioned solver needs: members of each component in ascending vertex
+//!   order, and a **monotone** global→local id remapping per component.
+//! * [`Condensation::extract`] — the induced subgraph of one component as a
+//!   compact [`CsrGraph`] over local ids `0..size`, with the local→global
+//!   table ([`ExtractedComponent::to_global`]) to translate results back.
+//!
+//! The remapping being monotone (local ids preserve the relative order of
+//! global ids) matters for more than aesthetics: the cover algorithms scan
+//! vertices and adjacency lists in ascending order, so a solver run on an
+//! extracted component makes *exactly* the decisions it would have made for
+//! those vertices inside a whole-graph run. The sharded solve path in
+//! `tdb-core` relies on this to reproduce unsharded covers bit-for-bit.
+
+use crate::csr::CsrGraph;
+use crate::scc::{tarjan_scc, SccResult};
+use crate::types::{Edge, VertexId};
+use crate::view::GraphView;
+
+/// An SCC decomposition with grouped members and a per-component local-id
+/// remapping, ready for subgraph extraction.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    scc: SccResult,
+    /// Vertices grouped by component, ascending within each group.
+    members: Vec<VertexId>,
+    /// `offsets[c]..offsets[c + 1]` indexes `members` for component `c`.
+    offsets: Vec<usize>,
+    /// `local_id[v]` is `v`'s rank within its component (its id in the
+    /// extracted subgraph).
+    local_id: Vec<u32>,
+}
+
+impl Condensation {
+    /// Run the SCC decomposition of `g` and group the results.
+    pub fn of<V: GraphView>(g: &V) -> Self {
+        Condensation::from_scc(tarjan_scc(g))
+    }
+
+    /// Build the grouping from an already-computed [`SccResult`].
+    pub fn from_scc(scc: SccResult) -> Self {
+        let n = scc.component.len();
+        let num_components = scc.sizes.len();
+        let mut offsets = vec![0usize; num_components + 1];
+        for (c, &size) in scc.sizes.iter().enumerate() {
+            offsets[c + 1] = offsets[c] + size as usize;
+        }
+        let mut members = vec![0 as VertexId; n];
+        let mut local_id = vec![0u32; n];
+        let mut cursor = offsets.clone();
+        // Ascending vertex iteration keeps each group ascending, which is what
+        // makes the global→local remapping monotone.
+        for (v, (&c, local)) in scc.component.iter().zip(local_id.iter_mut()).enumerate() {
+            let c = c as usize;
+            let slot = cursor[c];
+            members[slot] = v as VertexId;
+            *local = (slot - offsets[c]) as u32;
+            cursor[c] += 1;
+        }
+        Condensation {
+            scc,
+            members,
+            offsets,
+            local_id,
+        }
+    }
+
+    /// The underlying SCC decomposition.
+    pub fn scc(&self) -> &SccResult {
+        &self.scc
+    }
+
+    /// Number of components (trivial ones included).
+    pub fn num_components(&self) -> usize {
+        self.scc.sizes.len()
+    }
+
+    /// Component id of vertex `v`.
+    pub fn component_of(&self, v: VertexId) -> u32 {
+        self.scc.component[v as usize]
+    }
+
+    /// The vertices of component `c`, ascending.
+    pub fn members(&self, c: u32) -> &[VertexId] {
+        &self.members[self.offsets[c as usize]..self.offsets[c as usize + 1]]
+    }
+
+    /// `v`'s id inside its component's extracted subgraph.
+    pub fn local_id(&self, v: VertexId) -> u32 {
+        self.local_id[v as usize]
+    }
+
+    /// Component ids of the non-trivial components (size ≥ 2) — the only ones
+    /// that can contain a cycle of length ≥ 2.
+    pub fn non_trivial(&self) -> impl Iterator<Item = u32> + '_ {
+        self.scc
+            .sizes
+            .iter()
+            .enumerate()
+            .filter(|(_, &size)| size >= 2)
+            .map(|(c, _)| c as u32)
+    }
+
+    /// Number of vertices living in trivial (singleton) components.
+    pub fn trivial_vertices(&self) -> usize {
+        self.scc
+            .sizes
+            .iter()
+            .filter(|&&size| size < 2)
+            .map(|&size| size as usize)
+            .sum()
+    }
+
+    /// Extract component `c` as a compact subgraph over local ids.
+    ///
+    /// Edges leaving the component are dropped — they can never be part of a
+    /// cycle, so the extracted instance is cycle-equivalent to the component's
+    /// place in the whole graph.
+    pub fn extract<V: GraphView>(&self, g: &V, c: u32) -> ExtractedComponent {
+        let members = self.members(c);
+        let mut edges: Vec<Edge> = Vec::new();
+        for (local_u, &u) in members.iter().enumerate() {
+            for w in g.out_iter(u) {
+                if self.scc.component[w as usize] == c {
+                    edges.push(Edge::new(local_u as VertexId, self.local_id[w as usize]));
+                }
+            }
+        }
+        ExtractedComponent {
+            graph: CsrGraph::from_edges(members.len(), &mut edges),
+            to_global: members.to_vec(),
+            component: c,
+        }
+    }
+}
+
+/// One component of a [`Condensation`], extracted as a compact graph.
+#[derive(Debug, Clone)]
+pub struct ExtractedComponent {
+    /// The induced subgraph over local ids `0..to_global.len()`.
+    pub graph: CsrGraph,
+    /// `to_global[local]` is the original vertex id (ascending).
+    pub to_global: Vec<VertexId>,
+    /// The component id this subgraph was extracted from.
+    pub component: u32,
+}
+
+impl ExtractedComponent {
+    /// Translate a local vertex id back to the whole-graph id.
+    pub fn to_global(&self, local: VertexId) -> VertexId {
+        self.to_global[local as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::gen::{directed_cycle, directed_path, erdos_renyi_gnm};
+    use crate::Graph;
+
+    /// Two triangles bridged one-way plus a tail: components {0,1,2}, {3,4,5},
+    /// and trivial {6}.
+    fn two_triangles_and_tail() -> CsrGraph {
+        graph_from_edges(&[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (5, 6),
+        ])
+    }
+
+    #[test]
+    fn grouping_is_consistent_with_scc() {
+        let g = two_triangles_and_tail();
+        let cond = Condensation::of(&g);
+        assert_eq!(cond.num_components(), 3);
+        assert_eq!(cond.non_trivial().count(), 2);
+        assert_eq!(cond.trivial_vertices(), 1);
+        for v in g.vertices() {
+            let c = cond.component_of(v);
+            let members = cond.members(c);
+            assert!(members.contains(&v));
+            assert_eq!(members[cond.local_id(v) as usize], v);
+        }
+    }
+
+    #[test]
+    fn members_are_ascending_and_remap_is_monotone() {
+        let g = erdos_renyi_gnm(60, 200, 11);
+        let cond = Condensation::of(&g);
+        for c in 0..cond.num_components() as u32 {
+            let members = cond.members(c);
+            assert!(members.windows(2).all(|w| w[0] < w[1]), "component {c}");
+            for (rank, &v) in members.iter().enumerate() {
+                assert_eq!(cond.local_id(v) as usize, rank);
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_preserves_intra_component_edges_exactly() {
+        let g = two_triangles_and_tail();
+        let cond = Condensation::of(&g);
+        let mut seen_components = 0;
+        for c in cond.non_trivial() {
+            seen_components += 1;
+            let ext = cond.extract(&g, c);
+            assert_eq!(ext.component, c);
+            assert_eq!(ext.graph.num_vertices(), 3);
+            assert_eq!(ext.graph.num_edges(), 3, "the bridge must be dropped");
+            // Every extracted edge maps back to an original edge and vice versa.
+            for e in ext.graph.edges() {
+                assert!(g.has_edge(ext.to_global(e.source), ext.to_global(e.target)));
+            }
+            for &u in cond.members(c) {
+                for &w in g.out_neighbors(u) {
+                    if cond.component_of(w) == c {
+                        assert!(ext.graph.has_edge(cond.local_id(u), cond.local_id(w)));
+                    }
+                }
+            }
+        }
+        assert_eq!(seen_components, 2);
+    }
+
+    #[test]
+    fn single_scc_extracts_to_an_isomorphic_copy() {
+        let g = directed_cycle(7);
+        let cond = Condensation::of(&g);
+        let comps: Vec<u32> = cond.non_trivial().collect();
+        assert_eq!(comps.len(), 1);
+        let ext = cond.extract(&g, comps[0]);
+        assert_eq!(ext.graph.num_vertices(), 7);
+        assert_eq!(ext.graph.num_edges(), 7);
+        // Monotone remap of a full component is the identity.
+        assert_eq!(ext.to_global, (0..7).collect::<Vec<VertexId>>());
+    }
+
+    #[test]
+    fn all_trivial_graph_has_no_non_trivial_components() {
+        let g = directed_path(9);
+        let cond = Condensation::of(&g);
+        assert_eq!(cond.non_trivial().count(), 0);
+        assert_eq!(cond.trivial_vertices(), 9);
+    }
+
+    #[test]
+    fn empty_graph_condenses_to_nothing() {
+        let g = graph_from_edges(&[]);
+        let cond = Condensation::of(&g);
+        assert_eq!(cond.num_components(), 0);
+        assert_eq!(cond.trivial_vertices(), 0);
+        assert_eq!(cond.non_trivial().count(), 0);
+    }
+
+    #[test]
+    fn random_graphs_partition_every_edge_or_drop_it_across_components() {
+        for seed in 0..4u64 {
+            let g = erdos_renyi_gnm(50, 180, seed);
+            let cond = Condensation::of(&g);
+            let mut intra = 0usize;
+            for e in g.edges() {
+                if cond.component_of(e.source) == cond.component_of(e.target) {
+                    intra += 1;
+                }
+            }
+            let extracted: usize = cond
+                .non_trivial()
+                .map(|c| cond.extract(&g, c).graph.num_edges())
+                .sum();
+            // Intra-component edges of trivial components are self-loops only;
+            // the generators produce none, so the counts must match.
+            assert_eq!(extracted, intra, "seed {seed}");
+            // And the extracted vertex counts tile the non-trivial vertex set.
+            let vertices: usize = cond.non_trivial().map(|c| cond.members(c).len()).sum();
+            assert_eq!(vertices + cond.trivial_vertices(), g.num_vertices());
+        }
+    }
+}

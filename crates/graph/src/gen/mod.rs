@@ -13,10 +13,13 @@
 //! * [`rmat`] — R-MAT power-law graphs (the standard stand-in for social /
 //!   web graphs such as Twitter or LiveJournal),
 //! * [`classic`] — rings, complete graphs, DAGs, paths, layered grids,
-//! * [`small_world`] — a directed Watts–Strogatz rewiring model.
+//! * [`small_world`] — a directed Watts–Strogatz rewiring model,
+//! * [`multi_scc`] — SCC blocks chained by one-way bridges, the instance
+//!   family of the sharded-solving pipeline.
 
 pub mod classic;
 pub mod erdos_renyi;
+pub mod multi_scc;
 pub mod preferential;
 pub mod rmat;
 pub mod rng;
@@ -24,6 +27,7 @@ pub mod small_world;
 
 pub use classic::{complete_digraph, directed_cycle, directed_path, layered_dag, random_dag};
 pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use multi_scc::{multi_scc_chain, MultiSccConfig};
 pub use preferential::{preferential_attachment, PreferentialConfig};
 pub use rmat::{rmat, RmatConfig};
 pub use rng::Xoshiro256;

@@ -24,6 +24,9 @@
 //! * [`line_graph`] — the directed line-graph transform used by the DARC-DV
 //!   baseline.
 //! * [`scc`] — Tarjan strongly connected components and cycle-vertex pruning.
+//! * [`condense`] — SCC condensation with compact per-component subgraph
+//!   extraction and order-preserving id remapping, the substrate of the
+//!   sharded (per-component) solve pipeline in `tdb-core`.
 //! * [`metrics`] — degree/recirocity statistics used to reproduce Table II of the
 //!   paper.
 //!
@@ -52,6 +55,7 @@
 
 pub mod active;
 pub mod builder;
+pub mod condense;
 pub mod csr;
 pub mod delta;
 pub mod gen;
@@ -64,6 +68,7 @@ pub mod view;
 
 pub use active::ActiveSet;
 pub use builder::GraphBuilder;
+pub use condense::{Condensation, ExtractedComponent};
 pub use csr::CsrGraph;
 pub use delta::DeltaGraph;
 pub use types::{Edge, GraphError, VertexId, INVALID_VERTEX};

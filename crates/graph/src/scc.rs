@@ -7,7 +7,7 @@
 //! released from the cover without running any cycle search at all.
 
 use crate::types::{VertexId, INVALID_VERTEX};
-use crate::Graph;
+use crate::view::GraphView;
 
 /// Result of an SCC decomposition.
 #[derive(Debug, Clone)]
@@ -55,9 +55,11 @@ impl SccResult {
 ///
 /// The implementation is fully iterative (explicit DFS stack) so that deep
 /// graphs — e.g. long directed paths in the synthetic proxies — cannot overflow
-/// the call stack.
-pub fn tarjan_scc<G: Graph>(g: &G) -> SccResult {
-    let n = g.num_vertices();
+/// the call stack. Generic over [`GraphView`] (every [`crate::Graph`] is one),
+/// so the decomposition runs over layered storages such as
+/// [`crate::DeltaGraph`] as well as the plain CSR.
+pub fn tarjan_scc<V: GraphView>(g: &V) -> SccResult {
+    let n = g.vertex_count();
     let mut index = vec![INVALID_VERTEX; n]; // discovery index
     let mut lowlink = vec![0 as VertexId; n];
     let mut on_stack = vec![false; n];
@@ -67,38 +69,39 @@ pub fn tarjan_scc<G: Graph>(g: &G) -> SccResult {
     let mut stack: Vec<VertexId> = Vec::new();
     let mut next_index: VertexId = 0;
 
-    // Explicit DFS frame: (vertex, next child position in its out-neighbors).
-    let mut call_stack: Vec<(VertexId, usize)> = Vec::new();
+    // Explicit DFS frame: (vertex, the rest of its out-neighbor iterator).
+    // Frames own the iterators so that view types whose adjacency is merged
+    // on the fly (no slices to index into) still traverse in O(m) total.
+    let mut call_stack = Vec::new();
 
     for root in 0..n as VertexId {
         if index[root as usize] != INVALID_VERTEX {
             continue;
         }
-        call_stack.push((root, 0));
+        call_stack.push((root, g.out_iter(root)));
         index[root as usize] = next_index;
         lowlink[root as usize] = next_index;
         next_index += 1;
         stack.push(root);
         on_stack[root as usize] = true;
 
-        while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
-            let outs = g.out_neighbors(v);
-            if *child < outs.len() {
-                let w = outs[*child];
-                *child += 1;
+        while let Some((v, children)) = call_stack.last_mut() {
+            let v = *v;
+            if let Some(w) = children.next() {
                 if index[w as usize] == INVALID_VERTEX {
                     index[w as usize] = next_index;
                     lowlink[w as usize] = next_index;
                     next_index += 1;
                     stack.push(w);
                     on_stack[w as usize] = true;
-                    call_stack.push((w, 0));
+                    call_stack.push((w, g.out_iter(w)));
                 } else if on_stack[w as usize] {
                     lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
                 }
             } else {
                 call_stack.pop();
-                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                if let Some((parent, _)) = call_stack.last_mut() {
+                    let parent = *parent;
                     lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {

@@ -48,8 +48,10 @@
 //! ```
 //!
 //! A solver is configured once and reused: scan order, worker threads, a
-//! wall-clock budget, and 2-cycle handling (`with_two_cycles`, Table IV mode)
-//! all hang off the builder, and a budgeted solve returns
+//! wall-clock budget, 2-cycle handling (`with_two_cycles`, Table IV mode),
+//! and SCC sharding (`with_sharding` — solve every strongly connected
+//! component as an independent concurrent shard, exactly reproducing the
+//! unsharded cover) all hang off the builder, and a budgeted solve returns
 //! [`SolveError::BudgetExceeded`](tdb_core::SolveError) instead of running
 //! unbounded.
 //!

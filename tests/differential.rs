@@ -1,0 +1,255 @@
+//! The cross-algorithm differential test kit — the reusable oracle for
+//! future refactors.
+//!
+//! A deterministic scenario matrix
+//! `graph family × hop bound × algorithm × sharding on/off × two-cycle mode`
+//! is solved through the unified [`Solver`] API, and every configuration is
+//! held to the properties the crate documents:
+//!
+//! * every cover is **valid** (verified independently by
+//!   `tdb_core::verify`);
+//! * algorithms that guarantee minimality (`BUR+` via Algorithm 7, the
+//!   top-down family via Theorem 7) produce **minimal** covers in the
+//!   `FollowConstraint` and `Integrated` modes;
+//! * the SCC-**sharded** solve returns the **same cover** as the unsharded
+//!   one (the partition argument: every constrained cycle lives inside one
+//!   SCC, and the extraction's id remap is monotone);
+//! * the **top-down variants** (`TDB`, `TDB+`, `TDB++`, `TDB++X`,
+//!   `TDB++/par`) return **identical covers** — the filters only skip work,
+//!   never change decisions (paper §VII-B).
+//!
+//! The whole matrix is also written to `target/differential/matrix.md` so CI
+//! can publish it as a build artifact: a refactor that shifts any cover size
+//! shows up as a diff of that table even before an assertion trips.
+
+use std::fmt::Write as _;
+
+use tdb::prelude::*;
+use tdb_core::Algorithm;
+use tdb_graph::gen::{
+    erdos_renyi_gnm, multi_scc_chain, preferential_attachment, small_world, MultiSccConfig,
+    PreferentialConfig,
+};
+
+/// One graph family instance of the matrix, seeded and deterministic.
+struct Family {
+    name: &'static str,
+    graph: CsrGraph,
+}
+
+/// A medium multi-SCC instance: three ring-plus-chords blocks of different
+/// sizes chained by one-way bridges, plus an acyclic tail.
+fn multi_scc_instance(seed: u64) -> CsrGraph {
+    multi_scc_chain(&MultiSccConfig {
+        component_sizes: vec![14, 10, 7],
+        chords_per_component: vec![42, 30, 21],
+        tail_len: 2,
+        seed,
+    })
+}
+
+fn families() -> Vec<Family> {
+    vec![
+        Family {
+            name: "erdos-renyi",
+            graph: erdos_renyi_gnm(40, 170, 7),
+        },
+        Family {
+            name: "preferential",
+            graph: preferential_attachment(&PreferentialConfig {
+                num_vertices: 50,
+                out_degree: 3,
+                reciprocity: 0.35,
+                random_rewire: 0.1,
+                seed: 11,
+            }),
+        },
+        Family {
+            name: "small-world",
+            graph: small_world(40, 2, 0.25, 9),
+        },
+        Family {
+            name: "multi-scc",
+            graph: multi_scc_instance(23),
+        },
+    ]
+}
+
+const HOP_BOUNDS: [usize; 2] = [3, 5];
+const TWO_CYCLE_MODES: [TwoCycleMode; 3] = [
+    TwoCycleMode::FollowConstraint,
+    TwoCycleMode::Integrated,
+    TwoCycleMode::Separate,
+];
+
+/// Whether this algorithm guarantees a minimal cover in this two-cycle mode.
+///
+/// `BUR` skips the Algorithm-7 pruning pass by definition; `DARC-DV` maps an
+/// edge-minimal line-graph transversal to vertices, which is not
+/// vertex-minimal; and the `Separate` mode unions two independently minimal
+/// covers, which the solver documents as possibly oversized.
+fn guarantees_minimal(algorithm: Algorithm, mode: TwoCycleMode) -> bool {
+    !matches!(algorithm, Algorithm::Bur | Algorithm::DarcDv) && mode != TwoCycleMode::Separate
+}
+
+/// The constraint a cover produced under `mode` must actually satisfy.
+fn effective_constraint(k: usize, mode: TwoCycleMode) -> HopConstraint {
+    match mode {
+        TwoCycleMode::FollowConstraint => HopConstraint::new(k),
+        TwoCycleMode::Integrated | TwoCycleMode::Separate => HopConstraint::with_two_cycles(k),
+    }
+}
+
+fn mode_label(mode: TwoCycleMode) -> &'static str {
+    match mode {
+        TwoCycleMode::FollowConstraint => "plain",
+        TwoCycleMode::Integrated => "2cyc-integrated",
+        TwoCycleMode::Separate => "2cyc-separate",
+    }
+}
+
+/// Run the full matrix, assert every documented property, and return the
+/// markdown summary.
+fn run_matrix() -> String {
+    let mut summary = String::from(
+        "# Differential matrix\n\n\
+         Cover sizes per (graph family, k, two-cycle mode, algorithm), \
+         unsharded vs sharded.\n\n\
+         | family | k | mode | algorithm | unsharded | sharded | valid | minimal |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for family in families() {
+        let g = &family.graph;
+        for k in HOP_BOUNDS {
+            for mode in TWO_CYCLE_MODES {
+                let constraint = HopConstraint::new(k);
+                let check = effective_constraint(k, mode);
+                let mut top_down_reference: Option<CycleCover> = None;
+                for algorithm in Algorithm::all() {
+                    let label = format!("{}/k={k}/{}/{algorithm}", family.name, mode_label(mode));
+                    let plain = Solver::new(algorithm)
+                        .with_two_cycle_mode(mode)
+                        .solve(g, &constraint)
+                        .unwrap_or_else(|e| panic!("{label}: unsharded solve failed: {e}"));
+                    let sharded = Solver::new(algorithm)
+                        .with_two_cycle_mode(mode)
+                        .with_sharding(ShardingMode::Threads(3))
+                        .solve(g, &constraint)
+                        .unwrap_or_else(|e| panic!("{label}: sharded solve failed: {e}"));
+
+                    // Sharded must reproduce the unsharded cover exactly: the
+                    // default scan order is ascending and the extraction's id
+                    // remap is monotone.
+                    assert_eq!(
+                        sharded.cover, plain.cover,
+                        "{label}: sharded cover differs from unsharded"
+                    );
+
+                    let verification = verify_cover(g, &plain.cover, &check);
+                    assert!(
+                        verification.is_valid,
+                        "{label}: invalid cover, witness {:?}",
+                        verification.witness
+                    );
+                    let minimal_required = guarantees_minimal(algorithm, mode);
+                    if minimal_required {
+                        assert!(
+                            verification.is_minimal,
+                            "{label}: non-minimal cover, redundant {:?}",
+                            verification.redundant
+                        );
+                    }
+
+                    // The top-down variants must agree vertex-for-vertex.
+                    if matches!(
+                        algorithm,
+                        Algorithm::Tdb
+                            | Algorithm::TdbPlus
+                            | Algorithm::TdbPlusPlus
+                            | Algorithm::TdbExtended
+                            | Algorithm::TdbParallel
+                    ) {
+                        match &top_down_reference {
+                            None => top_down_reference = Some(plain.cover.clone()),
+                            Some(reference) => assert_eq!(
+                                &plain.cover, reference,
+                                "{label}: top-down variants must produce identical covers"
+                            ),
+                        }
+                    }
+
+                    writeln!(
+                        summary,
+                        "| {} | {k} | {} | {algorithm} | {} | {} | yes | {} |",
+                        family.name,
+                        mode_label(mode),
+                        plain.cover.len(),
+                        sharded.cover.len(),
+                        if minimal_required {
+                            "yes"
+                        } else if verification.is_minimal {
+                            "yes*"
+                        } else {
+                            "n/a"
+                        },
+                    )
+                    .expect("writing to a String cannot fail");
+                }
+            }
+        }
+    }
+    summary.push_str(
+        "\n`yes*` = minimal in this run though the configuration does not guarantee it.\n",
+    );
+    summary
+}
+
+#[test]
+fn differential_matrix_holds_across_all_configurations() {
+    let summary = run_matrix();
+    // Publish the matrix for the CI artifact; failure to write is not a test
+    // failure (read-only checkouts still validate everything above).
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/target/differential");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = format!("{dir}/matrix.md");
+        if let Err(e) = std::fs::write(&path, &summary) {
+            eprintln!("note: could not write {path}: {e}");
+        }
+    }
+    // 4 families x 2 hop bounds x 3 modes x 8 algorithms data rows, plus the
+    // header row (the `|---|` separator does not start with a pipe + space).
+    let rows = summary.lines().filter(|l| l.starts_with("| ")).count();
+    assert_eq!(rows, 4 * 2 * 3 * 8 + 1, "matrix data rows + header");
+}
+
+/// The kit must catch what it claims to catch: a cover with one vertex
+/// removed fails validation, a cover with one extra vertex fails minimality.
+#[test]
+fn differential_oracle_detects_broken_covers() {
+    let g = multi_scc_instance(23);
+    let constraint = HopConstraint::new(4);
+    let run = Solver::new(Algorithm::TdbPlusPlus)
+        .solve(&g, &constraint)
+        .unwrap();
+    assert!(!run.cover.is_empty());
+
+    let mut too_small = run.cover.clone();
+    let dropped = too_small.iter().next().unwrap();
+    too_small.remove(dropped);
+    assert!(
+        !verify_cover(&g, &too_small, &constraint).is_valid,
+        "removing cover vertex {dropped} must expose a cycle"
+    );
+
+    let mut too_big = run.cover.clone();
+    let extra = (0..g.num_vertices() as VertexId)
+        .find(|&v| !too_big.contains(v))
+        .expect("some vertex is uncovered");
+    too_big.insert(extra);
+    let v = verify_cover(&g, &too_big, &constraint);
+    assert!(v.is_valid);
+    assert!(
+        !v.is_minimal,
+        "vertex {extra} was added gratuitously and must be reported redundant"
+    );
+}
