@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Subcommands: `table2`, `table3`, `table4`, `figure6`, `figure7`, `figure8`,
-//! `figure9`, `figure10`, `large`, `stream`, `sharding`, `all`. Options: `--scale <f64>`,
+//! `figure9`, `figure10`, `large`, `stream`, `serve`, `bench`, `sharding`,
+//! `all`. Options: `--scale <f64>`,
 //! `--seed <u64>`, `--slow-limit <edges>`, `--verify`, `--k <list>` (comma
 //! separated, default `3,4,5,6,7`), `--budget <seconds>` (wall-clock budget
 //! per cell; overruns print as `-`).
@@ -22,6 +23,21 @@
 //!     --stream-batch 100 --stream-churn 0.5 --stream-compact 0 --verify
 //! ```
 //!
+//! The `serve` subcommand starts a resident [`tdb_serve::CoverServer`] on a
+//! loopback port and drives it with concurrent reader and writer clients
+//! while an in-process auditor re-verifies sampled snapshots:
+//!
+//! ```text
+//! cargo run --release -p tdb-bench --bin experiments -- serve \
+//!     --serve-vertices 50000 --serve-edges 200000 --serve-updates 10000 \
+//!     --serve-readers 4 --serve-writers 2
+//! ```
+//!
+//! The `bench` subcommand runs the pinned perf-trajectory scenarios
+//! (end-to-end solve, streaming churn, serve load) and records them to
+//! `BENCH_<tag>.json` (`--bench-tag`, `--bench-out`); `--smoke` shrinks the
+//! workloads to CI size.
+//!
 //! The `sharding` subcommand (also reachable as plain `--sharding`) builds a
 //! seeded multi-SCC graph and compares the sequential whole-graph solve with
 //! the SCC-partitioned `Solver::with_sharding` pipeline:
@@ -34,8 +50,10 @@
 
 use std::process::ExitCode;
 
+use tdb_bench::serve::{format_serve_report, run_serve, ServeLoadConfig};
 use tdb_bench::sharding::{format_sharding_report, run_sharding, ShardingConfig};
 use tdb_bench::streaming::{format_stream_report, run_stream, StreamConfig};
+use tdb_bench::trajectory::trajectory_document;
 use tdb_bench::{
     figure10_rows, figure67_rows, figure89_rows, format_rows, proxy, run_cell, table2_rows,
     table3_rows, table4_rows, ExperimentConfig,
@@ -49,6 +67,10 @@ struct Options {
     config: ExperimentConfig,
     stream: StreamConfig,
     sharding: ShardingConfig,
+    serve: ServeLoadConfig,
+    smoke: bool,
+    bench_tag: String,
+    bench_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -61,9 +83,24 @@ fn parse_args() -> Result<Options, String> {
     let mut ks = vec![3usize, 4, 5, 6, 7];
     let mut ks_explicit = false;
     let mut budget = None;
-    let mut stream = StreamConfig::acceptance();
+    // `--smoke` swaps the scenario baselines for the CI-sized workloads; it is
+    // applied before the flag loop so explicit --stream-*/--serve-* flags
+    // still override it.
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut stream = if smoke {
+        StreamConfig::smoke()
+    } else {
+        StreamConfig::acceptance()
+    };
     let mut sharding = ShardingConfig::acceptance();
     let mut sharding_flag = false;
+    let mut serve = if smoke {
+        ServeLoadConfig::smoke()
+    } else {
+        ServeLoadConfig::acceptance()
+    };
+    let mut bench_tag = String::from("PR6");
+    let mut bench_out = None;
 
     let mut it = args.into_iter().peekable();
     let mut command_explicit = false;
@@ -187,20 +224,71 @@ fn parse_args() -> Result<Options, String> {
                     .parse::<Algorithm>()
                     .map_err(|e| format!("--shard-algo: {e}"))?;
             }
+            "--smoke" => {} // handled by the pre-scan above
+            "--serve-vertices" => {
+                serve.vertices = value("--serve-vertices")?
+                    .parse()
+                    .map_err(|e| format!("--serve-vertices: {e}"))?;
+            }
+            "--serve-edges" => {
+                serve.initial_edges = value("--serve-edges")?
+                    .parse()
+                    .map_err(|e| format!("--serve-edges: {e}"))?;
+            }
+            "--serve-updates" => {
+                let u: usize = value("--serve-updates")?
+                    .parse()
+                    .map_err(|e| format!("--serve-updates: {e}"))?;
+                if u == 0 {
+                    return Err("--serve-updates: need at least one update".into());
+                }
+                serve.updates = u;
+            }
+            "--serve-readers" => {
+                let r: usize = value("--serve-readers")?
+                    .parse()
+                    .map_err(|e| format!("--serve-readers: {e}"))?;
+                if r == 0 {
+                    return Err("--serve-readers: need at least one reader".into());
+                }
+                serve.readers = r;
+            }
+            "--serve-writers" => {
+                let w: usize = value("--serve-writers")?
+                    .parse()
+                    .map_err(|e| format!("--serve-writers: {e}"))?;
+                if w == 0 {
+                    return Err("--serve-writers: need at least one writer".into());
+                }
+                serve.writers = w;
+            }
+            "--serve-breakers" => {
+                let b: f64 = value("--serve-breakers")?
+                    .parse()
+                    .map_err(|e| format!("--serve-breakers: {e}"))?;
+                if !(0.0..=1.0).contains(&b) {
+                    return Err(format!("--serve-breakers: expected 0.0..=1.0, got {b}"));
+                }
+                serve.breaker_ratio = b;
+            }
+            "--bench-tag" => bench_tag = value("--bench-tag")?,
+            "--bench-out" => bench_out = Some(value("--bench-out")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
 
-    // The stream and sharding scenarios share the global --seed / --k /
-    // --verify flags.
+    // The stream, sharding and serve scenarios share the global --seed /
+    // --k / --verify flags.
     stream.seed = seed;
     stream.verify_each_batch = verify;
     sharding.seed = seed;
     sharding.verify = verify;
+    serve.seed = seed;
     if ks_explicit {
         if let Some(&k) = ks.first() {
             stream.k = k;
             sharding.k = k;
+            serve.k = k;
         }
     }
     // `--sharding` selects the scenario without requiring a positional
@@ -230,6 +318,10 @@ fn parse_args() -> Result<Options, String> {
         },
         stream,
         sharding,
+        serve,
+        smoke,
+        bench_tag,
+        bench_out,
     })
 }
 
@@ -275,8 +367,10 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|stream|sharding|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS]");
+            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|stream|serve|bench|sharding|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS] [--smoke]");
             eprintln!("       stream flags: [--stream-vertices N] [--stream-edges M] [--stream-updates U] [--stream-batch B] [--stream-churn 0..1] [--stream-compact T]");
+            eprintln!("       serve flags: [--serve-vertices N] [--serve-edges M] [--serve-updates U] [--serve-readers R] [--serve-writers W] [--serve-breakers 0..1]");
+            eprintln!("       bench flags: [--bench-tag TAG] [--bench-out PATH]");
             eprintln!("       sharding flags: [--sharding] [--shard-components C] [--shard-vertices N] [--shard-edges M] [--shard-threads T] [--shard-algo NAME]");
             return ExitCode::FAILURE;
         }
@@ -337,6 +431,66 @@ fn main() -> ExitCode {
             }
             if report.verified == Some(false) {
                 eprintln!("error: the sharded cover failed the validity audit");
+                return ExitCode::FAILURE;
+            }
+        }
+        "serve" => {
+            let s = &options.serve;
+            let mut lines = vec![format!(
+                "workload  {} updates via {} writers, {} readers ({:.0}% BREAKERS?), k = {}{}",
+                s.updates,
+                s.writers,
+                s.readers,
+                s.breaker_ratio * 100.0,
+                s.k,
+                if options.smoke { ", smoke" } else { "" }
+            )];
+            let report = run_serve(s);
+            lines.extend(format_serve_report(&report));
+            print_block("Serving: epoch-published snapshots under live load", &lines);
+            if !report.healthy() {
+                eprintln!("error: the serve load run failed its audit (see report above)");
+                return ExitCode::FAILURE;
+            }
+        }
+        "bench" => {
+            // The pinned perf trajectory: one end-to-end solve, the streaming
+            // churn scenario, and the serve load scenario, recorded to
+            // BENCH_<tag>.json for PR-over-PR comparison.
+            let dataset = Dataset::WikiVote;
+            let g = proxy(dataset, cfg);
+            let constraint = HopConstraint::new(5);
+            let Some(e2e) = run_cell(&g, dataset, Algorithm::TdbPlusPlus, &constraint, cfg) else {
+                eprintln!("error: the end-to-end cell was gated off");
+                return ExitCode::FAILURE;
+            };
+            print_block(
+                "Bench 1/3: end-to-end TDB++ (k = 5)",
+                &format_rows(std::slice::from_ref(&e2e)),
+            );
+            let stream_report = run_stream(&options.stream);
+            print_block(
+                "Bench 2/3: streaming churn",
+                &format_stream_report(&stream_report),
+            );
+            let serve_report = run_serve(&options.serve);
+            print_block("Bench 3/3: serve load", &format_serve_report(&serve_report));
+
+            let ok = (!options.stream.verify_each_batch
+                || stream_report.valid_batches == stream_report.batches)
+                && serve_report.healthy();
+            let doc = trajectory_document(&options.bench_tag, &e2e, &stream_report, &serve_report);
+            let path = options
+                .bench_out
+                .clone()
+                .unwrap_or_else(|| format!("BENCH_{}.json", options.bench_tag));
+            if let Err(e) = std::fs::write(&path, doc.render()) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("\ntrajectory written to {path}");
+            if !ok {
+                eprintln!("error: a bench scenario failed its audit (see reports above)");
                 return ExitCode::FAILURE;
             }
         }

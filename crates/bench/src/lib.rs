@@ -23,8 +23,10 @@
 #![warn(missing_docs)]
 
 pub mod microbench;
+pub mod serve;
 pub mod sharding;
 pub mod streaming;
+pub mod trajectory;
 
 use std::time::Duration;
 

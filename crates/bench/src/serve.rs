@@ -1,0 +1,381 @@
+//! Load generator for the resident [`tdb_serve::CoverServer`].
+//!
+//! The scenario the serving layer exists for: N reader clients hammer
+//! `COVER?` / `BREAKERS?` queries over TCP while M writer clients stream edge
+//! updates, and an in-process auditor samples published snapshots the whole
+//! time, re-verifying each one against its own graph version and checking
+//! that observed epochs never go backwards.
+//!
+//! Three consumers drive it:
+//!
+//! * the `experiments serve` subcommand (all knobs exposed as flags),
+//! * the `experiments bench` perf-trajectory recorder (`BENCH_*.json`), and
+//! * the CI smoke step (small graph, fixed seed, audit on).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tdb_core::prelude::*;
+use tdb_dynamic::SolveDynamic;
+use tdb_graph::gen::{erdos_renyi_gnm, Xoshiro256};
+use tdb_graph::{Graph, VertexId};
+use tdb_serve::{CoverServer, EngineConfig, ServeClient, ServeConfig};
+
+use crate::microbench::{percentiles, Percentiles};
+
+/// Parameters of a serve load run.
+#[derive(Debug, Clone)]
+pub struct ServeLoadConfig {
+    /// Vertices of the synthetic initial graph.
+    pub vertices: usize,
+    /// Edges of the synthetic initial graph.
+    pub initial_edges: usize,
+    /// Hop constraint `k`.
+    pub k: usize,
+    /// RNG seed for graph synthesis and the client workloads.
+    pub seed: u64,
+    /// Concurrent reader connections.
+    pub readers: usize,
+    /// Concurrent writer connections.
+    pub writers: usize,
+    /// Total edge updates streamed across all writers.
+    pub updates: usize,
+    /// Fraction of reader requests that are `BREAKERS?` (the rest are
+    /// `COVER?`), in `0.0..=1.0`.
+    pub breaker_ratio: f64,
+    /// Writer-loop tuning of the embedded engine.
+    pub engine: EngineConfig,
+}
+
+impl ServeLoadConfig {
+    /// The acceptance workload: 10k streamed updates against a 50k-vertex
+    /// graph under 4 concurrent readers.
+    pub fn acceptance() -> Self {
+        ServeLoadConfig {
+            vertices: 50_000,
+            initial_edges: 200_000,
+            k: 4,
+            seed: 42,
+            readers: 4,
+            writers: 2,
+            updates: 10_000,
+            breaker_ratio: 0.1,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// Tiny configuration for unit tests and the CI smoke step.
+    pub fn smoke() -> Self {
+        ServeLoadConfig {
+            vertices: 600,
+            initial_edges: 2_400,
+            k: 4,
+            seed: 7,
+            readers: 2,
+            writers: 1,
+            updates: 400,
+            breaker_ratio: 0.2,
+            engine: EngineConfig {
+                batch_window: Duration::from_micros(500),
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Outcome of one serve load run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Vertices of the initial graph.
+    pub vertices: usize,
+    /// Edges of the initial graph.
+    pub initial_edges: usize,
+    /// Cover size of the seeding solve.
+    pub seed_cover: usize,
+    /// Reader connections driven.
+    pub readers: usize,
+    /// Writer connections driven.
+    pub writers: usize,
+    /// Read requests answered across all readers.
+    pub reads: u64,
+    /// Read requests per second of wall-clock (all readers combined).
+    pub reads_per_sec: f64,
+    /// Per-request read latency percentiles, in seconds (`None` when no read
+    /// completed).
+    pub read_latency: Option<Percentiles>,
+    /// Updates streamed by the writers (every one was acknowledged).
+    pub updates_streamed: u64,
+    /// Wall-clock from the first writer starting until the engine had applied
+    /// every streamed update.
+    pub update_wall: Duration,
+    /// Snapshots the auditor sampled.
+    pub snapshots_audited: usize,
+    /// Sampled snapshots whose cover re-verified against their own graph.
+    pub snapshots_valid: usize,
+    /// Whether every reader (and the auditor) observed non-decreasing epochs.
+    pub epochs_monotone: bool,
+    /// Last epoch published before shutdown.
+    pub final_epoch: u64,
+    /// Cover size after shutdown (post closing minimize).
+    pub final_cover: usize,
+    /// Whether the final engine state passed the validity audit.
+    pub final_valid: bool,
+    /// Batches the engine applied.
+    pub batches: u64,
+    /// Operations cancelled by window coalescing.
+    pub coalesced: u64,
+    /// Cover vertices shed by periodic minimization.
+    pub pruned: u64,
+}
+
+impl ServeReport {
+    /// Streamed updates per second of wall-clock (enqueue to full drain).
+    pub fn updates_per_sec(&self) -> f64 {
+        if self.update_wall.is_zero() {
+            return f64::INFINITY;
+        }
+        self.updates_streamed as f64 / self.update_wall.as_secs_f64()
+    }
+
+    /// Whether the run met the scenario's own bar: all sampled snapshots
+    /// valid, monotone epochs, nonzero read and update throughput, and a
+    /// valid final state.
+    pub fn healthy(&self) -> bool {
+        self.snapshots_audited > 0
+            && self.snapshots_valid == self.snapshots_audited
+            && self.epochs_monotone
+            && self.reads > 0
+            && self.updates_streamed > 0
+            && self.final_valid
+    }
+}
+
+/// Run the serve load scenario: start a server, drive it over TCP, audit
+/// snapshots in-process, shut down gracefully.
+pub fn run_serve(config: &ServeLoadConfig) -> ServeReport {
+    assert!(config.readers > 0, "need at least one reader");
+    assert!(config.writers > 0, "need at least one writer");
+    assert!(config.updates > 0, "need at least one update");
+    assert!(
+        (0.0..=1.0).contains(&config.breaker_ratio),
+        "breaker_ratio must be within 0.0..=1.0"
+    );
+
+    let graph = erdos_renyi_gnm(config.vertices, config.initial_edges, config.seed);
+    let initial_edges = graph.num_edges();
+    let dynamic = Solver::new(Algorithm::TdbPlusPlus)
+        .solve_dynamic(graph, &HopConstraint::new(config.k))
+        .expect("unbudgeted solve cannot fail");
+    let seed_cover = dynamic.cover().len();
+
+    let server = CoverServer::start(
+        dynamic,
+        ServeConfig {
+            engine: config.engine,
+            ..Default::default()
+        },
+    )
+    .expect("binding a loopback listener cannot fail");
+    let addr = server.local_addr();
+    let done = Arc::new(AtomicBool::new(false));
+    let n = config.vertices as u64;
+
+    // Readers: per-request latency samples + a monotone-epoch check.
+    let reader_handles: Vec<_> = (0..config.readers)
+        .map(|r| {
+            let done = Arc::clone(&done);
+            let breaker_permille = (config.breaker_ratio * 1000.0) as u64;
+            let seed = config.seed ^ (0xbeef + r as u64);
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("reader connect");
+                let mut rng = Xoshiro256::seed_from_u64(seed);
+                let mut latencies = Vec::new();
+                let mut last_epoch = 0u64;
+                let mut monotone = true;
+                while !done.load(Ordering::Acquire) {
+                    let t = Instant::now();
+                    let epoch = if rng.next_bounded(1000) < breaker_permille {
+                        let u = rng.next_bounded(n) as VertexId;
+                        let v = rng.next_bounded(n) as VertexId;
+                        client.breakers(u, v).expect("BREAKERS? failed").epoch
+                    } else {
+                        let v = rng.next_bounded(n) as VertexId;
+                        client.cover(v).expect("COVER? failed").epoch
+                    };
+                    latencies.push(t.elapsed().as_secs_f64());
+                    monotone &= epoch >= last_epoch;
+                    last_epoch = epoch;
+                }
+                (latencies, monotone)
+            })
+        })
+        .collect();
+
+    // Auditor: sample published snapshots and re-verify each one from scratch
+    // against its own graph version.
+    let auditor = {
+        let snapshots = server.snapshots();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut audited = 0usize;
+            let mut valid = 0usize;
+            let mut last_epoch = 0u64;
+            let mut monotone = true;
+            loop {
+                let finishing = done.load(Ordering::Acquire);
+                let snap = snapshots.load();
+                monotone &= snap.epoch() >= last_epoch;
+                last_epoch = snap.epoch();
+                audited += 1;
+                valid += usize::from(snap.audit_valid());
+                if finishing {
+                    // The post-drain snapshot was just audited; stop.
+                    return (audited, valid, monotone);
+                }
+            }
+        })
+    };
+
+    // Writers: stream the update budget over TCP, every op acknowledged.
+    let update_timer = Instant::now();
+    let per_writer = config.updates / config.writers;
+    let remainder = config.updates % config.writers;
+    let writer_handles: Vec<_> = (0..config.writers)
+        .map(|w| {
+            let budget = per_writer + usize::from(w < remainder);
+            let seed = config.seed ^ (0xdead + w as u64);
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("writer connect");
+                let mut rng = Xoshiro256::seed_from_u64(seed);
+                for _ in 0..budget {
+                    let u = rng.next_bounded(n) as VertexId;
+                    let mut v = rng.next_bounded(n - 1) as VertexId;
+                    if v >= u {
+                        v += 1; // no self-loops
+                    }
+                    if rng.next_bool(0.65) {
+                        client.insert(u, v).expect("INSERT failed");
+                    } else {
+                        client.delete(u, v).expect("DELETE failed");
+                    }
+                }
+                budget as u64
+            })
+        })
+        .collect();
+
+    let updates_streamed: u64 = writer_handles.into_iter().map(|h| h.join().unwrap()).sum();
+    // The writers saw every op acknowledged; wait for the engine to drain.
+    let engine_stats = server.engine_stats();
+    while engine_stats.applied.load(Ordering::Relaxed) < updates_streamed {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let update_wall = update_timer.elapsed();
+
+    done.store(true, Ordering::Release);
+    let mut latencies = Vec::new();
+    let mut epochs_monotone = true;
+    for h in reader_handles {
+        let (mut samples, monotone) = h.join().unwrap();
+        latencies.append(&mut samples);
+        epochs_monotone &= monotone;
+    }
+    let (snapshots_audited, snapshots_valid, auditor_monotone) = auditor.join().unwrap();
+    epochs_monotone &= auditor_monotone;
+
+    let reads = latencies.len() as u64;
+    let wall = update_timer.elapsed();
+    let final_epoch = server.snapshots().epoch();
+    let batches = engine_stats.batches.load(Ordering::Relaxed);
+    let coalesced = engine_stats.coalesced.load(Ordering::Relaxed);
+    let pruned = engine_stats.pruned.load(Ordering::Relaxed);
+    let cover = server.shutdown();
+    let final_valid = cover.is_valid();
+
+    ServeReport {
+        vertices: config.vertices,
+        initial_edges,
+        seed_cover,
+        readers: config.readers,
+        writers: config.writers,
+        reads,
+        reads_per_sec: reads as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        read_latency: percentiles(&latencies),
+        updates_streamed,
+        update_wall,
+        snapshots_audited,
+        snapshots_valid,
+        epochs_monotone,
+        final_epoch,
+        final_cover: cover.cover().len(),
+        final_valid,
+        batches,
+        coalesced,
+        pruned,
+    }
+}
+
+/// Render a report as the fixed-width lines the harness prints.
+pub fn format_serve_report(r: &ServeReport) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(format!(
+        "graph     |V|={} |E|0={}  seed cover {}",
+        r.vertices, r.initial_edges, r.seed_cover
+    ));
+    out.push(format!(
+        "reads     {} requests from {} readers  {:.0} reads/sec",
+        r.reads, r.readers, r.reads_per_sec
+    ));
+    out.push(match r.read_latency {
+        Some(p) => format!("latency   {} per read", p.format_secs()),
+        None => "latency   no reads completed".to_string(),
+    });
+    out.push(format!(
+        "updates   {} streamed by {} writers in {:.3}s  {:.0} updates/sec  ({} batches, {} coalesced, {} pruned)",
+        r.updates_streamed,
+        r.writers,
+        r.update_wall.as_secs_f64(),
+        r.updates_per_sec(),
+        r.batches,
+        r.coalesced,
+        r.pruned
+    ));
+    out.push(format!(
+        "snapshots {}/{} sampled audits valid  epochs monotone {}  final epoch {}",
+        r.snapshots_valid,
+        r.snapshots_audited,
+        if r.epochs_monotone { "yes" } else { "NO" },
+        r.final_epoch
+    ));
+    out.push(format!(
+        "final     cover {}  valid {}{}",
+        r.final_cover,
+        if r.final_valid { "yes" } else { "NO" },
+        if r.healthy() { "" } else { "  ** FAILURE **" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_load_is_healthy() {
+        let mut config = ServeLoadConfig::smoke();
+        config.vertices = 250;
+        config.initial_edges = 900;
+        config.updates = 120;
+        let report = run_serve(&config);
+        assert!(report.healthy(), "{report:#?}");
+        assert_eq!(report.updates_streamed, 120);
+        assert!(report.reads > 0);
+        assert!(report.read_latency.is_some());
+        assert!(report.final_epoch >= 1);
+        let lines = format_serve_report(&report);
+        assert!(lines.iter().any(|l| l.contains("updates/sec")));
+        assert!(lines.iter().any(|l| l.contains("p99")));
+        assert!(!lines.iter().any(|l| l.contains("FAILURE")), "{lines:#?}");
+    }
+}

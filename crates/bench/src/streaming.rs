@@ -17,6 +17,8 @@ use tdb_dynamic::{DynamicConfig, EdgeBatch, SolveDynamic, UpdateMetrics};
 use tdb_graph::gen::{erdos_renyi_gnm, Xoshiro256};
 use tdb_graph::{Graph, VertexId};
 
+use crate::microbench::{percentiles, Percentiles};
+
 /// Parameters of a streaming churn run.
 #[derive(Debug, Clone)]
 pub struct StreamConfig {
@@ -99,6 +101,9 @@ pub struct StreamReport {
     pub minimize: Duration,
     /// Mean `apply` time per batch.
     pub mean_batch: Duration,
+    /// Per-batch `apply` latency percentiles, in seconds (`None` when no
+    /// batch was applied).
+    pub batch_percentiles: Option<Percentiles>,
     /// Mean wall-clock of a full static re-solve on the final graph.
     pub resolve: Duration,
     /// `resolve / mean_batch`: how many times cheaper one incrementally
@@ -164,6 +169,7 @@ pub fn run_stream(config: &StreamConfig) -> StreamReport {
     let churn_permille = (config.churn * 1000.0) as usize;
 
     let mut incremental_elapsed = Duration::ZERO;
+    let mut batch_latencies: Vec<f64> = Vec::new();
     let mut batches = 0usize;
     let mut valid_batches = 0usize;
     let mut updates_applied = 0u64;
@@ -200,6 +206,7 @@ pub fn run_stream(config: &StreamConfig) -> StreamReport {
         streamed += batch.len();
         let window = dynamic.apply(&batch);
         incremental_elapsed += window.elapsed;
+        batch_latencies.push(window.elapsed.as_secs_f64());
         updates_applied += window.updates();
         batches += 1;
         if config.verify_each_batch && dynamic.is_valid() {
@@ -247,6 +254,7 @@ pub fn run_stream(config: &StreamConfig) -> StreamReport {
         incremental_elapsed,
         minimize,
         mean_batch,
+        batch_percentiles: percentiles(&batch_latencies),
         resolve,
         speedup_per_batch,
         valid_batches,
@@ -280,6 +288,9 @@ pub fn format_stream_report(r: &StreamReport) -> Vec<String> {
         r.resolve.as_secs_f64() * 1e3,
         r.speedup_per_batch
     ));
+    if let Some(p) = r.batch_percentiles {
+        out.push(format!("latency   {} per batch apply", p.format_secs()));
+    }
     out.push(format!(
         "covers    final {} (re-solve {})  breakers {}  pruned {}  compactions {}  minimize {:.3}ms",
         r.final_cover,
@@ -325,8 +336,12 @@ mod tests {
         );
         assert!(report.updates_applied > 0);
         assert!(report.incremental_elapsed > Duration::ZERO);
+        assert!(report.batch_percentiles.is_some());
+        let p = report.batch_percentiles.unwrap();
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99);
         let lines = format_stream_report(&report);
         assert!(lines.iter().any(|l| l.contains("updates/sec")));
+        assert!(lines.iter().any(|l| l.contains("p99")));
         assert!(lines.iter().any(|l| l.contains("(all)")));
     }
 

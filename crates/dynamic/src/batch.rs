@@ -46,6 +46,12 @@ impl EdgeBatch {
         EdgeBatch { ops }
     }
 
+    /// Queue an already-constructed operation.
+    pub fn push(&mut self, op: EdgeOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
     /// Queue an insertion.
     pub fn insert(&mut self, u: VertexId, v: VertexId) -> &mut Self {
         self.ops.push(EdgeOp::Insert(u, v));
@@ -76,6 +82,47 @@ impl EdgeBatch {
     /// Drop all queued operations, keeping the allocation.
     pub fn clear(&mut self) {
         self.ops.clear();
+    }
+
+    /// Collapse the batch to its net effect, returning the number of
+    /// operations dropped.
+    ///
+    /// After the batch is applied, an edge's presence is decided by the *last*
+    /// operation naming it — an insert leaves it present, a removal leaves it
+    /// absent — regardless of what the graph held before the batch (earlier
+    /// operations on the same edge are overwritten, and
+    /// [`crate::DynamicCover::apply`] treats redundant operations as no-ops).
+    /// Coalescing therefore keeps exactly one operation per edge, the last
+    /// one, in the order of those last occurrences:
+    ///
+    /// * repeated operations dedupe (`insert e, insert e` → `insert e`),
+    /// * an insert/delete pair cancels down to the delete (`insert e, remove
+    ///   e` → `remove e`, a pure no-op when `e` was never present), and
+    ///   symmetrically a delete/insert pair to the insert.
+    ///
+    /// The final graph is identical to applying the raw batch, while the
+    /// engine skips the intermediate repair work — in the serving layer's
+    /// batching window, a flapping edge costs one operation instead of a
+    /// cycle search per flap. The cover-validity guarantee is unaffected:
+    /// the coalesced batch is itself applied one operation at a time.
+    pub fn coalesce(&mut self) -> usize {
+        use std::collections::HashMap;
+        if self.ops.len() < 2 {
+            return 0;
+        }
+        let before = self.ops.len();
+        let mut last_at: HashMap<(VertexId, VertexId), usize> =
+            HashMap::with_capacity(self.ops.len());
+        for (idx, op) in self.ops.iter().enumerate() {
+            last_at.insert(op.endpoints(), idx);
+        }
+        let mut idx = 0usize;
+        self.ops.retain(|op| {
+            let keep = last_at[&op.endpoints()] == idx;
+            idx += 1;
+            keep
+        });
+        before - self.ops.len()
     }
 }
 
@@ -179,6 +226,49 @@ mod tests {
         assert!(batch.is_empty());
         let collected: EdgeBatch = ops.into_iter().collect();
         assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    fn coalesce_keeps_the_last_op_per_edge_in_order() {
+        let mut batch = EdgeBatch::new();
+        batch
+            .insert(0, 1) // overwritten by the later remove(0, 1)
+            .insert(2, 3)
+            .remove(0, 1)
+            .insert(2, 3) // duplicate
+            .insert(4, 5)
+            .remove(4, 5)
+            .insert(4, 5); // flap settles on insert
+        let dropped = batch.coalesce();
+        assert_eq!(dropped, 4);
+        assert_eq!(
+            batch.ops(),
+            &[
+                EdgeOp::Remove(0, 1),
+                EdgeOp::Insert(2, 3),
+                EdgeOp::Insert(4, 5)
+            ]
+        );
+        // Idempotent.
+        assert_eq!(batch.coalesce(), 0);
+    }
+
+    #[test]
+    fn coalesce_on_tiny_batches_is_a_noop() {
+        let mut empty = EdgeBatch::new();
+        assert_eq!(empty.coalesce(), 0);
+        let mut one = EdgeBatch::new();
+        one.insert(1, 2);
+        assert_eq!(one.coalesce(), 0);
+        assert_eq!(one.ops(), &[EdgeOp::Insert(1, 2)]);
+    }
+
+    #[test]
+    fn coalesce_distinguishes_edge_directions() {
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 1).insert(1, 0).remove(0, 1);
+        batch.coalesce();
+        assert_eq!(batch.ops(), &[EdgeOp::Insert(1, 0), EdgeOp::Remove(0, 1)]);
     }
 
     #[test]

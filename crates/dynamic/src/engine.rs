@@ -197,6 +197,25 @@ impl DynamicCover {
         self.graph.materialize()
     }
 
+    /// Extract an immutable, self-consistent copy of the engine state — the
+    /// serving layer's snapshot hook.
+    ///
+    /// Graph and cover are captured at the same instant, so the pair satisfies
+    /// the engine's invariant: the cover is valid for exactly this graph. The
+    /// copy is cheap enough to take once per update batch: the graph clone
+    /// shares the CSR base by reference count ([`DeltaGraph`] overlays and the
+    /// cover list are the only per-call copies), so the cost is `O(n)` vector
+    /// headers plus the live delta, not `O(n + m)` adjacency.
+    pub fn state(&self) -> CoverState {
+        CoverState {
+            graph: self.graph.clone(),
+            cover: self.cover.clone(),
+            constraint: self.constraint,
+            dirty: self.dirty,
+            totals: self.totals,
+        }
+    }
+
     /// Full validity audit: does the cover intersect every constrained cycle
     /// of the *current* graph? Costs a static verification pass — meant for
     /// tests and acceptance checks, not the hot path (the engine maintains
@@ -479,6 +498,48 @@ impl DynamicCover {
     }
 }
 
+/// An immutable copy of a [`DynamicCover`]'s state at one instant, produced by
+/// [`DynamicCover::state`].
+///
+/// The graph and the cover are consistent with each other by construction —
+/// the engine only hands out states between updates, never mid-repair — so a
+/// holder can audit validity ([`CoverState::is_valid`]) or serve membership
+/// queries against it long after the live engine has moved on.
+#[derive(Debug, Clone)]
+pub struct CoverState {
+    /// The graph at capture time (CSR base shared, overlay copied).
+    pub graph: DeltaGraph,
+    /// The cover at capture time, valid for [`CoverState::graph`].
+    pub cover: CycleCover,
+    /// The hop constraint the cover maintains.
+    pub constraint: HopConstraint,
+    /// Whether the engine considered the cover possibly non-minimal.
+    pub dirty: bool,
+    /// Engine counters accumulated up to the capture.
+    pub totals: UpdateMetrics,
+}
+
+impl CoverState {
+    /// Number of vertices of the captured graph.
+    pub fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Number of edges of the captured graph.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Full validity audit of the captured pair: does the cover intersect
+    /// every constrained cycle of the captured graph? Costs a static
+    /// verification pass over a materialized copy — meant for tests, sampled
+    /// audits, and acceptance checks.
+    pub fn is_valid(&self) -> bool {
+        let g = self.graph.materialize();
+        tdb_core::verify::is_valid_cover(&g, &self.cover, &self.constraint)
+    }
+}
+
 /// Extension trait giving [`Solver`] a dynamic entry point.
 ///
 /// Lives here (rather than on `Solver` itself) because `tdb-core` cannot
@@ -543,6 +604,7 @@ mod tests {
     use tdb_core::verify::verify_cover;
     use tdb_graph::builder::graph_from_edges;
     use tdb_graph::gen::{directed_cycle, erdos_renyi_gnm};
+    use tdb_graph::Graph;
 
     fn seeded(g: CsrGraph, k: usize) -> DynamicCover {
         DynamicCover::new(g, HopConstraint::new(k))
@@ -794,6 +856,59 @@ mod tests {
         let v = verify_cover(&d.materialize(), d.cover(), d.constraint());
         assert!(v.is_valid, "witness {:?}", v.witness);
         assert!(v.is_minimal, "redundant {:?}", v.redundant);
+    }
+
+    #[test]
+    fn state_is_a_point_in_time_copy() {
+        let mut d = seeded(graph_from_edges(&[(0, 1), (1, 2)]), 4);
+        let before = d.state();
+        assert!(before.cover.is_empty());
+        assert!(before.is_valid());
+        // Mutate the live engine: the captured state must not move.
+        assert_eq!(d.insert_edge(2, 0), 1);
+        assert!(!before.graph.contains_edge(2, 0));
+        assert!(before.cover.is_empty());
+        assert!(before.is_valid(), "old state audits against the old graph");
+        let after = d.state();
+        assert!(after.graph.contains_edge(2, 0));
+        assert_eq!(after.cover.len(), 1);
+        assert!(after.is_valid());
+        assert_eq!(after.edge_count(), 3);
+        assert_eq!(after.totals.inserts, 1);
+    }
+
+    #[test]
+    fn coalesced_batch_reaches_the_same_graph() {
+        let g = erdos_renyi_gnm(30, 120, 11);
+        let constraint = HopConstraint::new(4);
+        let mut raw = Solver::new(Algorithm::TdbPlusPlus)
+            .solve_dynamic(g.clone(), &constraint)
+            .unwrap();
+        let mut coalesced = Solver::new(Algorithm::TdbPlusPlus)
+            .solve_dynamic(g, &constraint)
+            .unwrap();
+        let mut batch = EdgeBatch::new();
+        for i in 0..40u32 {
+            let (u, v) = ((i * 7) % 30, (i * 13 + 1) % 30);
+            if u == v {
+                continue;
+            }
+            batch.insert(u, v);
+            if i % 3 == 0 {
+                batch.remove(u, v); // flap: nets out to the remove
+            }
+        }
+        raw.apply(&batch);
+        let mut thin = batch.clone();
+        let dropped = thin.coalesce();
+        assert!(dropped > 0);
+        coalesced.apply(&thin);
+        // Same final edge set either way, and both covers valid for it.
+        let a = raw.materialize();
+        let b = coalesced.materialize();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(a.edges().zip(b.edges()).all(|(x, y)| x == y));
+        assert!(raw.is_valid() && coalesced.is_valid());
     }
 
     #[test]

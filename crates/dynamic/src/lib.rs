@@ -69,4 +69,4 @@ pub mod batch;
 pub mod engine;
 
 pub use batch::{EdgeBatch, EdgeOp, UpdateMetrics};
-pub use engine::{DynamicConfig, DynamicCover, SolveDynamic};
+pub use engine::{CoverState, DynamicConfig, DynamicCover, SolveDynamic};

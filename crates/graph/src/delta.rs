@@ -18,6 +18,8 @@
 //! mirroring the "static index + cheap customization layer" design of routing
 //! engines.
 
+use std::sync::Arc;
+
 use crate::csr::CsrGraph;
 use crate::types::{Edge, VertexId};
 use crate::view::GraphView;
@@ -41,7 +43,12 @@ use crate::Graph;
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeltaGraph {
-    base: CsrGraph,
+    /// The immutable CSR base, shared rather than owned: cloning a
+    /// `DeltaGraph` (the serving layer does it once per published snapshot)
+    /// copies only the overlay vectors, while the `O(n + m)` base arrays are
+    /// reference-counted. The base is never mutated in place — compaction
+    /// installs a freshly built CSR.
+    base: Arc<CsrGraph>,
     /// Inserted out-/in-adjacency, indexed by vertex, each list sorted.
     ins_out: Vec<Vec<VertexId>>,
     ins_in: Vec<Vec<VertexId>>,
@@ -56,6 +63,11 @@ pub struct DeltaGraph {
 impl DeltaGraph {
     /// Wrap a CSR base with an empty delta.
     pub fn new(base: CsrGraph) -> Self {
+        Self::from_shared(Arc::new(base))
+    }
+
+    /// Wrap an already reference-counted CSR base with an empty delta.
+    pub fn from_shared(base: Arc<CsrGraph>) -> Self {
         let n = base.num_vertices();
         DeltaGraph {
             base,
@@ -71,6 +83,13 @@ impl DeltaGraph {
     /// The immutable CSR base (without the delta applied).
     pub fn base(&self) -> &CsrGraph {
         &self.base
+    }
+
+    /// A reference-counted handle to the CSR base. Snapshot consumers hold
+    /// this across epochs so repeated clones of the same `DeltaGraph` share
+    /// one set of base arrays.
+    pub fn base_arc(&self) -> Arc<CsrGraph> {
+        Arc::clone(&self.base)
     }
 
     /// Number of live overlay entries: inserted edges plus tombstones.
@@ -218,7 +237,7 @@ impl DeltaGraph {
         if self.delta_len() == 0 && self.base.num_vertices() == self.ins_out.len() {
             return;
         }
-        self.base = self.materialize();
+        self.base = Arc::new(self.materialize());
         for list in self
             .ins_out
             .iter_mut()
@@ -481,6 +500,31 @@ mod tests {
         for e in m.edges() {
             assert!(reference.contains(&(e.source, e.target)), "phantom {e}");
         }
+    }
+
+    #[test]
+    fn clones_share_the_base_until_compaction() {
+        let mut g = DeltaGraph::new(graph_from_edges(&[(0, 1), (1, 2), (2, 0)]));
+        g.insert_edge(0, 2);
+        let snap = g.clone();
+        assert!(
+            Arc::ptr_eq(&g.base_arc(), &snap.base_arc()),
+            "a clone must share the CSR base, not deep-copy it"
+        );
+        // The clone is a true snapshot: later mutations don't leak into it.
+        g.remove_edge(0, 1);
+        assert!(snap.contains_edge(0, 1));
+        assert!(!g.contains_edge(0, 1));
+        // Compaction installs a fresh base without disturbing the snapshot.
+        g.compact();
+        assert!(!Arc::ptr_eq(&g.base_arc(), &snap.base_arc()));
+        assert!(snap.contains_edge(0, 1));
+        assert_eq!(g.edge_count(), 3);
+        // from_shared round-trips a shared base.
+        let shared = snap.base_arc();
+        let h = DeltaGraph::from_shared(Arc::clone(&shared));
+        assert!(Arc::ptr_eq(&h.base_arc(), &shared));
+        assert_eq!(h.edge_count(), shared.num_edges());
     }
 
     #[test]

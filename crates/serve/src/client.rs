@@ -1,0 +1,201 @@
+//! A small blocking client for the line protocol — used by the load
+//! generator, the examples, and the integration tests.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tdb_graph::VertexId;
+
+use crate::protocol::parse_kv;
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered `ERR <message>`.
+    Server(String),
+    /// The response line did not match the expected shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Malformed(l) => write!(f, "malformed response: {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A `COVER?` answer: membership plus the epoch it was answered against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverAnswer {
+    /// Whether the vertex is in the cover.
+    pub contained: bool,
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+}
+
+/// A `BREAKERS?` answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakersAnswer {
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Implicated cover vertices, ascending.
+    pub breakers: Vec<VertexId>,
+}
+
+/// A blocking connection to a [`crate::CoverServer`].
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connect to a server address (e.g. the value of
+    /// [`crate::CoverServer::local_addr`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn round_trip(&mut self, request: &str) -> Result<String, ClientError> {
+        writeln!(self.writer, "{request}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let line = line.trim_end().to_string();
+        if let Some(message) = line.strip_prefix("ERR ") {
+            return Err(ClientError::Server(message.to_string()));
+        }
+        Ok(line)
+    }
+
+    /// `COVER? v`.
+    pub fn cover(&mut self, v: VertexId) -> Result<CoverAnswer, ClientError> {
+        let line = self.round_trip(&format!("COVER? {v}"))?;
+        let mut tok = line.split_whitespace();
+        match (tok.next(), tok.next(), tok.next(), tok.next()) {
+            (Some("OK"), Some(inout @ ("IN" | "OUT")), Some(epoch), None) => {
+                let epoch = epoch
+                    .parse()
+                    .map_err(|_| ClientError::Malformed(line.clone()))?;
+                Ok(CoverAnswer {
+                    contained: inout == "IN",
+                    epoch,
+                })
+            }
+            _ => Err(ClientError::Malformed(line)),
+        }
+    }
+
+    /// `BREAKERS? u v`.
+    pub fn breakers(&mut self, u: VertexId, v: VertexId) -> Result<BreakersAnswer, ClientError> {
+        let line = self.round_trip(&format!("BREAKERS? {u} {v}"))?;
+        let malformed = || ClientError::Malformed(line.clone());
+        let mut tok = line.split_whitespace();
+        if tok.next() != Some("OK") || tok.next() != Some("BREAKERS") {
+            return Err(malformed());
+        }
+        let epoch: u64 = tok
+            .next()
+            .ok_or_else(malformed)?
+            .parse()
+            .map_err(|_| malformed())?;
+        let count: usize = tok
+            .next()
+            .ok_or_else(malformed)?
+            .parse()
+            .map_err(|_| malformed())?;
+        let breakers: Vec<VertexId> = tok
+            .map(|t| t.parse::<VertexId>().map_err(|_| malformed()))
+            .collect::<Result<_, _>>()?;
+        if breakers.len() != count {
+            return Err(malformed());
+        }
+        Ok(BreakersAnswer { epoch, breakers })
+    }
+
+    /// `INSERT u v` — acknowledged at enqueue, visible in a later epoch.
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> Result<(), ClientError> {
+        self.expect_exact(&format!("INSERT {u} {v}"), "OK QUEUED")
+    }
+
+    /// `DELETE u v` — acknowledged at enqueue, visible in a later epoch.
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> Result<(), ClientError> {
+        self.expect_exact(&format!("DELETE {u} {v}"), "OK QUEUED")
+    }
+
+    /// `STATS` as key → value pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        let line = self.round_trip("STATS")?;
+        parse_kv(&line, "STATS").ok_or(ClientError::Malformed(line))
+    }
+
+    /// One numeric `STATS` field (convenience over [`ServeClient::stats`]).
+    pub fn stat_u64(&mut self, key: &str) -> Result<u64, ClientError> {
+        let pairs = self.stats()?;
+        for (k, v) in &pairs {
+            if k == key {
+                return v
+                    .parse()
+                    .map_err(|_| ClientError::Malformed(format!("{key}={v}")));
+            }
+        }
+        Err(ClientError::Malformed(format!("missing STATS key {key:?}")))
+    }
+
+    /// `SNAPSHOT` metadata as key → value pairs.
+    pub fn snapshot(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        let line = self.round_trip("SNAPSHOT")?;
+        parse_kv(&line, "SNAPSHOT").ok_or(ClientError::Malformed(line))
+    }
+
+    /// `PING`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect_exact("PING", "OK PONG")
+    }
+
+    /// `SHUTDOWN` — gracefully stop the server.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect_exact("SHUTDOWN", "OK BYE")
+    }
+
+    fn expect_exact(&mut self, request: &str, expected: &str) -> Result<(), ClientError> {
+        let line = self.round_trip(request)?;
+        if line == expected {
+            Ok(())
+        } else {
+            Err(ClientError::Malformed(line))
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The resident engine: one writer thread draining an update queue into a
+//! [`DynamicCover`] and publishing [`CoverSnapshot`]s.
+//!
+//! Update flow:
+//!
+//! 1. Producers (connection handlers, the load generator, in-process callers)
+//!    enqueue [`EdgeOp`]s through a bounded channel. A full queue blocks the
+//!    producer — that is the backpressure contract: writers slow down, readers
+//!    never do.
+//! 2. The writer thread collects operations into an [`EdgeBatch`] until the
+//!    batching window closes (size cap or time cap, whichever first), then
+//!    [`EdgeBatch::coalesce`]s the batch so a flapping edge costs one
+//!    operation instead of one cycle repair per flap.
+//! 3. The batch goes through [`DynamicCover::apply`] — the cover is valid
+//!    after every operation — and every [`EngineConfig::minimize_every`]
+//!    batches the writer runs the component-scoped [`DynamicCover::minimize`]
+//!    to shed redundant breakers.
+//! 4. The writer captures [`DynamicCover::state`] and publishes it as the next
+//!    epoch. Readers pick it up on their next [`SnapshotCell::load`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tdb_dynamic::{DynamicCover, EdgeBatch, EdgeOp};
+use tdb_graph::VertexId;
+
+use crate::snapshot::{CoverSnapshot, SnapshotCell};
+
+/// Tuning knobs of the [`CoverEngine`] writer loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Maximum operations per applied batch.
+    pub max_batch: usize,
+    /// Maximum time the writer waits to fill a batch once it holds at least
+    /// one operation. Shorter windows publish fresher epochs; longer windows
+    /// amortize repairs and publication better.
+    pub batch_window: Duration,
+    /// Capacity of the update queue. Enqueueing into a full queue blocks the
+    /// producer (backpressure); the depth is visible as
+    /// [`EngineStats::queue_depth`].
+    pub queue_capacity: usize,
+    /// Run the component-scoped `minimize()` after every this many batches
+    /// (`0` disables periodic minimization; the cover stays valid either way).
+    pub minimize_every: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 256,
+            batch_window: Duration::from_millis(2),
+            queue_capacity: 4096,
+            minimize_every: 32,
+        }
+    }
+}
+
+/// Live counters of a running engine, shared between the writer thread, the
+/// transport layer, and `STATS` queries. All plain atomics — approximate
+/// point-in-time reads are fine for monitoring.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Operations accepted into the queue.
+    pub enqueued: AtomicU64,
+    /// Operations consumed by the writer (before coalescing).
+    pub applied: AtomicU64,
+    /// Operations cancelled by window coalescing.
+    pub coalesced: AtomicU64,
+    /// Batches applied.
+    pub batches: AtomicU64,
+    /// Graph-changing updates (inserts + removes) applied.
+    pub updates: AtomicU64,
+    /// Breakers added by insert repairs.
+    pub breakers_added: AtomicU64,
+    /// Cover vertices shed by periodic minimization.
+    pub pruned: AtomicU64,
+    /// Periodic minimize passes run.
+    pub minimizes: AtomicU64,
+    /// Current queue depth (approximate).
+    pub queue_depth: AtomicUsize,
+}
+
+/// A clonable producer handle into the engine's update queue.
+#[derive(Debug, Clone)]
+pub struct UpdateQueue {
+    tx: SyncSender<Msg>,
+    stats: Arc<EngineStats>,
+}
+
+impl UpdateQueue {
+    /// Enqueue one edge operation, blocking while the queue is full
+    /// (backpressure). Returns `false` if the engine has shut down.
+    pub fn send(&self, op: EdgeOp) -> bool {
+        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if self.tx.send(Msg::Op(op)).is_ok() {
+            self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Enqueue an insertion (see [`UpdateQueue::send`]).
+    pub fn insert(&self, u: VertexId, v: VertexId) -> bool {
+        self.send(EdgeOp::Insert(u, v))
+    }
+
+    /// Enqueue a removal (see [`UpdateQueue::send`]).
+    pub fn remove(&self, u: VertexId, v: VertexId) -> bool {
+        self.send(EdgeOp::Remove(u, v))
+    }
+
+    /// Non-blocking variant of [`UpdateQueue::send`]: returns `false` instead
+    /// of blocking when the queue is full or the engine is gone.
+    pub fn try_send(&self, op: EdgeOp) -> bool {
+        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(Msg::Op(op)) {
+            Ok(()) => {
+                self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+}
+
+enum Msg {
+    Op(EdgeOp),
+    Shutdown,
+}
+
+/// A resident cover engine: the writer thread plus the handles the transport
+/// layer needs (queue in, snapshots out, stats alongside).
+#[derive(Debug)]
+pub struct CoverEngine {
+    queue: UpdateQueue,
+    snapshots: Arc<SnapshotCell>,
+    stats: Arc<EngineStats>,
+    writer: Option<JoinHandle<DynamicCover>>,
+    shutdown_tx: SyncSender<Msg>,
+}
+
+impl CoverEngine {
+    /// Start the engine over a seeded dynamic cover, publishing the seed state
+    /// as epoch 0 before any update is accepted.
+    pub fn start(cover: DynamicCover, config: EngineConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.queue_capacity > 0, "queue_capacity must be positive");
+        let stats = Arc::new(EngineStats::default());
+        let snapshots = Arc::new(SnapshotCell::new(CoverSnapshot::new(0, cover.state())));
+        let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
+        let queue = UpdateQueue {
+            tx: tx.clone(),
+            stats: Arc::clone(&stats),
+        };
+        let writer = {
+            let snapshots = Arc::clone(&snapshots);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("tdb-serve-writer".into())
+                .spawn(move || writer_loop(cover, config, rx, snapshots, stats))
+                .expect("spawning the writer thread cannot fail")
+        };
+        CoverEngine {
+            queue,
+            snapshots,
+            stats,
+            writer: Some(writer),
+            shutdown_tx: tx,
+        }
+    }
+
+    /// The producer handle (clonable, one per connection).
+    pub fn queue(&self) -> UpdateQueue {
+        self.queue.clone()
+    }
+
+    /// The snapshot publication cell (share with readers).
+    pub fn snapshots(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.snapshots)
+    }
+
+    /// Live engine counters.
+    pub fn stats(&self) -> Arc<EngineStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Graceful shutdown: the writer finishes operations already in the queue
+    /// ahead of the shutdown marker, publishes a final epoch, and returns the
+    /// engine state for inspection or persistence.
+    pub fn shutdown(mut self) -> DynamicCover {
+        let _ = self.shutdown_tx.send(Msg::Shutdown);
+        let writer = self.writer.take().expect("shutdown runs once");
+        writer.join().expect("writer thread panicked")
+    }
+}
+
+impl Drop for CoverEngine {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            let _ = self.shutdown_tx.send(Msg::Shutdown);
+            let _ = writer.join();
+        }
+    }
+}
+
+fn writer_loop(
+    mut cover: DynamicCover,
+    config: EngineConfig,
+    rx: Receiver<Msg>,
+    snapshots: Arc<SnapshotCell>,
+    stats: Arc<EngineStats>,
+) -> DynamicCover {
+    let mut batch = EdgeBatch::new();
+    let mut epoch = snapshots.epoch();
+    let mut batches_since_minimize = 0usize;
+    let mut shutting_down = false;
+    'serve: loop {
+        // Block for the batch's first operation.
+        match rx.recv() {
+            Ok(Msg::Op(op)) => {
+                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                batch.push(op);
+            }
+            Ok(Msg::Shutdown) | Err(_) => break 'serve,
+        }
+        // Fill the rest of the window: up to max_batch ops or batch_window
+        // elapsed, whichever comes first.
+        let window_closes = Instant::now() + config.batch_window;
+        while batch.len() < config.max_batch {
+            let now = Instant::now();
+            let Some(remaining) = window_closes
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            match rx.recv_timeout(remaining) {
+                Ok(Msg::Op(op)) => {
+                    stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    batch.push(op);
+                }
+                Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                    shutting_down = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+            }
+        }
+
+        let consumed = batch.len() as u64;
+        let cancelled = batch.coalesce() as u64;
+        let window = cover.apply(&batch);
+        batch.clear();
+        batches_since_minimize += 1;
+        if config.minimize_every > 0 && batches_since_minimize >= config.minimize_every {
+            let pruned = cover.minimize();
+            stats.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
+            stats.minimizes.fetch_add(1, Ordering::Relaxed);
+            batches_since_minimize = 0;
+        }
+
+        epoch += 1;
+        snapshots.publish(CoverSnapshot::new(epoch, cover.state()));
+        stats.applied.fetch_add(consumed, Ordering::Relaxed);
+        stats.coalesced.fetch_add(cancelled, Ordering::Relaxed);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.updates.fetch_add(window.updates(), Ordering::Relaxed);
+        stats
+            .breakers_added
+            .fetch_add(window.breakers_added, Ordering::Relaxed);
+        if shutting_down {
+            break 'serve;
+        }
+    }
+    // Final epoch: leave the last published snapshot consistent with the
+    // returned engine (a closing minimize also sheds leftover redundancy).
+    if cover.is_dirty() {
+        let pruned = cover.minimize();
+        stats.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
+        stats.minimizes.fetch_add(1, Ordering::Relaxed);
+        snapshots.publish(CoverSnapshot::new(epoch + 1, cover.state()));
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::{Algorithm, Solver};
+    use tdb_cycle::HopConstraint;
+    use tdb_dynamic::SolveDynamic;
+    use tdb_graph::builder::graph_from_edges;
+    use tdb_graph::GraphView;
+
+    fn engine_over(edges: &[(VertexId, VertexId)], k: usize, config: EngineConfig) -> CoverEngine {
+        let d = Solver::new(Algorithm::TdbPlusPlus)
+            .solve_dynamic(graph_from_edges(edges), &HopConstraint::new(k))
+            .unwrap();
+        CoverEngine::start(d, config)
+    }
+
+    fn wait_for_epoch(snapshots: &SnapshotCell, at_least: u64) -> u64 {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let e = snapshots.epoch();
+            if e >= at_least {
+                return e;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no epoch >= {at_least} published"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn seed_snapshot_is_published_before_any_update() {
+        let engine = engine_over(&[(0, 1), (1, 2), (2, 0)], 4, EngineConfig::default());
+        let snap = engine.snapshots().load();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.cover().len(), 1);
+        assert!(snap.audit_valid());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn updates_flow_through_to_new_epochs() {
+        let engine = engine_over(
+            &[(0, 1), (1, 2)],
+            4,
+            EngineConfig {
+                batch_window: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        let snapshots = engine.snapshots();
+        assert!(engine.queue().insert(2, 0)); // closes the triangle
+        wait_for_epoch(&snapshots, 1);
+        let snap = snapshots.load();
+        assert!(snap.graph().contains_edge(2, 0));
+        assert_eq!(snap.cover().len(), 1, "insert repair must have run");
+        assert!(snap.audit_valid());
+        let cover = engine.shutdown();
+        assert!(cover.is_valid());
+    }
+
+    #[test]
+    fn shutdown_drains_queued_updates() {
+        let engine = engine_over(
+            &[(0, 1), (1, 2), (2, 3), (3, 4)],
+            6,
+            EngineConfig {
+                // Large window: the drain must not wait for it.
+                batch_window: Duration::from_secs(5),
+                ..Default::default()
+            },
+        );
+        let queue = engine.queue();
+        assert!(queue.insert(4, 0));
+        assert!(queue.remove(0, 1));
+        let cover = engine.shutdown();
+        assert!(cover.graph().contains_edge(4, 0));
+        assert!(!cover.graph().contains_edge(0, 1));
+        assert!(cover.is_valid());
+        assert!(!cover.is_dirty(), "closing minimize must run");
+    }
+
+    #[test]
+    fn stats_count_applied_and_coalesced_ops() {
+        let engine = engine_over(
+            &[(0, 1), (1, 2)],
+            4,
+            EngineConfig {
+                max_batch: 64,
+                batch_window: Duration::from_millis(50),
+                ..Default::default()
+            },
+        );
+        let queue = engine.queue();
+        // A flap that nets out to nothing new plus one real insert.
+        assert!(queue.insert(5, 6));
+        assert!(queue.remove(5, 6));
+        assert!(queue.insert(5, 6));
+        let stats = engine.stats();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while stats.applied.load(Ordering::Relaxed) < 3 {
+            assert!(Instant::now() < deadline, "ops not applied");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(stats.coalesced.load(Ordering::Relaxed) >= 1);
+        assert_eq!(stats.enqueued.load(Ordering::Relaxed), 3);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn try_send_reports_backpressure_instead_of_blocking() {
+        // queue_capacity 1 and a writer that can't drain (it is busy waiting
+        // on its window only after the first op, so stuff the queue first).
+        let engine = engine_over(
+            &[(0, 1)],
+            4,
+            EngineConfig {
+                queue_capacity: 1,
+                batch_window: Duration::from_secs(2),
+                max_batch: 1024,
+                ..Default::default()
+            },
+        );
+        let queue = engine.queue();
+        // Fill until try_send refuses; bounded capacity guarantees it happens
+        // within capacity + in-flight.
+        let mut refused = false;
+        for i in 0..64u32 {
+            if !queue.try_send(EdgeOp::Insert(i + 10, i + 11)) {
+                refused = true;
+                break;
+            }
+        }
+        assert!(refused, "a capacity-1 queue must exert backpressure");
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,204 @@
+//! The line-based text protocol spoken over TCP.
+//!
+//! One request per line, fields separated by single spaces, one response line
+//! per request. The grammar (also in the README's "Serving" section):
+//!
+//! ```text
+//! request  := "COVER?" SP vertex
+//!           | "BREAKERS?" SP vertex SP vertex
+//!           | "INSERT" SP vertex SP vertex
+//!           | "DELETE" SP vertex SP vertex
+//!           | "STATS" | "SNAPSHOT" | "PING" | "SHUTDOWN"
+//! vertex   := decimal u32
+//!
+//! response := "OK" SP payload | "ERR" SP message
+//! payload  := "IN" SP epoch | "OUT" SP epoch          (COVER?)
+//!           | "BREAKERS" SP epoch SP count {SP vertex} (BREAKERS?)
+//!           | "QUEUED"                                 (INSERT / DELETE)
+//!           | "STATS" {SP key "=" value}               (STATS)
+//!           | "SNAPSHOT" {SP key "=" value}            (SNAPSHOT)
+//!           | "PONG"                                   (PING)
+//!           | "BYE"                                    (SHUTDOWN)
+//! ```
+//!
+//! Reads (`COVER?`, `BREAKERS?`, `SNAPSHOT`) are answered from the handler's
+//! current snapshot and carry the epoch they were answered against. Updates
+//! are acknowledged at *enqueue* time (`OK QUEUED`) and become visible in a
+//! later epoch — the protocol makes the asynchrony explicit rather than
+//! hiding it.
+
+use std::fmt::Write as _;
+
+use tdb_graph::VertexId;
+
+/// A parsed client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// `COVER? v` — is `v` in the current cover?
+    Cover(VertexId),
+    /// `BREAKERS? u v` — cover vertices implicated in constrained cycles
+    /// through the (possibly hypothetical) edge `(u, v)`.
+    Breakers(VertexId, VertexId),
+    /// `INSERT u v` — enqueue an edge insertion.
+    Insert(VertexId, VertexId),
+    /// `DELETE u v` — enqueue an edge removal.
+    Delete(VertexId, VertexId),
+    /// `STATS` — live server and engine counters.
+    Stats,
+    /// `SNAPSHOT` — metadata of the current snapshot.
+    Snapshot,
+    /// `PING` — liveness probe.
+    Ping,
+    /// `SHUTDOWN` — gracefully stop the server.
+    Shutdown,
+}
+
+/// Why a request line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn vertex(tok: Option<&str>, verb: &str) -> Result<VertexId, ParseError> {
+    let tok = tok.ok_or_else(|| ParseError(format!("{verb}: missing vertex argument")))?;
+    tok.parse::<VertexId>()
+        .map_err(|_| ParseError(format!("{verb}: {tok:?} is not a vertex id")))
+}
+
+fn no_more(mut rest: std::str::SplitWhitespace<'_>, verb: &str) -> Result<(), ParseError> {
+    match rest.next() {
+        None => Ok(()),
+        Some(extra) => Err(ParseError(format!("{verb}: unexpected argument {extra:?}"))),
+    }
+}
+
+/// Parse one request line (leading/trailing whitespace tolerated).
+pub fn parse_request(line: &str) -> Result<Request, ParseError> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens
+        .next()
+        .ok_or_else(|| ParseError("empty request".into()))?;
+    let request = match verb {
+        "COVER?" => Request::Cover(vertex(tokens.next(), verb)?),
+        "BREAKERS?" => {
+            Request::Breakers(vertex(tokens.next(), verb)?, vertex(tokens.next(), verb)?)
+        }
+        "INSERT" => Request::Insert(vertex(tokens.next(), verb)?, vertex(tokens.next(), verb)?),
+        "DELETE" => Request::Delete(vertex(tokens.next(), verb)?, vertex(tokens.next(), verb)?),
+        "STATS" => Request::Stats,
+        "SNAPSHOT" => Request::Snapshot,
+        "PING" => Request::Ping,
+        "SHUTDOWN" => Request::Shutdown,
+        other => return Err(ParseError(format!("unknown verb {other:?}"))),
+    };
+    no_more(tokens, verb)?;
+    Ok(request)
+}
+
+/// Format the `COVER?` response.
+pub fn cover_response(contained: bool, epoch: u64) -> String {
+    format!("OK {} {epoch}", if contained { "IN" } else { "OUT" })
+}
+
+/// Format the `BREAKERS?` response.
+pub fn breakers_response(epoch: u64, breakers: &[VertexId]) -> String {
+    let mut out = format!("OK BREAKERS {epoch} {}", breakers.len());
+    for b in breakers {
+        let _ = write!(out, " {b}");
+    }
+    out
+}
+
+/// Format the `INSERT` / `DELETE` acknowledgement.
+pub fn queued_response() -> String {
+    "OK QUEUED".to_string()
+}
+
+/// Format a `key=value` payload response (`STATS` / `SNAPSHOT`).
+pub fn kv_response(kind: &str, pairs: &[(&str, String)]) -> String {
+    let mut out = format!("OK {kind}");
+    for (k, v) in pairs {
+        let _ = write!(out, " {k}={v}");
+    }
+    out
+}
+
+/// Format an error response (single line; embedded newlines are flattened).
+pub fn err_response(message: &str) -> String {
+    let flat: String = message
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!("ERR {flat}")
+}
+
+/// Split a `kv_response` payload back into pairs (client side).
+pub fn parse_kv(line: &str, kind: &str) -> Option<Vec<(String, String)>> {
+    let rest = line.strip_prefix("OK ")?.strip_prefix(kind)?;
+    let mut pairs = Vec::new();
+    for tok in rest.split_whitespace() {
+        let (k, v) = tok.split_once('=')?;
+        pairs.push((k.to_string(), v.to_string()));
+    }
+    Some(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_and_reject() {
+        assert_eq!(parse_request("COVER? 17"), Ok(Request::Cover(17)));
+        assert_eq!(
+            parse_request("  BREAKERS? 3 4 "),
+            Ok(Request::Breakers(3, 4))
+        );
+        assert_eq!(parse_request("INSERT 0 1"), Ok(Request::Insert(0, 1)));
+        assert_eq!(parse_request("DELETE 1 0"), Ok(Request::Delete(1, 0)));
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
+
+        assert!(parse_request("").is_err());
+        assert!(parse_request("COVER?").is_err(), "missing argument");
+        assert!(parse_request("COVER? x").is_err(), "non-numeric vertex");
+        assert!(parse_request("COVER? 1 2").is_err(), "extra argument");
+        assert!(parse_request("BREAKERS? 1").is_err(), "one vertex short");
+        assert!(parse_request("INSERT 1 -2").is_err(), "negative id");
+        assert!(parse_request("EXPLODE 1").is_err(), "unknown verb");
+        assert!(parse_request("STATS now").is_err(), "no-arg verb with arg");
+    }
+
+    #[test]
+    fn responses_format_as_single_lines() {
+        assert_eq!(cover_response(true, 9), "OK IN 9");
+        assert_eq!(cover_response(false, 0), "OK OUT 0");
+        assert_eq!(breakers_response(4, &[7, 9]), "OK BREAKERS 4 2 7 9");
+        assert_eq!(breakers_response(1, &[]), "OK BREAKERS 1 0");
+        assert_eq!(queued_response(), "OK QUEUED");
+        assert_eq!(
+            kv_response("SNAPSHOT", &[("epoch", "3".into()), ("cover", "12".into())]),
+            "OK SNAPSHOT epoch=3 cover=12"
+        );
+        assert_eq!(err_response("bad\nthing"), "ERR bad thing");
+    }
+
+    #[test]
+    fn kv_payloads_round_trip() {
+        let line = kv_response("STATS", &[("a", "1".into()), ("b", "x".into())]);
+        let pairs = parse_kv(&line, "STATS").unwrap();
+        assert_eq!(
+            pairs,
+            vec![("a".into(), "1".into()), ("b".into(), "x".into())]
+        );
+        assert!(parse_kv("OK PONG", "STATS").is_none());
+    }
+}

@@ -1,0 +1,344 @@
+//! TCP front end: thread-per-connection line protocol over a [`CoverEngine`].
+//!
+//! Readers are served from the epoch-published snapshot cell — a request
+//! loads the current `Arc`, answers against that immutable object, and never
+//! touches the engine. Updates go through the bounded queue; a connection
+//! issuing updates into a full queue blocks (backpressure) without affecting
+//! any reader connection.
+
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tdb_dynamic::DynamicCover;
+
+use crate::engine::{CoverEngine, EngineConfig, EngineStats, UpdateQueue};
+use crate::protocol::{
+    breakers_response, cover_response, err_response, kv_response, parse_request, queued_response,
+    Request,
+};
+use crate::snapshot::{BreakerScratch, SnapshotCell};
+
+/// How often blocked accept/read loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Configuration of a [`CoverServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`CoverServer::local_addr`]).
+    pub addr: String,
+    /// Writer-loop tuning.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Transport-level counters (engine counters live in [`EngineStats`]).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Read queries answered (`COVER?` + `BREAKERS?` + `SNAPSHOT`).
+    pub reads: AtomicU64,
+    /// Update operations acknowledged (`INSERT` + `DELETE`).
+    pub queued: AtomicU64,
+    /// Malformed or failed requests answered with `ERR`.
+    pub errors: AtomicU64,
+}
+
+/// A running cover service: resident engine + TCP accept loop.
+#[derive(Debug)]
+pub struct CoverServer {
+    local_addr: SocketAddr,
+    engine: Option<CoverEngine>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown: Arc<AtomicBool>,
+    snapshots: Arc<SnapshotCell>,
+    engine_stats: Arc<EngineStats>,
+    server_stats: Arc<ServerStats>,
+}
+
+impl CoverServer {
+    /// Start the engine over `cover` and begin accepting connections.
+    pub fn start(cover: DynamicCover, config: ServeConfig) -> std::io::Result<CoverServer> {
+        let engine = CoverEngine::start(cover, config.engine);
+        let snapshots = engine.snapshots();
+        let engine_stats = engine.stats();
+        let server_stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            let snapshots = Arc::clone(&snapshots);
+            let queue = engine.queue();
+            let engine_stats = Arc::clone(&engine_stats);
+            let server_stats = Arc::clone(&server_stats);
+            std::thread::Builder::new()
+                .name("tdb-serve-accept".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                server_stats.connections.fetch_add(1, Ordering::Relaxed);
+                                let conn = Connection {
+                                    snapshots: Arc::clone(&snapshots),
+                                    queue: queue.clone(),
+                                    shutdown: Arc::clone(&shutdown),
+                                    engine_stats: Arc::clone(&engine_stats),
+                                    server_stats: Arc::clone(&server_stats),
+                                };
+                                let handle = std::thread::Builder::new()
+                                    .name("tdb-serve-conn".into())
+                                    .spawn(move || conn.run(stream))
+                                    .expect("spawning a connection thread cannot fail");
+                                connections
+                                    .lock()
+                                    .expect("connection registry poisoned")
+                                    .push(handle);
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL);
+                            }
+                            Err(_) => std::thread::sleep(POLL),
+                        }
+                    }
+                })
+                .expect("spawning the accept thread cannot fail")
+        };
+
+        Ok(CoverServer {
+            local_addr,
+            engine: Some(engine),
+            accept: Some(accept),
+            connections,
+            shutdown,
+            snapshots,
+            engine_stats,
+            server_stats,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The snapshot cell — in-process consumers (audits, the load generator)
+    /// read published snapshots directly from here, exactly like a connection
+    /// handler does.
+    pub fn snapshots(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.snapshots)
+    }
+
+    /// Engine counters.
+    pub fn engine_stats(&self) -> Arc<EngineStats> {
+        Arc::clone(&self.engine_stats)
+    }
+
+    /// Transport counters.
+    pub fn server_stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.server_stats)
+    }
+
+    /// Whether a shutdown (owner- or client-initiated) is in progress.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Stop the server: no new connections, existing handlers wind down,
+    /// queued updates are applied, a final epoch is published. Returns the
+    /// engine state.
+    pub fn shutdown(mut self) -> DynamicCover {
+        self.shutdown.store(true, Ordering::Release);
+        self.wind_down()
+    }
+
+    /// Block until a client-initiated `SHUTDOWN` stops the server, then wind
+    /// down exactly like [`CoverServer::shutdown`].
+    pub fn join(mut self) -> DynamicCover {
+        while !self.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(POLL);
+        }
+        self.wind_down()
+    }
+
+    fn wind_down(&mut self) -> DynamicCover {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<_> = std::mem::take(
+            &mut *self
+                .connections
+                .lock()
+                .expect("connection registry poisoned"),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+        let engine = self.engine.take().expect("wind_down runs once");
+        engine.shutdown()
+    }
+}
+
+impl Drop for CoverServer {
+    fn drop(&mut self) {
+        if self.engine.is_some() {
+            self.shutdown.store(true, Ordering::Release);
+            self.wind_down();
+        }
+    }
+}
+
+/// Per-connection state and request dispatch.
+struct Connection {
+    snapshots: Arc<SnapshotCell>,
+    queue: UpdateQueue,
+    shutdown: Arc<AtomicBool>,
+    engine_stats: Arc<EngineStats>,
+    server_stats: Arc<ServerStats>,
+}
+
+impl Connection {
+    fn run(self, stream: TcpStream) {
+        if stream.set_read_timeout(Some(POLL)).is_err() {
+            return;
+        }
+        let mut writer = match stream.try_clone() {
+            Ok(s) => BufWriter::new(s),
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut scratch = BreakerScratch::default();
+        let mut line = String::new();
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => return, // client closed the connection
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    // Keep whatever partial line arrived before the timeout;
+                    // the next read_line appends the rest.
+                    continue;
+                }
+                Err(_) => return,
+            }
+            if line.trim().is_empty() {
+                line.clear();
+                continue; // blank lines are keep-alives, not errors
+            }
+            let (response, stop) = self.respond(&line, &mut scratch);
+            line.clear();
+            if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+                return;
+            }
+            if stop {
+                self.shutdown.store(true, Ordering::Release);
+                return;
+            }
+        }
+    }
+
+    /// Answer one request line; the flag says "this was SHUTDOWN".
+    fn respond(&self, line: &str, scratch: &mut BreakerScratch) -> (String, bool) {
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.server_stats.errors.fetch_add(1, Ordering::Relaxed);
+                return (err_response(&e.0), false);
+            }
+        };
+        let response = match request {
+            Request::Cover(v) => {
+                let snap = self.snapshots.load();
+                self.server_stats.reads.fetch_add(1, Ordering::Relaxed);
+                cover_response(snap.contains(v), snap.epoch())
+            }
+            Request::Breakers(u, v) => {
+                let snap = self.snapshots.load();
+                let breakers = snap.breakers_through(scratch, u, v);
+                self.server_stats.reads.fetch_add(1, Ordering::Relaxed);
+                breakers_response(snap.epoch(), &breakers)
+            }
+            Request::Insert(u, v) | Request::Delete(u, v) => {
+                let op = match request {
+                    Request::Insert(..) => tdb_dynamic::EdgeOp::Insert(u, v),
+                    _ => tdb_dynamic::EdgeOp::Remove(u, v),
+                };
+                if self.queue.send(op) {
+                    self.server_stats.queued.fetch_add(1, Ordering::Relaxed);
+                    queued_response()
+                } else {
+                    self.server_stats.errors.fetch_add(1, Ordering::Relaxed);
+                    err_response("engine is shut down")
+                }
+            }
+            Request::Stats => {
+                let e = &self.engine_stats;
+                let s = &self.server_stats;
+                kv_response(
+                    "STATS",
+                    &[
+                        ("epoch", self.snapshots.epoch().to_string()),
+                        ("enqueued", e.enqueued.load(Ordering::Relaxed).to_string()),
+                        ("applied", e.applied.load(Ordering::Relaxed).to_string()),
+                        ("coalesced", e.coalesced.load(Ordering::Relaxed).to_string()),
+                        ("batches", e.batches.load(Ordering::Relaxed).to_string()),
+                        ("updates", e.updates.load(Ordering::Relaxed).to_string()),
+                        (
+                            "breakers_added",
+                            e.breakers_added.load(Ordering::Relaxed).to_string(),
+                        ),
+                        ("pruned", e.pruned.load(Ordering::Relaxed).to_string()),
+                        ("minimizes", e.minimizes.load(Ordering::Relaxed).to_string()),
+                        ("queue", e.queue_depth.load(Ordering::Relaxed).to_string()),
+                        (
+                            "connections",
+                            s.connections.load(Ordering::Relaxed).to_string(),
+                        ),
+                        ("reads", s.reads.load(Ordering::Relaxed).to_string()),
+                        ("queued", s.queued.load(Ordering::Relaxed).to_string()),
+                        ("errors", s.errors.load(Ordering::Relaxed).to_string()),
+                    ],
+                )
+            }
+            Request::Snapshot => {
+                let snap = self.snapshots.load();
+                self.server_stats.reads.fetch_add(1, Ordering::Relaxed);
+                kv_response(
+                    "SNAPSHOT",
+                    &[
+                        ("epoch", snap.epoch().to_string()),
+                        ("vertices", snap.vertex_count().to_string()),
+                        ("edges", snap.edge_count().to_string()),
+                        ("cover", snap.cover().len().to_string()),
+                        ("k", snap.constraint().max_hops.to_string()),
+                        ("dirty", u8::from(snap.dirty()).to_string()),
+                    ],
+                )
+            }
+            Request::Ping => "OK PONG".to_string(),
+            Request::Shutdown => return ("OK BYE".to_string(), true),
+        };
+        (response, false)
+    }
+}

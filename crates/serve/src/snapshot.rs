@@ -1,0 +1,345 @@
+//! Epoch-published immutable cover snapshots.
+//!
+//! A [`CoverSnapshot`] is one immutable heap object: the graph and cover
+//! captured together from the engine ([`tdb_dynamic::CoverState`]), stamped
+//! with a publication epoch and enriched with per-breaker statistics. The
+//! single writer publishes snapshots into a [`SnapshotCell`] by swapping an
+//! `Arc` pointer; any number of readers load the current pointer and then
+//! query their copy with no further synchronization.
+//!
+//! # Why readers can never observe a torn state
+//!
+//! * Graph and cover are cloned from the engine *between* updates, so every
+//!   snapshot satisfies the engine invariant — the cover is valid for exactly
+//!   the graph it is paired with.
+//! * The pair lives in one `Arc`; publication replaces the pointer, never the
+//!   pointee. A reader holds either the old object or the new one, whole.
+//! * Epochs are assigned by the single writer, incremented once per
+//!   publication, so the epoch sequence any one reader observes is monotone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use tdb_core::CycleCover;
+use tdb_cycle::reach::{BoundedBfs, Direction};
+use tdb_cycle::HopConstraint;
+use tdb_dynamic::{CoverState, UpdateMetrics};
+use tdb_graph::{ActiveSet, DeltaGraph, GraphView, VertexId};
+
+/// Degree statistics of one cover vertex at publication time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerStat {
+    /// The cover vertex.
+    pub vertex: VertexId,
+    /// Its out-degree in the snapshot graph.
+    pub out_deg: u32,
+    /// Its in-degree in the snapshot graph.
+    pub in_deg: u32,
+}
+
+impl BreakerStat {
+    /// Total degree (`out + in`) — the service's proxy for how central the
+    /// breaker is (hubs intersect many cycles).
+    pub fn degree(&self) -> u32 {
+        self.out_deg + self.in_deg
+    }
+}
+
+/// One immutable published state of the service: graph + cover + metadata,
+/// consistent by construction.
+#[derive(Debug, Clone)]
+pub struct CoverSnapshot {
+    epoch: u64,
+    state: CoverState,
+    breakers: Vec<BreakerStat>,
+}
+
+impl CoverSnapshot {
+    /// Wrap an engine state as the snapshot for `epoch`, computing per-breaker
+    /// statistics (one degree lookup per cover vertex).
+    pub fn new(epoch: u64, state: CoverState) -> Self {
+        let breakers = state
+            .cover
+            .iter()
+            .map(|v| BreakerStat {
+                vertex: v,
+                out_deg: state.graph.out_deg(v) as u32,
+                in_deg: state.graph.in_deg(v) as u32,
+            })
+            .collect();
+        CoverSnapshot {
+            epoch,
+            state,
+            breakers,
+        }
+    }
+
+    /// The publication epoch (0 is the seed snapshot, before any update).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The captured graph.
+    pub fn graph(&self) -> &DeltaGraph {
+        &self.state.graph
+    }
+
+    /// The captured cover, valid for [`CoverSnapshot::graph`].
+    pub fn cover(&self) -> &CycleCover {
+        &self.state.cover
+    }
+
+    /// The hop constraint the cover maintains.
+    pub fn constraint(&self) -> &HopConstraint {
+        &self.state.constraint
+    }
+
+    /// Whether the engine considered the cover possibly non-minimal when the
+    /// snapshot was taken (never invalid).
+    pub fn dirty(&self) -> bool {
+        self.state.dirty
+    }
+
+    /// Engine counters accumulated up to the capture.
+    pub fn totals(&self) -> &UpdateMetrics {
+        &self.state.totals
+    }
+
+    /// Number of vertices of the snapshot graph.
+    pub fn vertex_count(&self) -> usize {
+        self.state.vertex_count()
+    }
+
+    /// Number of edges of the snapshot graph.
+    pub fn edge_count(&self) -> usize {
+        self.state.edge_count()
+    }
+
+    /// Per-breaker degree statistics, in cover order (ascending vertex id).
+    pub fn breaker_stats(&self) -> &[BreakerStat] {
+        &self.breakers
+    }
+
+    /// Whether `v` is in the cover — the `COVER?` query.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.state.cover.contains(v)
+    }
+
+    /// Full validity audit of the snapshot against its own graph (static
+    /// verification pass over a materialized copy; sampled audits only, not
+    /// the read hot path).
+    pub fn audit_valid(&self) -> bool {
+        self.state.is_valid()
+    }
+
+    /// The `BREAKERS?` query: cover vertices implicated in hop-constrained
+    /// cycles through the directed edge `(u, v)`.
+    ///
+    /// A cover vertex `w` is reported when `dist(v → w) + dist(w → u) ≤ k−1`
+    /// in the snapshot graph, i.e. `w` lies on a closed walk of length ≤ `k`
+    /// that uses `(u, v)`. For `w ∈ {u, v}` this degenerates to "some return
+    /// path `v ⇝ u` of length ≤ `k−1` exists". Closed *walks* over-approximate
+    /// simple cycles, so the answer is a complete candidate set: every breaker
+    /// of a constrained simple cycle through the edge is included, and a few
+    /// near-misses may be too. The edge itself does not have to be present —
+    /// the query also answers the hypothetical "if `(u, v)` appeared, which
+    /// suspended vertices would already break its cycles?".
+    ///
+    /// Cost: two hop-bounded BFS passes plus one distance lookup per cover
+    /// vertex, using caller-provided scratch so concurrent readers share
+    /// nothing.
+    pub fn breakers_through(
+        &self,
+        scratch: &mut BreakerScratch,
+        u: VertexId,
+        v: VertexId,
+    ) -> Vec<VertexId> {
+        let n = self.vertex_count();
+        let k = self.state.constraint.max_hops;
+        if u == v || k < 2 || u as usize >= n || v as usize >= n {
+            return Vec::new();
+        }
+        scratch.fit(n);
+        let budget = k - 1; // the edge (u, v) itself spends one hop
+        scratch.forward.run(
+            &self.state.graph,
+            &scratch.active,
+            v,
+            budget,
+            Direction::Forward,
+        );
+        scratch.backward.run(
+            &self.state.graph,
+            &scratch.active,
+            u,
+            budget,
+            Direction::Backward,
+        );
+        self.state
+            .cover
+            .iter()
+            .filter(
+                |&w| match (scratch.forward.distance(w), scratch.backward.distance(w)) {
+                    (Some(df), Some(db)) => (df + db) as usize <= budget,
+                    _ => false,
+                },
+            )
+            .collect()
+    }
+}
+
+/// Reusable per-reader scratch for [`CoverSnapshot::breakers_through`].
+///
+/// Each connection handler owns one, so queries allocate nothing after the
+/// first call and readers never contend on shared search state.
+#[derive(Debug)]
+pub struct BreakerScratch {
+    forward: BoundedBfs,
+    backward: BoundedBfs,
+    active: ActiveSet,
+}
+
+impl BreakerScratch {
+    /// Scratch sized for graphs with `n` vertices (grows on demand).
+    pub fn new(n: usize) -> Self {
+        BreakerScratch {
+            forward: BoundedBfs::new(n),
+            backward: BoundedBfs::new(n),
+            active: ActiveSet::all_active(n),
+        }
+    }
+
+    /// Resize to exactly `n` vertices if the current capacity differs.
+    fn fit(&mut self, n: usize) {
+        if self.forward.capacity() != n {
+            self.forward = BoundedBfs::new(n);
+            self.backward = BoundedBfs::new(n);
+        }
+        if self.active.len() != n {
+            self.active = ActiveSet::all_active(n);
+        }
+    }
+}
+
+impl Default for BreakerScratch {
+    fn default() -> Self {
+        BreakerScratch::new(0)
+    }
+}
+
+/// The publication point: a single writer swaps `Arc<CoverSnapshot>` pointers
+/// in, readers clone the current pointer out.
+///
+/// The lock guards only the pointer swap (a few machine words); all graph
+/// mutation, cycle repair, and snapshot construction happen outside it, so
+/// readers are never blocked on the update path — at worst they wait for a
+/// competing pointer copy.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<CoverSnapshot>>,
+    /// Epoch mirror readable without touching the lock (`STATS` fast path).
+    epoch: AtomicU64,
+}
+
+impl SnapshotCell {
+    /// Initialize the cell with a seed snapshot (epoch as stamped).
+    pub fn new(seed: CoverSnapshot) -> Self {
+        let epoch = seed.epoch();
+        SnapshotCell {
+            current: RwLock::new(Arc::new(seed)),
+            epoch: AtomicU64::new(epoch),
+        }
+    }
+
+    /// The most recently published snapshot.
+    pub fn load(&self) -> Arc<CoverSnapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// The current epoch without loading the snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publish a new snapshot. Callers (the single writer) must stamp epochs
+    /// monotonically; the cell enforces it with a debug assertion.
+    pub fn publish(&self, snapshot: CoverSnapshot) {
+        let epoch = snapshot.epoch();
+        let next = Arc::new(snapshot);
+        let mut slot = self.current.write().expect("snapshot lock poisoned");
+        debug_assert!(
+            epoch >= slot.epoch(),
+            "epoch regression: {epoch} < {}",
+            slot.epoch()
+        );
+        *slot = next;
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::{Algorithm, Solver};
+    use tdb_dynamic::SolveDynamic;
+    use tdb_graph::builder::graph_from_edges;
+
+    fn snapshot_of(edges: &[(VertexId, VertexId)], k: usize, epoch: u64) -> CoverSnapshot {
+        let d = Solver::new(Algorithm::TdbPlusPlus)
+            .solve_dynamic(graph_from_edges(edges), &HopConstraint::new(k))
+            .unwrap();
+        CoverSnapshot::new(epoch, d.state())
+    }
+
+    #[test]
+    fn snapshot_exposes_consistent_metadata() {
+        let s = snapshot_of(&[(0, 1), (1, 2), (2, 0)], 4, 3);
+        assert_eq!(s.epoch(), 3);
+        assert_eq!(s.vertex_count(), 3);
+        assert_eq!(s.edge_count(), 3);
+        assert_eq!(s.cover().len(), 1);
+        assert_eq!(s.breaker_stats().len(), 1);
+        let b = s.breaker_stats()[0];
+        assert!(s.contains(b.vertex));
+        assert_eq!(b.degree(), 2, "triangle vertices have in=out=1");
+        assert!(s.audit_valid());
+    }
+
+    #[test]
+    fn breakers_through_reports_cover_vertices_on_the_cycle() {
+        // Two triangles sharing vertex 2; cover = {2}.
+        let s = snapshot_of(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)], 4, 1);
+        assert_eq!(s.cover().as_slice(), &[2]);
+        let mut scratch = BreakerScratch::default();
+        // Edge (1, 2): the cycle 0 -> 1 -> 2 -> 0 passes through breaker 2.
+        assert_eq!(s.breakers_through(&mut scratch, 1, 2), vec![2]);
+        // Edge (3, 4) of the second triangle: breaker 2 again.
+        assert_eq!(s.breakers_through(&mut scratch, 3, 4), vec![2]);
+        // Hypothetical edge (4, 0): closing walk 0 ⇝ 4 needs 0->1->2->3->4,
+        // 4 hops + the edge = 5 > k = 4, so no breaker is implicated.
+        assert_eq!(
+            s.breakers_through(&mut scratch, 4, 0),
+            Vec::<VertexId>::new()
+        );
+        // Degenerate inputs.
+        assert!(s.breakers_through(&mut scratch, 1, 1).is_empty());
+        assert!(s.breakers_through(&mut scratch, 0, 99).is_empty());
+    }
+
+    #[test]
+    fn cell_swaps_whole_snapshots_with_monotone_epochs() {
+        let cell = SnapshotCell::new(snapshot_of(&[(0, 1), (1, 0)], 4, 0));
+        assert_eq!(cell.epoch(), 0);
+        let before = cell.load();
+        cell.publish(snapshot_of(&[(0, 1), (1, 2), (2, 0)], 4, 1));
+        assert_eq!(cell.epoch(), 1);
+        let after = cell.load();
+        // The old handle still sees the old, internally consistent state.
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.edge_count(), 2);
+        assert!(before.audit_valid());
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.edge_count(), 3);
+        assert!(after.audit_valid());
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end tests of the TCP transport: protocol round trips, update
+//! visibility across epochs, concurrent clients, graceful shutdown.
+
+use std::time::{Duration, Instant};
+
+use tdb_core::{Algorithm, HopConstraint, Solver};
+use tdb_dynamic::SolveDynamic;
+use tdb_graph::builder::graph_from_edges;
+use tdb_graph::{GraphView, VertexId};
+use tdb_serve::{ClientError, CoverServer, EngineConfig, ServeClient, ServeConfig};
+
+fn start_server(edges: &[(VertexId, VertexId)], k: usize) -> CoverServer {
+    let dynamic = Solver::new(Algorithm::TdbPlusPlus)
+        .solve_dynamic(graph_from_edges(edges), &HopConstraint::new(k))
+        .unwrap();
+    CoverServer::start(
+        dynamic,
+        ServeConfig {
+            engine: EngineConfig {
+                batch_window: Duration::from_millis(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn wait_for_epoch(client: &mut ServeClient, at_least: u64) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let epoch = client.stat_u64("epoch").unwrap();
+        if epoch >= at_least {
+            return epoch;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "epoch {at_least} never published"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn cover_breakers_and_snapshot_round_trip() {
+    // Two triangles sharing vertex 2: cover = {2}.
+    let server = start_server(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)], 4);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    client.ping().unwrap();
+    let hit = client.cover(2).unwrap();
+    assert!(hit.contained);
+    let miss = client.cover(0).unwrap();
+    assert!(!miss.contained);
+    assert_eq!(hit.epoch, miss.epoch, "quiet server stays on one epoch");
+
+    let b = client.breakers(1, 2).unwrap();
+    assert_eq!(b.breakers, vec![2]);
+
+    let snap = client.snapshot().unwrap();
+    let get = |key: &str| {
+        snap.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    assert_eq!(get("vertices"), "5");
+    assert_eq!(get("edges"), "6");
+    assert_eq!(get("cover"), "1");
+    assert_eq!(get("k"), "4");
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn updates_become_visible_at_a_later_epoch() {
+    let server = start_server(&[(0, 1), (1, 2)], 4);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    assert!(!client.cover(0).unwrap().contained);
+    assert_eq!(client.breakers(2, 0).unwrap().breakers, vec![] as Vec<u32>);
+
+    client.insert(2, 0).unwrap(); // closes the triangle
+    wait_for_epoch(&mut client, 1);
+    // Exactly one vertex of the triangle must now be covered.
+    let covered: Vec<bool> = (0..3).map(|v| client.cover(v).unwrap().contained).collect();
+    assert_eq!(covered.iter().filter(|&&c| c).count(), 1, "{covered:?}");
+    // And BREAKERS? on the new edge implicates it.
+    let b = client.breakers(2, 0).unwrap();
+    assert_eq!(b.breakers.len(), 1);
+    assert!(covered[b.breakers[0] as usize]);
+
+    // Deleting an edge of the triangle leaves the cover valid (periodic
+    // minimize may or may not have pruned yet — validity is the invariant).
+    client.delete(0, 1).unwrap();
+    let applied_target = client.stat_u64("enqueued").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while client.stat_u64("applied").unwrap() < applied_target {
+        assert!(Instant::now() < deadline, "updates never drained");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    client.shutdown().unwrap();
+    let cover = server.join();
+    assert!(cover.is_valid());
+    assert!(cover.graph().contains_edge(2, 0));
+    assert!(!cover.graph().contains_edge(0, 1));
+}
+
+#[test]
+fn protocol_errors_do_not_kill_the_connection() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = start_server(&[(0, 1), (1, 0)], 4);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    // An out-of-range vertex is answered (OUT), not an error.
+    assert!(!client.cover(999).unwrap().contained);
+    // `BREAKERS?` with equal endpoints is legal and empty.
+    assert!(client.breakers(3, 3).unwrap().breakers.is_empty());
+
+    // Malformed input draws ERR but the connection keeps serving. Speak the
+    // raw protocol over a plain TcpStream.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut lines = BufReader::new(raw.try_clone().unwrap());
+    let mut say = |raw: &mut std::net::TcpStream, req: &str| {
+        writeln!(raw, "{req}").unwrap();
+        let mut line = String::new();
+        lines.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    };
+    assert!(say(&mut raw, "FROBNICATE 1 2").starts_with("ERR "));
+    assert!(say(&mut raw, "COVER?").starts_with("ERR "));
+    assert!(say(&mut raw, "INSERT 1 not-a-number").starts_with("ERR "));
+    // ...and the very same connection still answers well-formed requests.
+    assert_eq!(say(&mut raw, "PING"), "OK PONG");
+
+    assert!(client.stat_u64("errors").unwrap() >= 3);
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn concurrent_clients_share_one_server() {
+    let server = start_server(&[(0, 1), (1, 2), (2, 0)], 4);
+    let addr = server.local_addr();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).unwrap();
+                let mut hits = 0usize;
+                // 99 queries, 33 per triangle vertex — exactly one of the
+                // three is covered, so every reader must count 33 hits.
+                for v in 0..99u32 {
+                    if c.cover(v % 3).unwrap().contained {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    for r in readers {
+        assert_eq!(r.join().unwrap(), 33);
+    }
+    let stats = server.server_stats();
+    assert!(stats.connections.load(std::sync::atomic::Ordering::Relaxed) >= 4);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_via_client_unblocks_join_and_later_connects_fail() {
+    let server = start_server(&[(0, 1), (1, 0)], 4);
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    let cover = server.join();
+    assert!(cover.is_valid());
+    // The listener is gone; a fresh connect (or a request on the old
+    // connection) now fails.
+    let mut failed = false;
+    for _ in 0..50 {
+        match ServeClient::connect(addr) {
+            Err(ClientError::Io(_)) => {
+                failed = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(
+        failed,
+        "connections must stop being accepted after shutdown"
+    );
+}

@@ -18,6 +18,11 @@
 //!   streaming edge updates: a [`DeltaGraph`](tdb_graph::DeltaGraph) overlay
 //!   plus the [`DynamicCover`](tdb_dynamic::DynamicCover) engine, reached
 //!   through [`SolveDynamic::solve_dynamic`](tdb_dynamic::SolveDynamic).
+//! * [`serve`] (`tdb-serve`) — a resident cover service: one writer thread
+//!   batches updates through the dynamic engine and publishes immutable
+//!   epoch-stamped snapshots, served to concurrent readers over a line-based
+//!   TCP protocol ([`CoverServer`](tdb_serve::CoverServer) /
+//!   [`ServeClient`](tdb_serve::ServeClient)).
 //! * [`datasets`] (`tdb-datasets`) — the paper's Table II catalog and synthetic
 //!   proxy synthesis.
 //!
@@ -78,6 +83,15 @@
 //! assert!(live.is_valid());
 //! ```
 //!
+//! ## Serving
+//!
+//! For deployments where many consumers query the cover while it is being
+//! maintained, [`serve`] wraps the dynamic engine in a resident server:
+//! updates stream through a single writer, every applied batch publishes an
+//! immutable snapshot under a fresh epoch, and any number of readers answer
+//! `COVER?` / `BREAKERS?` queries against the published snapshot without ever
+//! blocking on the update path (see `examples/serve_demo.rs`).
+//!
 //! See `examples/` for end-to-end scenarios (fraud detection on an e-commerce
 //! network, deadlock-potential analysis of a lock graph, clocked-register
 //! placement in circuit design) and `crates/bench` for the harness that
@@ -91,6 +105,7 @@ pub use tdb_cycle as cycle;
 pub use tdb_datasets as datasets;
 pub use tdb_dynamic as dynamic;
 pub use tdb_graph as graph;
+pub use tdb_serve as serve;
 
 /// The most commonly used items across the workspace, re-exported together.
 pub mod prelude {
@@ -102,6 +117,7 @@ pub mod prelude {
     pub use tdb_graph::{
         ActiveSet, CsrGraph, DeltaGraph, Graph, GraphBuilder, GraphView, VertexId,
     };
+    pub use tdb_serve::{CoverServer, ServeClient, ServeConfig};
 }
 
 #[cfg(test)]
