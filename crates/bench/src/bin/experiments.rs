@@ -34,9 +34,13 @@
 //! ```
 //!
 //! The `bench` subcommand runs the pinned perf-trajectory scenarios
-//! (end-to-end solve, streaming churn, serve load) and records them to
-//! `BENCH_<tag>.json` (`--bench-tag`, `--bench-out`); `--smoke` shrinks the
-//! workloads to CI size.
+//! (end-to-end solve, streaming churn, serve load, instrumentation overhead)
+//! and records them to `BENCH_<tag>.json` (`--bench-tag`, `--bench-out`);
+//! `--smoke` shrinks the workloads to CI size.
+//!
+//! Any subcommand accepts `--trace-out <file>`: the `tdb-obs` tracer is
+//! enabled for the run and a Chrome trace-event file (loadable in
+//! `chrome://tracing` or Perfetto) is written on exit.
 //!
 //! The `sharding` subcommand (also reachable as plain `--sharding`) builds a
 //! seeded multi-SCC graph and compares the sequential whole-graph solve with
@@ -50,6 +54,7 @@
 
 use std::process::ExitCode;
 
+use tdb_bench::overhead::measure_solve_overhead;
 use tdb_bench::serve::{format_serve_report, run_serve, ServeLoadConfig};
 use tdb_bench::sharding::{format_sharding_report, run_sharding, ShardingConfig};
 use tdb_bench::streaming::{format_stream_report, run_stream, StreamConfig};
@@ -71,6 +76,7 @@ struct Options {
     smoke: bool,
     bench_tag: String,
     bench_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -99,8 +105,9 @@ fn parse_args() -> Result<Options, String> {
     } else {
         ServeLoadConfig::acceptance()
     };
-    let mut bench_tag = String::from("PR6");
+    let mut bench_tag = String::from("PR7");
     let mut bench_out = None;
+    let mut trace_out = None;
 
     let mut it = args.into_iter().peekable();
     let mut command_explicit = false;
@@ -273,6 +280,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--bench-tag" => bench_tag = value("--bench-tag")?,
             "--bench-out" => bench_out = Some(value("--bench-out")?),
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -322,6 +330,7 @@ fn parse_args() -> Result<Options, String> {
         smoke,
         bench_tag,
         bench_out,
+        trace_out,
     })
 }
 
@@ -367,7 +376,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|stream|serve|bench|sharding|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS] [--smoke]");
+            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|stream|serve|bench|sharding|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS] [--smoke] [--trace-out PATH]");
             eprintln!("       stream flags: [--stream-vertices N] [--stream-edges M] [--stream-updates U] [--stream-batch B] [--stream-churn 0..1] [--stream-compact T]");
             eprintln!("       serve flags: [--serve-vertices N] [--serve-edges M] [--serve-updates U] [--serve-readers R] [--serve-writers W] [--serve-breakers 0..1]");
             eprintln!("       bench flags: [--bench-tag TAG] [--bench-out PATH]");
@@ -375,6 +384,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if options.trace_out.is_some() {
+        tdb_obs::trace::set_enabled(true);
+    }
+    let code = run(&options);
+    if let Some(path) = &options.trace_out {
+        tdb_obs::trace::set_enabled(false);
+        let events = tdb_obs::trace::drain();
+        let dropped = tdb_obs::trace::dropped();
+        if let Err(e) = std::fs::write(path, tdb_obs::trace::chrome_trace_json(&events)) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "\ntrace written to {path} ({} events{}) — load it in chrome://tracing or https://ui.perfetto.dev",
+            events.len(),
+            if dropped > 0 {
+                format!(", {dropped} dropped by ring overflow")
+            } else {
+                String::new()
+            }
+        );
+    }
+    code
+}
+
+fn run(options: &Options) -> ExitCode {
     let cfg = &options.config;
     println!(
         "# TDB experiment harness — scale {}, seed {}, ks {:?}, slow-limit {} edges, verify {}, budget {}",
@@ -455,8 +490,9 @@ fn main() -> ExitCode {
         }
         "bench" => {
             // The pinned perf trajectory: one end-to-end solve, the streaming
-            // churn scenario, and the serve load scenario, recorded to
-            // BENCH_<tag>.json for PR-over-PR comparison.
+            // churn scenario, the serve load scenario, and the measured cost
+            // of the tdb-obs instrumentation, recorded to BENCH_<tag>.json
+            // for PR-over-PR comparison.
             let dataset = Dataset::WikiVote;
             let g = proxy(dataset, cfg);
             let constraint = HopConstraint::new(5);
@@ -465,21 +501,33 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             print_block(
-                "Bench 1/3: end-to-end TDB++ (k = 5)",
+                "Bench 1/4: end-to-end TDB++ (k = 5)",
                 &format_rows(std::slice::from_ref(&e2e)),
             );
             let stream_report = run_stream(&options.stream);
             print_block(
-                "Bench 2/3: streaming churn",
+                "Bench 2/4: streaming churn",
                 &format_stream_report(&stream_report),
             );
             let serve_report = run_serve(&options.serve);
-            print_block("Bench 3/3: serve load", &format_serve_report(&serve_report));
+            print_block("Bench 3/4: serve load", &format_serve_report(&serve_report));
+            let overhead_samples = if options.smoke { 1 } else { 3 };
+            let overhead = measure_solve_overhead(&g, &constraint, overhead_samples);
+            print_block(
+                "Bench 4/4: tdb-obs instrumentation overhead (TDB++, registry off vs on)",
+                std::slice::from_ref(&overhead.format()),
+            );
 
             let ok = (!options.stream.verify_each_batch
                 || stream_report.valid_batches == stream_report.batches)
                 && serve_report.healthy();
-            let doc = trajectory_document(&options.bench_tag, &e2e, &stream_report, &serve_report);
+            let doc = trajectory_document(
+                &options.bench_tag,
+                &e2e,
+                &stream_report,
+                &serve_report,
+                &overhead,
+            );
             let path = options
                 .bench_out
                 .clone()

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod microbench;
+pub mod overhead;
 pub mod serve;
 pub mod sharding;
 pub mod streaming;

@@ -73,111 +73,14 @@ impl Microbench {
     }
 }
 
-/// Latency percentiles of a sample set, in the samples' own unit.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Percentiles {
-    /// Median.
-    pub p50: f64,
-    /// 90th percentile.
-    pub p90: f64,
-    /// 99th percentile.
-    pub p99: f64,
-}
-
-impl Percentiles {
-    /// Render as `p50 …  p90 …  p99 …` with human-scaled units, assuming the
-    /// samples were seconds.
-    pub fn format_secs(&self) -> String {
-        format!(
-            "p50 {}  p90 {}  p99 {}",
-            format_secs(self.p50),
-            format_secs(self.p90),
-            format_secs(self.p99)
-        )
-    }
-}
-
-/// Nearest-rank percentiles (p50/p90/p99) of `samples`. Returns `None` on an
-/// empty slice. The input is copied and sorted; NaNs are rejected by debug
-/// assertion and sort last otherwise.
-pub fn percentiles(samples: &[f64]) -> Option<Percentiles> {
-    if samples.is_empty() {
-        return None;
-    }
-    debug_assert!(
-        samples.iter().all(|s| !s.is_nan()),
-        "latency samples must not be NaN"
-    );
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
-    let rank = |p: f64| {
-        // Nearest-rank: smallest index i with (i+1)/n >= p/100.
-        let n = sorted.len();
-        let idx = (p / 100.0 * n as f64).ceil() as usize;
-        sorted[idx.clamp(1, n) - 1]
-    };
-    Some(Percentiles {
-        p50: rank(50.0),
-        p90: rank(90.0),
-        p99: rank(99.0),
-    })
-}
-
-/// Human-scaled time formatting (s / ms / µs).
-fn format_secs(secs: f64) -> String {
-    if secs >= 1.0 {
-        format!("{secs:.3}s")
-    } else if secs >= 1e-3 {
-        format!("{:.3}ms", secs * 1e3)
-    } else {
-        format!("{:.3}µs", secs * 1e6)
-    }
-}
+/// Latency percentiles and human-scaled time formatting now live in
+/// [`tdb_obs`]; re-exported here so the bench targets and reports keep their
+/// existing import paths.
+pub use tdb_obs::{format_secs, Percentiles};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn formatting_scales_units() {
-        assert_eq!(format_secs(2.5), "2.500s");
-        assert_eq!(format_secs(0.0025), "2.500ms");
-        assert_eq!(format_secs(0.0000025), "2.500µs");
-    }
-
-    #[test]
-    fn percentiles_use_nearest_rank() {
-        // 1..=100: nearest-rank pXX of the identity sample set is XX itself.
-        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
-        let p = percentiles(&samples).unwrap();
-        assert_eq!(p.p50, 50.0);
-        assert_eq!(p.p90, 90.0);
-        assert_eq!(p.p99, 99.0);
-        // Order must not matter.
-        let mut reversed = samples.clone();
-        reversed.reverse();
-        assert_eq!(percentiles(&reversed).unwrap(), p);
-    }
-
-    #[test]
-    fn percentiles_of_tiny_sets_degenerate_sanely() {
-        assert_eq!(percentiles(&[]), None);
-        let single = percentiles(&[7.0]).unwrap();
-        assert_eq!((single.p50, single.p90, single.p99), (7.0, 7.0, 7.0));
-        let pair = percentiles(&[1.0, 9.0]).unwrap();
-        assert_eq!(pair.p50, 1.0, "nearest rank of p50 over two samples");
-        assert_eq!(pair.p99, 9.0);
-    }
-
-    #[test]
-    fn percentiles_format_scales_units() {
-        let p = Percentiles {
-            p50: 0.0005,
-            p90: 0.002,
-            p99: 1.5,
-        };
-        assert_eq!(p.format_secs(), "p50 500.000µs  p90 2.000ms  p99 1.500s");
-    }
 
     #[test]
     fn bench_runs_the_closure() {

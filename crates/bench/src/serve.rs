@@ -22,7 +22,7 @@ use tdb_graph::gen::{erdos_renyi_gnm, Xoshiro256};
 use tdb_graph::{Graph, VertexId};
 use tdb_serve::{CoverServer, EngineConfig, ServeClient, ServeConfig};
 
-use crate::microbench::{percentiles, Percentiles};
+use tdb_obs::{Histogram, Percentiles};
 
 /// Parameters of a serve load run.
 #[derive(Debug, Clone)]
@@ -181,16 +181,17 @@ pub fn run_serve(config: &ServeLoadConfig) -> ServeReport {
     let done = Arc::new(AtomicBool::new(false));
     let n = config.vertices as u64;
 
-    // Readers: per-request latency samples + a monotone-epoch check.
+    // Readers: per-request latency histogram + a monotone-epoch check.
+    let read_hist = Histogram::new();
     let reader_handles: Vec<_> = (0..config.readers)
         .map(|r| {
             let done = Arc::clone(&done);
+            let read_hist = read_hist.clone();
             let breaker_permille = (config.breaker_ratio * 1000.0) as u64;
             let seed = config.seed ^ (0xbeef + r as u64);
             std::thread::spawn(move || {
                 let mut client = ServeClient::connect(addr).expect("reader connect");
                 let mut rng = Xoshiro256::seed_from_u64(seed);
-                let mut latencies = Vec::new();
                 let mut last_epoch = 0u64;
                 let mut monotone = true;
                 while !done.load(Ordering::Acquire) {
@@ -203,11 +204,11 @@ pub fn run_serve(config: &ServeLoadConfig) -> ServeReport {
                         let v = rng.next_bounded(n) as VertexId;
                         client.cover(v).expect("COVER? failed").epoch
                     };
-                    latencies.push(t.elapsed().as_secs_f64());
+                    read_hist.record(t.elapsed());
                     monotone &= epoch >= last_epoch;
                     last_epoch = epoch;
                 }
-                (latencies, monotone)
+                monotone
             })
         })
         .collect();
@@ -268,28 +269,25 @@ pub fn run_serve(config: &ServeLoadConfig) -> ServeReport {
     let updates_streamed: u64 = writer_handles.into_iter().map(|h| h.join().unwrap()).sum();
     // The writers saw every op acknowledged; wait for the engine to drain.
     let engine_stats = server.engine_stats();
-    while engine_stats.applied.load(Ordering::Relaxed) < updates_streamed {
+    while engine_stats.applied.get() < updates_streamed {
         std::thread::sleep(Duration::from_micros(200));
     }
     let update_wall = update_timer.elapsed();
 
     done.store(true, Ordering::Release);
-    let mut latencies = Vec::new();
     let mut epochs_monotone = true;
     for h in reader_handles {
-        let (mut samples, monotone) = h.join().unwrap();
-        latencies.append(&mut samples);
-        epochs_monotone &= monotone;
+        epochs_monotone &= h.join().unwrap();
     }
     let (snapshots_audited, snapshots_valid, auditor_monotone) = auditor.join().unwrap();
     epochs_monotone &= auditor_monotone;
 
-    let reads = latencies.len() as u64;
+    let reads = read_hist.count();
     let wall = update_timer.elapsed();
     let final_epoch = server.snapshots().epoch();
-    let batches = engine_stats.batches.load(Ordering::Relaxed);
-    let coalesced = engine_stats.coalesced.load(Ordering::Relaxed);
-    let pruned = engine_stats.pruned.load(Ordering::Relaxed);
+    let batches = engine_stats.batches.get();
+    let coalesced = engine_stats.coalesced.get();
+    let pruned = engine_stats.pruned.get();
     let cover = server.shutdown();
     let final_valid = cover.is_valid();
 
@@ -301,7 +299,7 @@ pub fn run_serve(config: &ServeLoadConfig) -> ServeReport {
         writers: config.writers,
         reads,
         reads_per_sec: reads as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
-        read_latency: percentiles(&latencies),
+        read_latency: read_hist.percentiles(),
         updates_streamed,
         update_wall,
         snapshots_audited,

@@ -17,7 +17,7 @@ use tdb_dynamic::{DynamicConfig, EdgeBatch, SolveDynamic, UpdateMetrics};
 use tdb_graph::gen::{erdos_renyi_gnm, Xoshiro256};
 use tdb_graph::{Graph, VertexId};
 
-use crate::microbench::{percentiles, Percentiles};
+use tdb_obs::{Histogram, Percentiles};
 
 /// Parameters of a streaming churn run.
 #[derive(Debug, Clone)]
@@ -169,7 +169,7 @@ pub fn run_stream(config: &StreamConfig) -> StreamReport {
     let churn_permille = (config.churn * 1000.0) as usize;
 
     let mut incremental_elapsed = Duration::ZERO;
-    let mut batch_latencies: Vec<f64> = Vec::new();
+    let batch_hist = Histogram::new();
     let mut batches = 0usize;
     let mut valid_batches = 0usize;
     let mut updates_applied = 0u64;
@@ -206,7 +206,7 @@ pub fn run_stream(config: &StreamConfig) -> StreamReport {
         streamed += batch.len();
         let window = dynamic.apply(&batch);
         incremental_elapsed += window.elapsed;
-        batch_latencies.push(window.elapsed.as_secs_f64());
+        batch_hist.record(window.elapsed);
         updates_applied += window.updates();
         batches += 1;
         if config.verify_each_batch && dynamic.is_valid() {
@@ -254,7 +254,7 @@ pub fn run_stream(config: &StreamConfig) -> StreamReport {
         incremental_elapsed,
         minimize,
         mean_batch,
-        batch_percentiles: percentiles(&batch_latencies),
+        batch_percentiles: batch_hist.percentiles(),
         resolve,
         speedup_per_batch,
         valid_batches,

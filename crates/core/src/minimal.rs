@@ -79,6 +79,8 @@ pub fn minimal_prune_candidates_with<V: GraphView>(
     ctx: &mut SolveContext,
 ) -> Result<usize, SolveError> {
     ctx.ensure_armed();
+    let _span = tdb_obs::trace::span("solve/minimize");
+    let _timer = tdb_obs::histogram!("tdb_solve_minimize_seconds").start();
     let n = g.vertex_count();
     // G − R + {v}: all non-cover vertices are active; cover vertices inactive.
     let mut active = cover.reduced_active_set(n);

@@ -216,10 +216,16 @@ impl<'a> SolveContext<'a> {
         }
     }
 
-    /// Fold one finished run's metrics into the context's running totals.
+    /// Fold one finished run's metrics into the context's running totals and
+    /// publish them to the global metrics registry.
     pub fn accumulate(&mut self, metrics: &RunMetrics) {
         self.solves += 1;
         self.totals.absorb(metrics);
+        tdb_obs::counter!("tdb_solves_total").inc();
+        tdb_obs::counter!("tdb_solve_cycle_queries_total").add(metrics.cycle_queries);
+        tdb_obs::counter!("tdb_solve_filter_released_total").add(metrics.filter_released);
+        tdb_obs::counter!("tdb_solve_scc_released_total").add(metrics.scc_released);
+        tdb_obs::counter!("tdb_solve_minimal_pruned_total").add(metrics.minimal_pruned);
     }
 
     /// Metrics accumulated over every solve performed with this context.

@@ -190,6 +190,7 @@ pub fn top_down_cover_with<G: Graph>(
     ctx: &mut SolveContext,
 ) -> Result<CoverRun, SolveError> {
     ctx.ensure_armed();
+    let _solve_span = tdb_obs::trace::span_owned(format!("solve/{}", config.name()));
     let timer = Timer::start();
     let n = g.num_vertices();
     let mut metrics = RunMetrics::new(
@@ -208,6 +209,8 @@ pub fn top_down_cover_with<G: Graph>(
     // cycle of the full graph, let alone of a subgraph — release it for free.
     let mut prereleased = vec![false; n];
     if config.scc_prefilter {
+        let _span = tdb_obs::trace::span("solve/scc_prefilter");
+        let _timer = tdb_obs::histogram!("tdb_solve_scc_prefilter_seconds").start();
         let scc = tarjan_scc(g);
         let candidates = scc.cycle_candidates();
         for v in 0..n as VertexId {
@@ -231,6 +234,8 @@ pub fn top_down_cover_with<G: Graph>(
 
     let order = scan_permutation(g, config.scan_order);
     let total = order.len() as u64;
+    let _scan_span = tdb_obs::trace::span("solve/scan");
+    let _scan_timer = tdb_obs::histogram!("tdb_solve_scan_seconds").start();
     for (scanned, v) in order.into_iter().enumerate() {
         ctx.checkpoint()?;
         ctx.report_progress(scanned as u64, total, cover_vertices.len() as u64);
@@ -241,10 +246,13 @@ pub fn top_down_cover_with<G: Graph>(
         active.activate(v);
 
         if let Some(filter) = filter.as_mut() {
-            let decision = if config.exact_filter {
-                filter.decide_exact(g, &active, v, constraint)
-            } else {
-                filter.decide(g, &active, v, constraint)
+            let decision = {
+                let _timer = tdb_obs::histogram!("tdb_solve_bfs_filter_seconds").start();
+                if config.exact_filter {
+                    filter.decide_exact(g, &active, v, constraint)
+                } else {
+                    filter.decide(g, &active, v, constraint)
+                }
             };
             match decision {
                 FilterDecision::Prune => {
@@ -274,6 +282,8 @@ pub fn top_down_cover_with<G: Graph>(
         // Otherwise v stays active: released from the cover.
     }
 
+    drop(_scan_timer);
+    drop(_scan_span);
     metrics.elapsed = timer.elapsed();
     ctx.report_progress(total, total, cover_vertices.len() as u64);
     ctx.accumulate(&metrics);

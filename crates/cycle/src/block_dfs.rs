@@ -106,6 +106,7 @@ impl BlockSearcher {
         constraint: &HopConstraint,
     ) -> Option<Vec<VertexId>> {
         debug_assert_eq!(g.vertex_count(), self.block.len());
+        let _timer = tdb_obs::histogram!("tdb_cycle_block_query_seconds").start();
         self.stats.queries += 1;
         if !active.is_active(s) || g.out_deg(s) == 0 || g.in_deg(s) == 0 {
             return None;

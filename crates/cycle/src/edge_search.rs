@@ -73,6 +73,7 @@ impl EdgeCycleSearcher {
         constraint: &HopConstraint,
     ) -> Option<Vec<VertexId>> {
         debug_assert!(g.vertex_count() <= self.capacity());
+        let _timer = tdb_obs::histogram!("tdb_cycle_edge_query_seconds").start();
         if u == v || !active.is_active(u) || !active.is_active(v) || !g.contains_edge(u, v) {
             return None;
         }

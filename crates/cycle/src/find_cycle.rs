@@ -29,6 +29,7 @@ pub fn find_cycle_through<V: GraphView>(
     start: VertexId,
     constraint: &HopConstraint,
 ) -> Option<Vec<VertexId>> {
+    let _timer = tdb_obs::histogram!("tdb_cycle_naive_query_seconds").start();
     if !active.is_active(start) {
         return None;
     }

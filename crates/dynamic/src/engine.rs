@@ -236,6 +236,7 @@ impl DynamicCover {
         let added = self.insert_inner(u, v, &mut window);
         self.maybe_compact(&mut window);
         window.elapsed = start.elapsed();
+        publish_window(&window);
         self.totals.absorb(&window);
         added
     }
@@ -250,6 +251,7 @@ impl DynamicCover {
         let removed = self.remove_inner(u, v, &mut window);
         self.maybe_compact(&mut window);
         window.elapsed = start.elapsed();
+        publish_window(&window);
         self.totals.absorb(&window);
         removed
     }
@@ -259,6 +261,7 @@ impl DynamicCover {
     /// The cover is valid after every individual operation; compaction and
     /// (optional) re-minimization are amortized across the batch.
     pub fn apply(&mut self, batch: &EdgeBatch) -> UpdateMetrics {
+        let _span = tdb_obs::trace::span("dynamic/apply");
         let start = Instant::now();
         let mut window = UpdateMetrics::default();
         for op in batch {
@@ -278,6 +281,8 @@ impl DynamicCover {
             window.minimize_checked += checked as u64;
         }
         window.elapsed = start.elapsed();
+        tdb_obs::histogram!("tdb_dynamic_apply_seconds").record(window.elapsed);
+        publish_window(&window);
         self.totals.absorb(&window);
         window
     }
@@ -295,6 +300,7 @@ impl DynamicCover {
     /// examines the full cover. `totals().minimize_checked` counts the
     /// vertices actually examined.
     pub fn minimize(&mut self) -> usize {
+        let _span = tdb_obs::trace::span("dynamic/minimize");
         let start = Instant::now();
         let (removed, checked) = self.minimize_inner();
         let mut window = UpdateMetrics {
@@ -303,14 +309,18 @@ impl DynamicCover {
             ..Default::default()
         };
         window.elapsed = start.elapsed();
+        tdb_obs::histogram!("tdb_dynamic_minimize_seconds").record(window.elapsed);
+        publish_window(&window);
         self.totals.absorb(&window);
         removed
     }
 
     /// Force a delta compaction regardless of the threshold.
     pub fn compact(&mut self) {
+        let _span = tdb_obs::trace::span("dynamic/compact");
         self.graph.compact();
         self.totals.compactions += 1;
+        tdb_obs::counter!("tdb_dynamic_compactions_total").inc();
     }
 
     fn insert_inner(&mut self, u: VertexId, v: VertexId, window: &mut UpdateMetrics) -> usize {
@@ -492,10 +502,22 @@ impl DynamicCover {
             self.config.compaction_threshold
         };
         if self.graph.delta_len() >= threshold {
+            let _span = tdb_obs::trace::span("dynamic/compact");
             self.graph.compact();
             window.compactions += 1;
         }
     }
+}
+
+/// Publish one update window's counts to the global metrics registry (the
+/// per-engine running totals stay in `UpdateMetrics`; this mirrors them into
+/// the process-wide exposition).
+fn publish_window(window: &UpdateMetrics) {
+    tdb_obs::counter!("tdb_dynamic_updates_total").add(window.updates());
+    tdb_obs::counter!("tdb_dynamic_breakers_added_total").add(window.breakers_added);
+    tdb_obs::counter!("tdb_dynamic_pruned_total").add(window.pruned);
+    tdb_obs::counter!("tdb_dynamic_edge_queries_total").add(window.edge_queries);
+    tdb_obs::counter!("tdb_dynamic_compactions_total").add(window.compactions);
 }
 
 /// An immutable copy of a [`DynamicCover`]'s state at one instant, produced by

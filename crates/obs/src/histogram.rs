@@ -1,0 +1,394 @@
+//! A lock-free, mergeable latency histogram with fixed log2 buckets.
+//!
+//! Values are durations in nanoseconds; bucket `b` holds values in
+//! `[2^b, 2^(b+1))` (bucket 0 additionally holds 0). Sixty-four buckets span
+//! every representable `u64` nanosecond count — from sub-nanosecond to
+//! ~584 years — so recording never saturates or clips. Recording is one
+//! relaxed `fetch_add` on the bucket plus one on the running sum; handles are
+//! cheap `Arc` clones sharing the same cells, so a histogram can be recorded
+//! from many threads and read from another without locks.
+//!
+//! Percentiles are nearest-rank over the bucket counts with linear
+//! interpolation inside the landing bucket, which guarantees the reported
+//! pXX lies within the bucket bounds of the exact (sort-based) nearest-rank
+//! sample — the contract the property tests in `tests/prop_obs.rs` check.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of log2 buckets (one per power of two of nanoseconds).
+pub const BUCKET_COUNT: usize = 64;
+
+/// Bucket index for a duration of `nanos` nanoseconds.
+pub fn bucket_index(nanos: u64) -> usize {
+    if nanos == 0 {
+        0
+    } else {
+        63 - nanos.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of `bucket`, in nanoseconds.
+pub fn bucket_lower_nanos(bucket: usize) -> u64 {
+    debug_assert!(bucket < BUCKET_COUNT);
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << bucket
+    }
+}
+
+/// Exclusive upper bound of `bucket`, in nanoseconds (`2^64` for the last
+/// bucket, hence `f64`).
+pub fn bucket_upper_nanos(bucket: usize) -> f64 {
+    debug_assert!(bucket < BUCKET_COUNT);
+    2f64.powi(bucket as i32 + 1)
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    counts: [AtomicU64; BUCKET_COUNT],
+    sum_nanos: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A shareable histogram handle. `Clone` is an `Arc` clone: all clones record
+/// into the same cells, which is how per-thread recorders and a reporting
+/// thread share one distribution.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    core: Arc<HistogramCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A standalone, always-enabled histogram (not tied to a registry).
+    pub fn new() -> Self {
+        Histogram {
+            enabled: Arc::new(AtomicBool::new(true)),
+            core: Arc::new(HistogramCore::new()),
+        }
+    }
+
+    /// A histogram gated by a shared enabled flag (registry-owned).
+    pub(crate) fn with_enabled(enabled: Arc<AtomicBool>) -> Self {
+        Histogram {
+            enabled,
+            core: Arc::new(HistogramCore::new()),
+        }
+    }
+
+    /// Whether records are currently being counted.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record a duration.
+    pub fn record(&self, d: Duration) {
+        self.observe_nanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record a duration given in seconds; negative and non-finite values
+    /// clamp to zero.
+    pub fn record_secs(&self, secs: f64) {
+        let nanos = if secs.is_finite() && secs > 0.0 {
+            (secs * 1e9).round().min(u64::MAX as f64) as u64
+        } else {
+            0
+        };
+        self.observe_nanos(nanos);
+    }
+
+    /// Record a raw nanosecond count.
+    pub fn observe_nanos(&self, nanos: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let core = &self.core;
+        core.counts[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        core.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Start a timer that records on drop. Returns `None` when the histogram
+    /// is disabled, so disabled hot paths skip the clock read entirely.
+    #[must_use = "the timer records when the guard drops"]
+    pub fn start(&self) -> Option<HistogramTimer<'_>> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        Some(HistogramTimer {
+            histogram: self,
+            start: Instant::now(),
+        })
+    }
+
+    /// Fold another histogram's counts into this one.
+    pub fn merge_from(&self, other: &Histogram) {
+        let snap = other.snapshot();
+        for (b, &count) in snap.counts.iter().enumerate() {
+            if count > 0 {
+                self.core.counts[b].fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        self.core
+            .sum_nanos
+            .fetch_add(snap.sum_nanos, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of the counts (individual cells
+    /// are read atomically; cross-cell skew is bounded by in-flight records).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: [u64; BUCKET_COUNT] =
+            std::array::from_fn(|b| self.core.counts[b].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            counts,
+            sum_nanos: self.core.sum_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.snapshot().count()
+    }
+
+    /// p50/p90/p99 of the recorded distribution, in seconds.
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        self.snapshot().percentiles()
+    }
+}
+
+/// An RAII timer tied to a [`Histogram`]; records the elapsed time on drop.
+#[derive(Debug)]
+pub struct HistogramTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for HistogramTimer<'_> {
+    fn drop(&mut self) {
+        self.histogram.record(self.start.elapsed());
+    }
+}
+
+/// An owned point-in-time copy of a histogram's counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: [u64; BUCKET_COUNT],
+    sum_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: [0; BUCKET_COUNT],
+            sum_nanos: 0,
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKET_COUNT] {
+        &self.counts
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded values, in seconds.
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_nanos as f64 / 1e9
+    }
+
+    /// Mean of the recorded values, in seconds (`None` when empty).
+    pub fn mean_secs(&self) -> Option<f64> {
+        let count = self.count();
+        (count > 0).then(|| self.sum_secs() / count as f64)
+    }
+
+    /// Merge two snapshots (bucket-wise sum). Associative and commutative.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: [u64; BUCKET_COUNT] = std::array::from_fn(|b| self.counts[b] + other.counts[b]);
+        HistogramSnapshot {
+            counts,
+            sum_nanos: self.sum_nanos + other.sum_nanos,
+        }
+    }
+
+    /// The `p`-th percentile (0 < p <= 100) in seconds, by nearest rank over
+    /// the buckets with linear interpolation inside the landing bucket.
+    /// `None` when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        // Nearest rank: the smallest r in 1..=total with r/total >= p/100.
+        let rank = ((p / 100.0 * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (b, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if cumulative + count >= rank {
+                let lower = bucket_lower_nanos(b) as f64;
+                let upper = bucket_upper_nanos(b);
+                let within = (rank - cumulative) as f64 / count as f64; // in (0, 1]
+                return Some((lower + (upper - lower) * within) / 1e9);
+            }
+            cumulative += count;
+        }
+        unreachable!("rank is clamped to the total count")
+    }
+
+    /// p50/p90/p99 in seconds (`None` when empty).
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        Some(Percentiles {
+            p50: self.percentile(50.0)?,
+            p90: self.percentile(90.0)?,
+            p99: self.percentile(99.0)?,
+        })
+    }
+}
+
+/// Latency percentiles of a distribution, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Render as `p50 …  p90 …  p99 …` with human-scaled units.
+    pub fn format_secs(&self) -> String {
+        format!(
+            "p50 {}  p90 {}  p99 {}",
+            format_secs(self.p50),
+            format_secs(self.p90),
+            format_secs(self.p99)
+        )
+    }
+}
+
+/// Human-scaled time formatting (s / ms / µs).
+pub fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{:.3}µs", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for b in 0..BUCKET_COUNT {
+            assert_eq!(bucket_index(bucket_lower_nanos(b).max(1)), b);
+            assert!(bucket_upper_nanos(b) > bucket_lower_nanos(b) as f64);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.percentiles().is_none());
+        assert!(h.snapshot().mean_secs().is_none());
+    }
+
+    #[test]
+    fn percentile_lands_in_the_value_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(100)); // 100_000 ns → bucket 16
+        let p = h.percentiles().unwrap();
+        let b = bucket_index(100_000);
+        for v in [p.p50, p.p90, p.p99] {
+            let nanos = v * 1e9;
+            assert!(nanos > bucket_lower_nanos(b) as f64);
+            assert!(nanos <= bucket_upper_nanos(b));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.observe_nanos(i * 1000);
+        }
+        let p = h.percentiles().unwrap();
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99, "{p:?}");
+    }
+
+    #[test]
+    fn clones_share_cells_and_merge_adds() {
+        let a = Histogram::new();
+        let a2 = a.clone();
+        a.observe_nanos(10);
+        a2.observe_nanos(20);
+        assert_eq!(a.count(), 2);
+
+        let b = Histogram::new();
+        b.observe_nanos(1_000_000);
+        b.merge_from(&a);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.snapshot().sum_nanos, 1_000_030);
+    }
+
+    #[test]
+    fn record_secs_clamps_garbage() {
+        let h = Histogram::new();
+        h.record_secs(-1.0);
+        h.record_secs(f64::NAN);
+        h.record_secs(1e-6);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.snapshot().counts()[bucket_index(1000)], 1);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert_eq!(format_secs(2.5), "2.500s");
+        assert_eq!(format_secs(0.0025), "2.500ms");
+        assert_eq!(format_secs(0.0000025), "2.500µs");
+    }
+
+    #[test]
+    fn percentiles_format_scales_units() {
+        let p = Percentiles {
+            p50: 0.0005,
+            p90: 0.002,
+            p99: 1.5,
+        };
+        assert_eq!(p.format_secs(), "p50 500.000µs  p90 2.000ms  p99 1.500s");
+    }
+}

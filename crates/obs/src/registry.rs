@@ -1,0 +1,328 @@
+//! A named-metric registry: counters, gauges, and histograms addressed by
+//! Prometheus-style names, plus the text exposition renderer.
+//!
+//! Handles returned by [`Registry::counter`] / [`Registry::gauge`] /
+//! [`Registry::histogram`] are cheap `Arc` clones of the registered cells, so
+//! hot paths cache a handle once (see the `counter!` / `gauge!` /
+//! `histogram!` macros in the crate root) and never touch the registry lock
+//! again.
+//!
+//! The enabled flag gates **histograms only** (they are the metrics that cost
+//! a clock read per record); counters and gauges always count, because
+//! correctness-level consumers (backpressure gauges, applied-op counters the
+//! serve engine's clients spin on) must not change behavior with
+//! observability off.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::histogram::{bucket_upper_nanos, Histogram};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, live counts).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    pub fn sub(&self, n: i64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    enabled: Arc<AtomicBool>,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// A registry of named metrics. `Clone` shares the same underlying map, so a
+/// registry can be handed to several components that register into one
+/// exposition.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty, enabled registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                enabled: Arc::new(AtomicBool::new(true)),
+                metrics: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Whether this registry's histograms record (counters/gauges always do).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable histogram recording for every histogram created by
+    /// this registry, past and future. The disabled fast path is one relaxed
+    /// load per record/timer-start — the crate's overhead contract.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Get or create the counter `name`. Panics if `name` is already
+    /// registered as a different kind, or is not a valid metric name.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.metric(name, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.metric(name, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or create the histogram `name` (gated by this registry's enabled
+    /// flag).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let enabled = Arc::clone(&self.inner.enabled);
+        match self.metric(name, move || {
+            Metric::Histogram(Histogram::with_enabled(enabled))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn metric(&self, name: &str, create: impl FnOnce() -> Metric) -> Metric {
+        validate_name(name);
+        let mut metrics = self.inner.metrics.lock().expect("metric registry poisoned");
+        metrics
+            .entry(name.to_string())
+            .or_insert_with(create)
+            .clone()
+    }
+
+    /// Render every registered metric in Prometheus text exposition format,
+    /// in sorted name order. Histograms emit cumulative `_bucket{le="..."}`
+    /// series (bounds in seconds) plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.inner.metrics.lock().expect("metric registry poisoned");
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (b, &count) in snap.counts().iter().enumerate() {
+                        if count == 0 {
+                            continue;
+                        }
+                        cumulative += count;
+                        let le = bucket_upper_nanos(b) / 1e9;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count());
+                    let _ = writeln!(out, "{name}_sum {}", snap.sum_secs());
+                    let _ = writeln!(out, "{name}_count {}", snap.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn validate_name(name: &str) {
+    let mut chars = name.chars();
+    let ok = match chars.next() {
+        Some(c) => {
+            (c.is_ascii_alphabetic() || c == '_' || c == ':')
+                && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        None => false,
+    };
+    assert!(
+        ok,
+        "invalid metric name {name:?} (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+    );
+}
+
+/// The process-wide registry used by the `counter!` / `gauge!` / `histogram!`
+/// macros — where the solver, cycle-searcher, and dynamic-maintenance
+/// instrumentation lands. Enabled by default.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn handles_share_cells() {
+        let reg = Registry::new();
+        let a = reg.counter("test_total");
+        let b = reg.counter("test_total");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+
+        let g = reg.gauge("test_depth");
+        g.add(5);
+        reg.gauge("test_depth").dec();
+        assert_eq!(g.get(), 4);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("test_total");
+        let _ = reg.gauge("test_total");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_panic() {
+        let _ = Registry::new().counter("has space");
+    }
+
+    #[test]
+    fn disabling_gates_histograms_but_not_counters() {
+        let reg = Registry::new();
+        let h = reg.histogram("test_seconds");
+        let c = reg.counter("test_total");
+        reg.set_enabled(false);
+        h.record(Duration::from_millis(1));
+        assert!(h.start().is_none(), "disabled timer must skip the clock");
+        c.inc();
+        assert_eq!(h.count(), 0);
+        assert_eq!(c.get(), 1);
+        reg.set_enabled(true);
+        h.record(Duration::from_millis(1));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_buckets_and_sorted_names() {
+        let reg = Registry::new();
+        reg.counter("zz_total").add(7);
+        reg.gauge("aa_depth").set(3);
+        let h = reg.histogram("mm_seconds");
+        h.observe_nanos(1_500); // bucket [1024, 2048)
+        h.observe_nanos(1_600);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE zz_total counter\nzz_total 7\n"));
+        assert!(text.contains("# TYPE aa_depth gauge\naa_depth 3\n"));
+        assert!(text.contains("# TYPE mm_seconds histogram\n"));
+        assert!(text.contains("mm_seconds_bucket{le=\"0.000002048\"} 2"));
+        assert!(text.contains("mm_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("mm_seconds_count 2"));
+        let aa = text.find("# TYPE aa_depth").unwrap();
+        let mm = text.find("# TYPE mm_seconds").unwrap();
+        let zz = text.find("# TYPE zz_total").unwrap();
+        assert!(aa < mm && mm < zz, "names must render sorted:\n{text}");
+    }
+
+    #[test]
+    fn global_macros_cache_static_handles() {
+        let c = crate::counter!("tdb_obs_selftest_total");
+        c.inc();
+        let again = crate::counter!("tdb_obs_selftest_total");
+        // Two macro expansions: distinct statics, same underlying cell.
+        assert!(again.get() >= 1);
+        let h = crate::histogram!("tdb_obs_selftest_seconds");
+        h.observe_nanos(42);
+        assert!(h.count() >= 1);
+        let g = crate::gauge!("tdb_obs_selftest_depth");
+        g.inc();
+        g.dec();
+    }
+}

@@ -1,0 +1,287 @@
+//! Span tracing: RAII guards writing complete events into bounded per-thread
+//! ring buffers, drained to Chrome trace-event JSON (`chrome://tracing` /
+//! `ui.perfetto.dev`).
+//!
+//! The tracer is process-global and **disabled by default** — a disabled
+//! [`span`] call is one relaxed atomic load and returns `None`, so
+//! instrumented hot paths pay no clock read and no allocation. When enabled,
+//! each thread records into its own ring buffer (newest events win on
+//! overflow; the drop count is kept), so recording never blocks another
+//! recording thread.
+
+use std::borrow::Cow;
+use std::cell::OnceCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_THREAD_CAPACITY: usize = 65_536;
+
+/// One completed span: a Chrome trace "X" (complete) event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name, e.g. `solve/scan`.
+    pub name: Cow<'static, str>,
+    /// Start timestamp in microseconds since the tracer epoch.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Recording thread's tracer-assigned id.
+    pub tid: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct ThreadBuf {
+    tid: u64,
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Tracer {
+    enabled: AtomicBool,
+    capacity: AtomicUsize,
+    next_tid: AtomicU64,
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+    epoch: OnceLock<Instant>,
+}
+
+fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer {
+        enabled: AtomicBool::new(false),
+        capacity: AtomicUsize::new(DEFAULT_THREAD_CAPACITY),
+        next_tid: AtomicU64::new(1),
+        threads: Mutex::new(Vec::new()),
+        epoch: OnceLock::new(),
+    })
+}
+
+thread_local! {
+    static LOCAL: OnceCell<Arc<ThreadBuf>> = const { OnceCell::new() };
+}
+
+/// Turn span recording on or off (off by default).
+pub fn set_enabled(on: bool) {
+    tracer().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently recorded.
+pub fn is_enabled() -> bool {
+    tracer().enabled.load(Ordering::Relaxed)
+}
+
+/// Set the per-thread ring capacity (events kept per thread before the
+/// oldest are dropped). Applies to future records on every thread.
+pub fn set_thread_capacity(capacity: usize) {
+    tracer().capacity.store(capacity.max(1), Ordering::Relaxed);
+}
+
+/// Microseconds since the tracer epoch (the first call fixes the epoch).
+pub fn now_us() -> f64 {
+    let epoch = tracer().epoch.get_or_init(Instant::now);
+    epoch.elapsed().as_secs_f64() * 1e6
+}
+
+/// Open a span named by a static string. Returns `None` when tracing is
+/// disabled; the span records a complete event when the guard drops.
+#[must_use = "the span records when the guard drops"]
+pub fn span(name: &'static str) -> Option<SpanGuard> {
+    span_cow(Cow::Borrowed(name))
+}
+
+/// Open a span with a runtime-built name (e.g. `solve/TDB++`).
+#[must_use = "the span records when the guard drops"]
+pub fn span_owned(name: String) -> Option<SpanGuard> {
+    span_cow(Cow::Owned(name))
+}
+
+fn span_cow(name: Cow<'static, str>) -> Option<SpanGuard> {
+    if !is_enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name,
+        start_us: now_us(),
+    })
+}
+
+/// An open span; records a [`TraceEvent`] covering its lifetime on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: Cow<'static, str>,
+    start_us: f64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let start_us = self.start_us;
+        let dur_us = (now_us() - start_us).max(0.0);
+        record_complete(std::mem::take(&mut self.name), start_us, dur_us);
+    }
+}
+
+/// Record a complete event directly (the span guards use this; tests and
+/// custom instrumentation may too). A no-op while tracing is disabled.
+pub fn record_complete(name: impl Into<Cow<'static, str>>, start_us: f64, dur_us: f64) {
+    let t = tracer();
+    if !t.enabled.load(Ordering::Relaxed) {
+        return;
+    }
+    LOCAL.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            let buf = Arc::new(ThreadBuf {
+                tid: t.next_tid.fetch_add(1, Ordering::Relaxed),
+                ring: Mutex::new(Ring::default()),
+            });
+            t.threads
+                .lock()
+                .expect("tracer thread registry poisoned")
+                .push(Arc::clone(&buf));
+            buf
+        });
+        let capacity = t.capacity.load(Ordering::Relaxed).max(1);
+        let mut ring = buf.ring.lock().expect("trace ring poisoned");
+        while ring.events.len() >= capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        let tid = buf.tid;
+        ring.events.push_back(TraceEvent {
+            name: name.into(),
+            start_us,
+            dur_us,
+            tid,
+        });
+    });
+}
+
+/// Take every buffered event from every thread, ordered by start time.
+pub fn drain() -> Vec<TraceEvent> {
+    let threads: Vec<Arc<ThreadBuf>> = tracer()
+        .threads
+        .lock()
+        .expect("tracer thread registry poisoned")
+        .clone();
+    let mut events = Vec::new();
+    for buf in threads {
+        let mut ring = buf.ring.lock().expect("trace ring poisoned");
+        events.extend(ring.events.drain(..));
+    }
+    events.sort_by(|a, b| {
+        a.start_us
+            .partial_cmp(&b.start_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.tid.cmp(&b.tid))
+    });
+    events
+}
+
+/// Total events dropped to ring overflow so far, across all threads.
+pub fn dropped() -> u64 {
+    let threads: Vec<Arc<ThreadBuf>> = tracer()
+        .threads
+        .lock()
+        .expect("tracer thread registry poisoned")
+        .clone();
+    threads
+        .iter()
+        .map(|buf| buf.ring.lock().expect("trace ring poisoned").dropped)
+        .sum()
+}
+
+/// Render events as a Chrome trace-event JSON document (the object form with
+/// a `traceEvents` array of "X" complete events), loadable in
+/// `chrome://tracing` and Perfetto.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let items = events
+        .iter()
+        .map(|e| {
+            Json::obj()
+                .set("name", e.name.as_ref())
+                .set("cat", "tdb")
+                .set("ph", "X")
+                .set("ts", e.start_us)
+                .set("dur", e.dur_us)
+                .set("pid", 1u64)
+                .set("tid", e.tid)
+        })
+        .collect::<Vec<_>>();
+    Json::obj()
+        .set("traceEvents", Json::Arr(items))
+        .set("displayTimeUnit", "ms")
+        .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracer is process-global; tests that flip it on serialize here.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let _guard = lock();
+        set_enabled(false);
+        drain();
+        assert!(span("test/disabled").is_none());
+        record_complete("test/disabled", 0.0, 1.0);
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_record_complete_events_on_drop() {
+        let _guard = lock();
+        set_enabled(true);
+        drain();
+        {
+            let _outer = span("test/outer");
+            let _inner = span_owned(format!("test/inner-{}", 1));
+        }
+        set_enabled(false);
+        let events = drain();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_ref()).collect();
+        assert!(names.contains(&"test/outer"), "{names:?}");
+        assert!(names.contains(&"test/inner-1"), "{names:?}");
+        for e in &events {
+            assert!(e.dur_us >= 0.0);
+        }
+        // Inner starts at or after outer, and is sorted accordingly.
+        let outer = events.iter().position(|e| e.name == "test/outer").unwrap();
+        let inner = events
+            .iter()
+            .position(|e| e.name == "test/inner-1")
+            .unwrap();
+        assert!(events[outer].start_us <= events[inner].start_us);
+    }
+
+    #[test]
+    fn chrome_json_has_the_trace_events_shape() {
+        let events = vec![TraceEvent {
+            name: Cow::Borrowed("solve/scan"),
+            start_us: 10.5,
+            dur_us: 2.25,
+            tid: 3,
+        }];
+        let text = chrome_trace_json(&events);
+        assert!(text.contains("\"traceEvents\": ["));
+        assert!(text.contains("\"name\": \"solve/scan\""));
+        assert!(text.contains("\"ph\": \"X\""));
+        assert!(text.contains("\"ts\": 10.5"));
+        assert!(text.contains("\"dur\": 2.25"));
+        assert!(text.contains("\"displayTimeUnit\": \"ms\""));
+    }
+}

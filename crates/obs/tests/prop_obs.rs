@@ -1,0 +1,209 @@
+//! Property tests for the observability primitives (the workspace builds
+//! fully offline, so the generator is a small inline xorshift instead of
+//! proptest):
+//!
+//! * histogram percentiles bracket the exact sort-based nearest-rank value
+//!   (same log2 bucket) on random samples,
+//! * merge is associative and commutative,
+//! * concurrent records lose nothing,
+//! * the span ring buffer keeps the newest events on overflow, drains in
+//!   order, and survives concurrent recording.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tdb_obs::histogram::{bucket_index, bucket_lower_nanos, bucket_upper_nanos};
+use tdb_obs::{trace, Histogram};
+
+/// xorshift* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// A latency-shaped sample: random magnitude (2^0..2^39 ns), random
+    /// mantissa — exercises many buckets, like real mixed workloads.
+    fn next_latency_nanos(&mut self) -> u64 {
+        let magnitude = self.next_u64() % 40;
+        let base = 1u64 << magnitude;
+        base + self.next_u64() % base.max(1)
+    }
+}
+
+/// Exact nearest-rank percentile of raw samples (the definition the
+/// histogram approximates bucket-wise).
+fn exact_nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len();
+    let idx = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    sorted[idx - 1]
+}
+
+#[test]
+fn percentiles_bracket_exact_nearest_rank() {
+    for seed in 1..=20u64 {
+        let mut rng = Rng::new(seed * 7919);
+        let n = 1 + (rng.next_u64() % 500) as usize;
+        let mut samples = Vec::with_capacity(n);
+        let h = Histogram::new();
+        for _ in 0..n {
+            let nanos = rng.next_latency_nanos();
+            samples.push(nanos);
+            h.observe_nanos(nanos);
+        }
+        samples.sort_unstable();
+        let p = h.percentiles().expect("non-empty histogram");
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99, "seed {seed}: {p:?}");
+        for (pct, approx) in [(50.0, p.p50), (90.0, p.p90), (99.0, p.p99)] {
+            let exact = exact_nearest_rank(&samples, pct);
+            let bucket = bucket_index(exact);
+            let approx_nanos = approx * 1e9;
+            assert!(
+                approx_nanos >= bucket_lower_nanos(bucket) as f64
+                    && approx_nanos <= bucket_upper_nanos(bucket),
+                "seed {seed}: p{pct} = {approx_nanos}ns outside bucket {bucket} of exact {exact}ns"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    for seed in 1..=10u64 {
+        let mut rng = Rng::new(seed * 104_729);
+        let make = |rng: &mut Rng| {
+            let h = Histogram::new();
+            for _ in 0..(rng.next_u64() % 200) {
+                h.observe_nanos(rng.next_latency_nanos());
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (make(&mut rng), make(&mut rng), make(&mut rng));
+        assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)), "assoc");
+        assert_eq!(a.merged(&b), b.merged(&a), "commut");
+        assert_eq!(a.merged(&b).count(), a.count() + b.count());
+    }
+}
+
+#[test]
+fn concurrent_records_lose_nothing() {
+    let h = Histogram::new();
+    let threads = 4;
+    let per_thread = 10_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    h.observe_nanos(t * per_thread + i);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), threads * per_thread);
+    let expected_sum: u64 = (0..threads * per_thread).sum();
+    assert_eq!((snap.sum_secs() * 1e9).round() as u64, expected_sum);
+}
+
+/// The tracer is process-global; tests that reconfigure it serialize here
+/// and restore the defaults before releasing the lock.
+fn tracer_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn reset_tracer() {
+    trace::set_enabled(false);
+    trace::set_thread_capacity(trace::DEFAULT_THREAD_CAPACITY);
+    trace::drain();
+}
+
+#[test]
+fn ring_overflow_keeps_newest_in_order() {
+    let _guard = tracer_lock();
+    trace::set_enabled(true);
+    trace::set_thread_capacity(8);
+    trace::drain();
+    let already_dropped = trace::dropped();
+    for i in 0..20u32 {
+        trace::record_complete(format!("prop/ring-{i}"), f64::from(i), 1.0);
+    }
+    let events: Vec<_> = trace::drain()
+        .into_iter()
+        .filter(|e| e.name.starts_with("prop/ring-"))
+        .collect();
+    reset_tracer();
+    assert_eq!(events.len(), 8, "capacity bounds the ring");
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_ref()).collect();
+    let expected: Vec<String> = (12..20).map(|i| format!("prop/ring-{i}")).collect();
+    assert_eq!(names, expected, "newest events win, drained in order");
+    assert!(
+        trace::dropped() >= already_dropped + 12,
+        "overflow is counted"
+    );
+}
+
+#[test]
+fn concurrent_spans_drain_from_every_thread() {
+    let _guard = tracer_lock();
+    trace::set_enabled(true);
+    trace::drain();
+    let threads = 4usize;
+    let per_thread = 50usize;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let _span = trace::span_owned(format!("prop/conc-{t}-{i}"));
+                    std::hint::black_box(t * i);
+                }
+            });
+        }
+    });
+    let events: Vec<_> = trace::drain()
+        .into_iter()
+        .filter(|e| e.name.starts_with("prop/conc-"))
+        .collect();
+    reset_tracer();
+    assert_eq!(events.len(), threads * per_thread, "no event lost");
+    assert!(
+        events.windows(2).all(|w| w[0].start_us <= w[1].start_us),
+        "drain orders by start time"
+    );
+    // Each thread's events carry one distinct tracer tid.
+    for t in 0..threads {
+        let tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.name.starts_with(&format!("prop/conc-{t}-")))
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(tids.len(), 1, "thread {t} maps to one tid");
+    }
+    // A second drain finds nothing left.
+    assert!(trace::drain()
+        .iter()
+        .all(|e| !e.name.starts_with("prop/conc-")));
+}
+
+#[test]
+fn timer_guard_records_into_the_histogram() {
+    let h = Histogram::new();
+    {
+        let _t = h.start().expect("standalone histograms are enabled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(h.count(), 1);
+    let p = h.percentiles().unwrap();
+    assert!(p.p50 >= 0.5e-3, "recorded at least the sleep: {p:?}");
+}

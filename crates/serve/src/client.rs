@@ -158,7 +158,7 @@ impl ServeClient {
     /// `STATS` as key → value pairs.
     pub fn stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
         let line = self.round_trip("STATS")?;
-        parse_kv(&line, "STATS").ok_or(ClientError::Malformed(line))
+        parse_kv(&line, "STATS").map_err(|e| ClientError::Malformed(format!("{e}: {line:?}")))
     }
 
     /// One numeric `STATS` field (convenience over [`ServeClient::stats`]).
@@ -177,7 +177,32 @@ impl ServeClient {
     /// `SNAPSHOT` metadata as key → value pairs.
     pub fn snapshot(&mut self) -> Result<Vec<(String, String)>, ClientError> {
         let line = self.round_trip("SNAPSHOT")?;
-        parse_kv(&line, "SNAPSHOT").ok_or(ClientError::Malformed(line))
+        parse_kv(&line, "SNAPSHOT").map_err(|e| ClientError::Malformed(format!("{e}: {line:?}")))
+    }
+
+    /// `METRICS` — the server's full Prometheus-style text exposition (serve
+    /// request/epoch latency histograms plus the process-global solver and
+    /// dynamic-maintenance metrics).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let header = self.round_trip("METRICS")?;
+        let count: usize = header
+            .strip_prefix("OK METRICS ")
+            .and_then(|n| n.trim().parse().ok())
+            .ok_or_else(|| ClientError::Malformed(header.clone()))?;
+        let mut body = String::new();
+        let mut line = String::new();
+        for _ in 0..count {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-exposition",
+                )));
+            }
+            body.push_str(line.trim_end_matches(['\r', '\n']));
+            body.push('\n');
+        }
+        Ok(body)
     }
 
     /// `PING`.

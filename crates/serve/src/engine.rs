@@ -18,7 +18,6 @@
 //! 4. The writer captures [`DynamicCover::state`] and publishes it as the next
 //!    epoch. Readers pick it up on their next [`SnapshotCell::load`].
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -26,6 +25,7 @@ use std::time::{Duration, Instant};
 
 use tdb_dynamic::{DynamicCover, EdgeBatch, EdgeOp};
 use tdb_graph::VertexId;
+use tdb_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::snapshot::{CoverSnapshot, SnapshotCell};
 
@@ -59,28 +59,54 @@ impl Default for EngineConfig {
 }
 
 /// Live counters of a running engine, shared between the writer thread, the
-/// transport layer, and `STATS` queries. All plain atomics — approximate
-/// point-in-time reads are fine for monitoring.
-#[derive(Debug, Default)]
+/// transport layer, and `STATS` queries. The counters are registered in the
+/// engine's [`Registry`] (names prefixed `tdb_serve_`), so the same cells
+/// answer `STATS`, `METRICS`, and in-process reads — approximate
+/// point-in-time values are fine for monitoring.
+#[derive(Debug, Clone)]
 pub struct EngineStats {
     /// Operations accepted into the queue.
-    pub enqueued: AtomicU64,
+    pub enqueued: Counter,
     /// Operations consumed by the writer (before coalescing).
-    pub applied: AtomicU64,
+    pub applied: Counter,
     /// Operations cancelled by window coalescing.
-    pub coalesced: AtomicU64,
+    pub coalesced: Counter,
     /// Batches applied.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Graph-changing updates (inserts + removes) applied.
-    pub updates: AtomicU64,
+    pub updates: Counter,
     /// Breakers added by insert repairs.
-    pub breakers_added: AtomicU64,
+    pub breakers_added: Counter,
     /// Cover vertices shed by periodic minimization.
-    pub pruned: AtomicU64,
+    pub pruned: Counter,
     /// Periodic minimize passes run.
-    pub minimizes: AtomicU64,
+    pub minimizes: Counter,
     /// Current queue depth (approximate).
-    pub queue_depth: AtomicUsize,
+    pub queue_depth: Gauge,
+}
+
+impl EngineStats {
+    fn register(registry: &Registry) -> Self {
+        EngineStats {
+            enqueued: registry.counter("tdb_serve_ops_enqueued_total"),
+            applied: registry.counter("tdb_serve_ops_applied_total"),
+            coalesced: registry.counter("tdb_serve_ops_coalesced_total"),
+            batches: registry.counter("tdb_serve_batches_total"),
+            updates: registry.counter("tdb_serve_updates_total"),
+            breakers_added: registry.counter("tdb_serve_breakers_added_total"),
+            pruned: registry.counter("tdb_serve_pruned_total"),
+            minimizes: registry.counter("tdb_serve_minimizes_total"),
+            queue_depth: registry.gauge("tdb_serve_queue_depth"),
+        }
+    }
+}
+
+impl Default for EngineStats {
+    /// Stand-alone stats (registered in a private throwaway registry) — for
+    /// tests and in-process embedding without a server.
+    fn default() -> Self {
+        EngineStats::register(&Registry::new())
+    }
 }
 
 /// A clonable producer handle into the engine's update queue.
@@ -94,12 +120,12 @@ impl UpdateQueue {
     /// Enqueue one edge operation, blocking while the queue is full
     /// (backpressure). Returns `false` if the engine has shut down.
     pub fn send(&self, op: EdgeOp) -> bool {
-        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
-        if self.tx.send(Msg::Op(op)).is_ok() {
-            self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.stats.queue_depth.inc();
+        if self.tx.send(Msg::Op(op, Instant::now())).is_ok() {
+            self.stats.enqueued.inc();
             true
         } else {
-            self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            self.stats.queue_depth.dec();
             false
         }
     }
@@ -117,14 +143,14 @@ impl UpdateQueue {
     /// Non-blocking variant of [`UpdateQueue::send`]: returns `false` instead
     /// of blocking when the queue is full or the engine is gone.
     pub fn try_send(&self, op: EdgeOp) -> bool {
-        self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
-        match self.tx.try_send(Msg::Op(op)) {
+        self.stats.queue_depth.inc();
+        match self.tx.try_send(Msg::Op(op, Instant::now())) {
             Ok(()) => {
-                self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.stats.enqueued.inc();
                 true
             }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.stats.queue_depth.dec();
                 false
             }
         }
@@ -132,7 +158,9 @@ impl UpdateQueue {
 }
 
 enum Msg {
-    Op(EdgeOp),
+    /// An edge operation stamped with its enqueue time, so the writer can
+    /// report enqueue→publish epoch latency.
+    Op(EdgeOp, Instant),
     Shutdown,
 }
 
@@ -143,6 +171,7 @@ pub struct CoverEngine {
     queue: UpdateQueue,
     snapshots: Arc<SnapshotCell>,
     stats: Arc<EngineStats>,
+    registry: Registry,
     writer: Option<JoinHandle<DynamicCover>>,
     shutdown_tx: SyncSender<Msg>,
 }
@@ -153,7 +182,9 @@ impl CoverEngine {
     pub fn start(cover: DynamicCover, config: EngineConfig) -> Self {
         assert!(config.max_batch > 0, "max_batch must be positive");
         assert!(config.queue_capacity > 0, "queue_capacity must be positive");
-        let stats = Arc::new(EngineStats::default());
+        let registry = Registry::new();
+        let stats = Arc::new(EngineStats::register(&registry));
+        let epoch_latency = registry.histogram("tdb_serve_epoch_publish_seconds");
         let snapshots = Arc::new(SnapshotCell::new(CoverSnapshot::new(0, cover.state())));
         let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
         let queue = UpdateQueue {
@@ -165,13 +196,14 @@ impl CoverEngine {
             let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name("tdb-serve-writer".into())
-                .spawn(move || writer_loop(cover, config, rx, snapshots, stats))
+                .spawn(move || writer_loop(cover, config, rx, snapshots, stats, epoch_latency))
                 .expect("spawning the writer thread cannot fail")
         };
         CoverEngine {
             queue,
             snapshots,
             stats,
+            registry,
             writer: Some(writer),
             shutdown_tx: tx,
         }
@@ -190,6 +222,14 @@ impl CoverEngine {
     /// Live engine counters.
     pub fn stats(&self) -> Arc<EngineStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The engine's metric registry: the [`EngineStats`] counters plus the
+    /// enqueue→publish latency histogram (`tdb_serve_epoch_publish_seconds`).
+    /// The transport layer registers its per-verb request histograms here,
+    /// and the `METRICS` verb renders it.
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
     }
 
     /// Graceful shutdown: the writer finishes operations already in the queue
@@ -217,16 +257,21 @@ fn writer_loop(
     rx: Receiver<Msg>,
     snapshots: Arc<SnapshotCell>,
     stats: Arc<EngineStats>,
+    epoch_latency: Histogram,
 ) -> DynamicCover {
     let mut batch = EdgeBatch::new();
     let mut epoch = snapshots.epoch();
     let mut batches_since_minimize = 0usize;
     let mut shutting_down = false;
     'serve: loop {
-        // Block for the batch's first operation.
+        // Block for the batch's first operation. Channel order is FIFO, so
+        // the first op is also the oldest — its enqueue time bounds the
+        // enqueue→publish latency of everything in the batch.
+        let oldest_enqueued;
         match rx.recv() {
-            Ok(Msg::Op(op)) => {
-                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(Msg::Op(op, enqueued)) => {
+                stats.queue_depth.dec();
+                oldest_enqueued = enqueued;
                 batch.push(op);
             }
             Ok(Msg::Shutdown) | Err(_) => break 'serve,
@@ -243,8 +288,8 @@ fn writer_loop(
                 break;
             };
             match rx.recv_timeout(remaining) {
-                Ok(Msg::Op(op)) => {
-                    stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                Ok(Msg::Op(op, _enqueued)) => {
+                    stats.queue_depth.dec();
                     batch.push(op);
                 }
                 Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
@@ -255,6 +300,7 @@ fn writer_loop(
             }
         }
 
+        let batch_span = tdb_obs::trace::span("serve/batch");
         let consumed = batch.len() as u64;
         let cancelled = batch.coalesce() as u64;
         let window = cover.apply(&batch);
@@ -262,20 +308,20 @@ fn writer_loop(
         batches_since_minimize += 1;
         if config.minimize_every > 0 && batches_since_minimize >= config.minimize_every {
             let pruned = cover.minimize();
-            stats.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
-            stats.minimizes.fetch_add(1, Ordering::Relaxed);
+            stats.pruned.add(pruned as u64);
+            stats.minimizes.inc();
             batches_since_minimize = 0;
         }
 
         epoch += 1;
         snapshots.publish(CoverSnapshot::new(epoch, cover.state()));
-        stats.applied.fetch_add(consumed, Ordering::Relaxed);
-        stats.coalesced.fetch_add(cancelled, Ordering::Relaxed);
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        stats.updates.fetch_add(window.updates(), Ordering::Relaxed);
-        stats
-            .breakers_added
-            .fetch_add(window.breakers_added, Ordering::Relaxed);
+        drop(batch_span);
+        epoch_latency.record(oldest_enqueued.elapsed());
+        stats.applied.add(consumed);
+        stats.coalesced.add(cancelled);
+        stats.batches.inc();
+        stats.updates.add(window.updates());
+        stats.breakers_added.add(window.breakers_added);
         if shutting_down {
             break 'serve;
         }
@@ -284,8 +330,8 @@ fn writer_loop(
     // returned engine (a closing minimize also sheds leftover redundancy).
     if cover.is_dirty() {
         let pruned = cover.minimize();
-        stats.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
-        stats.minimizes.fetch_add(1, Ordering::Relaxed);
+        stats.pruned.add(pruned as u64);
+        stats.minimizes.inc();
         snapshots.publish(CoverSnapshot::new(epoch + 1, cover.state()));
     }
     cover
@@ -392,12 +438,16 @@ mod tests {
         assert!(queue.insert(5, 6));
         let stats = engine.stats();
         let deadline = Instant::now() + Duration::from_secs(10);
-        while stats.applied.load(Ordering::Relaxed) < 3 {
+        while stats.applied.get() < 3 {
             assert!(Instant::now() < deadline, "ops not applied");
             std::thread::sleep(Duration::from_millis(1));
         }
-        assert!(stats.coalesced.load(Ordering::Relaxed) >= 1);
-        assert_eq!(stats.enqueued.load(Ordering::Relaxed), 3);
+        assert!(stats.coalesced.get() >= 1);
+        assert_eq!(stats.enqueued.get(), 3);
+        // The engine registry carries the same counters plus batch latency.
+        let exposition = engine.registry().render_prometheus();
+        assert!(exposition.contains("tdb_serve_ops_enqueued_total 3"));
+        assert!(exposition.contains("# TYPE tdb_serve_epoch_publish_seconds histogram"));
         engine.shutdown();
     }
 

@@ -1,14 +1,16 @@
 //! The line-based text protocol spoken over TCP.
 //!
-//! One request per line, fields separated by single spaces, one response line
-//! per request. The grammar (also in the README's "Serving" section):
+//! One request per line, fields separated by single spaces. Every response
+//! is a single line, except `METRICS`, whose header announces how many
+//! exposition lines follow. The grammar (also in the README's "Serving"
+//! section):
 //!
 //! ```text
 //! request  := "COVER?" SP vertex
 //!           | "BREAKERS?" SP vertex SP vertex
 //!           | "INSERT" SP vertex SP vertex
 //!           | "DELETE" SP vertex SP vertex
-//!           | "STATS" | "SNAPSHOT" | "PING" | "SHUTDOWN"
+//!           | "STATS" | "SNAPSHOT" | "METRICS" | "PING" | "SHUTDOWN"
 //! vertex   := decimal u32
 //!
 //! response := "OK" SP payload | "ERR" SP message
@@ -17,9 +19,17 @@
 //!           | "QUEUED"                                 (INSERT / DELETE)
 //!           | "STATS" {SP key "=" value}               (STATS)
 //!           | "SNAPSHOT" {SP key "=" value}            (SNAPSHOT)
+//!           | "METRICS" SP count LF count * (line LF)  (METRICS)
 //!           | "PONG"                                   (PING)
 //!           | "BYE"                                    (SHUTDOWN)
 //! ```
+//!
+//! `key` and `value` are percent-escaped ([`kv_response`] / [`parse_kv`]):
+//! `%`, space, `=`, TAB, CR and LF appear as `%25` `%20` `%3d` `%09` `%0d`
+//! `%0a`, so free-form values cannot break the one-line framing or the
+//! `key=value` token shape. The `METRICS` body is Prometheus text exposition
+//! (`# TYPE` lines, `name value` samples, histogram `_bucket`/`_sum`/
+//! `_count` series) and is framed by the line count in its header instead.
 //!
 //! Reads (`COVER?`, `BREAKERS?`, `SNAPSHOT`) are answered from the handler's
 //! current snapshot and carry the epoch they were answered against. Updates
@@ -30,6 +40,7 @@
 use std::fmt::Write as _;
 
 use tdb_graph::VertexId;
+use tdb_obs::Registry;
 
 /// A parsed client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +58,8 @@ pub enum Request {
     Stats,
     /// `SNAPSHOT` — metadata of the current snapshot.
     Snapshot,
+    /// `METRICS` — full Prometheus-style metric exposition.
+    Metrics,
     /// `PING` — liveness probe.
     Ping,
     /// `SHUTDOWN` — gracefully stop the server.
@@ -93,6 +106,7 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
         "DELETE" => Request::Delete(vertex(tokens.next(), verb)?, vertex(tokens.next(), verb)?),
         "STATS" => Request::Stats,
         "SNAPSHOT" => Request::Snapshot,
+        "METRICS" => Request::Metrics,
         "PING" => Request::Ping,
         "SHUTDOWN" => Request::Shutdown,
         other => return Err(ParseError(format!("unknown verb {other:?}"))),
@@ -120,11 +134,54 @@ pub fn queued_response() -> String {
     "OK QUEUED".to_string()
 }
 
-/// Format a `key=value` payload response (`STATS` / `SNAPSHOT`).
+/// Percent-escape the characters that would break the one-line framing or
+/// the `key=value` token shape. Clean identifiers and numbers pass through
+/// unchanged, so the wire format for the built-in counters is stable.
+fn escape_kv(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '=' => out.push_str("%3d"),
+            '\t' => out.push_str("%09"),
+            '\r' => out.push_str("%0d"),
+            '\n' => out.push_str("%0a"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undo [`escape_kv`]; rejects malformed escapes with a typed error.
+fn unescape_kv(token: &str, kind: &str) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(token.len());
+    let mut chars = token.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hex: String = chars.by_ref().take(2).collect();
+        let code = u32::from_str_radix(&hex, 16)
+            .ok()
+            .filter(|_| hex.len() == 2)
+            .and_then(char::from_u32)
+            .ok_or_else(|| {
+                ParseError(format!("{kind}: bad percent-escape %{hex:?} in {token:?}"))
+            })?;
+        out.push(code);
+    }
+    Ok(out)
+}
+
+/// Format a `key=value` payload response (`STATS` / `SNAPSHOT`). Keys and
+/// values are percent-escaped, so free-form strings (spaces, `=`, newlines)
+/// survive the single-line, space-separated framing.
 pub fn kv_response(kind: &str, pairs: &[(&str, String)]) -> String {
     let mut out = format!("OK {kind}");
     for (k, v) in pairs {
-        let _ = write!(out, " {k}={v}");
+        let _ = write!(out, " {}={}", escape_kv(k), escape_kv(v));
     }
     out
 }
@@ -138,15 +195,38 @@ pub fn err_response(message: &str) -> String {
     format!("ERR {flat}")
 }
 
-/// Split a `kv_response` payload back into pairs (client side).
-pub fn parse_kv(line: &str, kind: &str) -> Option<Vec<(String, String)>> {
-    let rest = line.strip_prefix("OK ")?.strip_prefix(kind)?;
+/// Split a `kv_response` payload back into pairs (client side), undoing the
+/// percent-escaping. Fails with a typed error on a wrong response kind, a
+/// token without `=`, or a malformed escape.
+pub fn parse_kv(line: &str, kind: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let rest = line
+        .strip_prefix("OK ")
+        .and_then(|r| r.strip_prefix(kind))
+        .ok_or_else(|| ParseError(format!("not an OK {kind} response: {line:?}")))?;
     let mut pairs = Vec::new();
     for tok in rest.split_whitespace() {
-        let (k, v) = tok.split_once('=')?;
-        pairs.push((k.to_string(), v.to_string()));
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| ParseError(format!("{kind}: token {tok:?} is not key=value")))?;
+        pairs.push((unescape_kv(k, kind)?, unescape_kv(v, kind)?));
     }
-    Some(pairs)
+    Ok(pairs)
+}
+
+/// Format the `METRICS` response: a header announcing the line count, then
+/// the engine registry's and the global registry's Prometheus exposition.
+/// (The engine registry holds the serve-layer metrics; the global one holds
+/// the solver/cycle/dynamic instrumentation.)
+pub fn metrics_response(engine: &Registry, global: &Registry) -> String {
+    let mut body = engine.render_prometheus();
+    body.push_str(&global.render_prometheus());
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = format!("OK METRICS {}", lines.len());
+    for line in lines {
+        out.push('\n');
+        out.push_str(line);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -164,6 +244,7 @@ mod tests {
         assert_eq!(parse_request("DELETE 1 0"), Ok(Request::Delete(1, 0)));
         assert_eq!(parse_request("STATS"), Ok(Request::Stats));
         assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
         assert_eq!(parse_request("PING"), Ok(Request::Ping));
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
 
@@ -199,6 +280,56 @@ mod tests {
             pairs,
             vec![("a".into(), "1".into()), ("b".into(), "x".into())]
         );
-        assert!(parse_kv("OK PONG", "STATS").is_none());
+        assert!(parse_kv("OK PONG", "STATS").is_err());
+    }
+
+    #[test]
+    fn kv_values_with_metacharacters_survive_the_framing() {
+        // Regression: spaces, `=`, `%`, and newlines in free-form values must
+        // not break the one-line framing or the key=value token shape.
+        let hostile = "a b=c%d\ne\tf\rg".to_string();
+        let line = kv_response("STATS", &[("label", hostile.clone()), ("n", "7".into())]);
+        assert_eq!(line.lines().count(), 1, "framing stays one line: {line:?}");
+        let pairs = parse_kv(&line, "STATS").unwrap();
+        assert_eq!(
+            pairs,
+            vec![("label".to_string(), hostile), ("n".into(), "7".into())]
+        );
+        // Hostile keys too.
+        let line = kv_response("SNAPSHOT", &[("weird key=", "v".into())]);
+        let pairs = parse_kv(&line, "SNAPSHOT").unwrap();
+        assert_eq!(pairs, vec![("weird key=".to_string(), "v".to_string())]);
+    }
+
+    #[test]
+    fn malformed_kv_payloads_are_typed_errors() {
+        let no_eq = parse_kv("OK STATS justatoken", "STATS").unwrap_err();
+        assert!(no_eq.0.contains("not key=value"), "{no_eq}");
+        let bad_escape = parse_kv("OK STATS k=%zz", "STATS").unwrap_err();
+        assert!(bad_escape.0.contains("bad percent-escape"), "{bad_escape}");
+        let truncated = parse_kv("OK STATS k=%2", "STATS").unwrap_err();
+        assert!(truncated.0.contains("bad percent-escape"), "{truncated}");
+        let wrong_kind = parse_kv("OK SNAPSHOT a=1", "STATS").unwrap_err();
+        assert!(wrong_kind.0.contains("not an OK STATS"), "{wrong_kind}");
+    }
+
+    #[test]
+    fn metrics_response_frames_by_line_count() {
+        let engine = Registry::new();
+        engine.counter("tdb_serve_test_total").add(2);
+        let global = Registry::new();
+        global
+            .histogram("tdb_solve_test_seconds")
+            .observe_nanos(500);
+        let response = metrics_response(&engine, &global);
+        let mut lines = response.lines();
+        let header = lines.next().unwrap();
+        let count: usize = header.strip_prefix("OK METRICS ").unwrap().parse().unwrap();
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), count, "header count matches body:\n{response}");
+        assert!(body.contains(&"tdb_serve_test_total 2"));
+        assert!(body
+            .iter()
+            .any(|l| l.starts_with("tdb_solve_test_seconds_bucket")));
     }
 }

@@ -14,11 +14,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tdb_dynamic::DynamicCover;
+use tdb_obs::{Histogram, Registry};
 
 use crate::engine::{CoverEngine, EngineConfig, EngineStats, UpdateQueue};
 use crate::protocol::{
-    breakers_response, cover_response, err_response, kv_response, parse_request, queued_response,
-    Request,
+    breakers_response, cover_response, err_response, kv_response, metrics_response, parse_request,
+    queued_response, Request,
 };
 use crate::snapshot::{BreakerScratch, SnapshotCell};
 
@@ -76,6 +77,8 @@ impl CoverServer {
         let engine = CoverEngine::start(cover, config.engine);
         let snapshots = engine.snapshots();
         let engine_stats = engine.stats();
+        let registry = engine.registry();
+        let verbs = Arc::new(VerbHistograms::register(&registry));
         let server_stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(Mutex::new(Vec::new()));
@@ -91,6 +94,8 @@ impl CoverServer {
             let queue = engine.queue();
             let engine_stats = Arc::clone(&engine_stats);
             let server_stats = Arc::clone(&server_stats);
+            let registry = registry.clone();
+            let verbs = Arc::clone(&verbs);
             std::thread::Builder::new()
                 .name("tdb-serve-accept".into())
                 .spawn(move || {
@@ -104,6 +109,8 @@ impl CoverServer {
                                     shutdown: Arc::clone(&shutdown),
                                     engine_stats: Arc::clone(&engine_stats),
                                     server_stats: Arc::clone(&server_stats),
+                                    registry: registry.clone(),
+                                    verbs: Arc::clone(&verbs),
                                 };
                                 let handle = std::thread::Builder::new()
                                     .name("tdb-serve-conn".into())
@@ -207,6 +214,51 @@ impl Drop for CoverServer {
     }
 }
 
+/// Per-request latency histograms, one per protocol verb, registered in the
+/// engine's metric registry as `tdb_serve_request_seconds_<verb>`.
+struct VerbHistograms {
+    cover: Histogram,
+    breakers: Histogram,
+    insert: Histogram,
+    delete: Histogram,
+    stats: Histogram,
+    snapshot: Histogram,
+    metrics: Histogram,
+    ping: Histogram,
+    shutdown: Histogram,
+}
+
+impl VerbHistograms {
+    fn register(registry: &Registry) -> Self {
+        let h = |verb: &str| registry.histogram(&format!("tdb_serve_request_seconds_{verb}"));
+        VerbHistograms {
+            cover: h("cover"),
+            breakers: h("breakers"),
+            insert: h("insert"),
+            delete: h("delete"),
+            stats: h("stats"),
+            snapshot: h("snapshot"),
+            metrics: h("metrics"),
+            ping: h("ping"),
+            shutdown: h("shutdown"),
+        }
+    }
+
+    fn for_request(&self, request: &Request) -> &Histogram {
+        match request {
+            Request::Cover(_) => &self.cover,
+            Request::Breakers(..) => &self.breakers,
+            Request::Insert(..) => &self.insert,
+            Request::Delete(..) => &self.delete,
+            Request::Stats => &self.stats,
+            Request::Snapshot => &self.snapshot,
+            Request::Metrics => &self.metrics,
+            Request::Ping => &self.ping,
+            Request::Shutdown => &self.shutdown,
+        }
+    }
+}
+
 /// Per-connection state and request dispatch.
 struct Connection {
     snapshots: Arc<SnapshotCell>,
@@ -214,6 +266,8 @@ struct Connection {
     shutdown: Arc<AtomicBool>,
     engine_stats: Arc<EngineStats>,
     server_stats: Arc<ServerStats>,
+    registry: Registry,
+    verbs: Arc<VerbHistograms>,
 }
 
 impl Connection {
@@ -267,6 +321,7 @@ impl Connection {
                 return (err_response(&e.0), false);
             }
         };
+        let _timer = self.verbs.for_request(&request).start();
         let response = match request {
             Request::Cover(v) => {
                 let snap = self.snapshots.load();
@@ -299,18 +354,15 @@ impl Connection {
                     "STATS",
                     &[
                         ("epoch", self.snapshots.epoch().to_string()),
-                        ("enqueued", e.enqueued.load(Ordering::Relaxed).to_string()),
-                        ("applied", e.applied.load(Ordering::Relaxed).to_string()),
-                        ("coalesced", e.coalesced.load(Ordering::Relaxed).to_string()),
-                        ("batches", e.batches.load(Ordering::Relaxed).to_string()),
-                        ("updates", e.updates.load(Ordering::Relaxed).to_string()),
-                        (
-                            "breakers_added",
-                            e.breakers_added.load(Ordering::Relaxed).to_string(),
-                        ),
-                        ("pruned", e.pruned.load(Ordering::Relaxed).to_string()),
-                        ("minimizes", e.minimizes.load(Ordering::Relaxed).to_string()),
-                        ("queue", e.queue_depth.load(Ordering::Relaxed).to_string()),
+                        ("enqueued", e.enqueued.get().to_string()),
+                        ("applied", e.applied.get().to_string()),
+                        ("coalesced", e.coalesced.get().to_string()),
+                        ("batches", e.batches.get().to_string()),
+                        ("updates", e.updates.get().to_string()),
+                        ("breakers_added", e.breakers_added.get().to_string()),
+                        ("pruned", e.pruned.get().to_string()),
+                        ("minimizes", e.minimizes.get().to_string()),
+                        ("queue", e.queue_depth.get().to_string()),
                         (
                             "connections",
                             s.connections.load(Ordering::Relaxed).to_string(),
@@ -320,6 +372,10 @@ impl Connection {
                         ("errors", s.errors.load(Ordering::Relaxed).to_string()),
                     ],
                 )
+            }
+            Request::Metrics => {
+                self.server_stats.reads.fetch_add(1, Ordering::Relaxed);
+                metrics_response(&self.registry, tdb_obs::global())
             }
             Request::Snapshot => {
                 let snap = self.snapshots.load();

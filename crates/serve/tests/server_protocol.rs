@@ -192,3 +192,52 @@ fn shutdown_via_client_unblocks_join_and_later_connects_fail() {
         "connections must stop being accepted after shutdown"
     );
 }
+
+#[test]
+fn metrics_verb_serves_prometheus_exposition() {
+    let server = start_server(&[(0, 1), (1, 2), (2, 0)], 4);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    // Generate some traffic so the per-verb histograms have samples and the
+    // writer publishes at least one post-seed epoch.
+    client.cover(2).unwrap();
+    client.insert(2, 3).unwrap();
+    client.insert(3, 0).unwrap();
+    wait_for_epoch(&mut client, 1);
+    client.stats().unwrap();
+
+    let exposition = client.metrics().unwrap();
+    // Serve-layer metrics from the engine registry.
+    assert!(exposition.contains("# TYPE tdb_serve_epoch_publish_seconds histogram"));
+    assert!(
+        exposition.contains("tdb_serve_epoch_publish_seconds_count"),
+        "epoch latency histogram present:\n{exposition}"
+    );
+    assert!(exposition.contains("# TYPE tdb_serve_request_seconds_cover histogram"));
+    assert!(exposition.contains("tdb_serve_request_seconds_insert_count"));
+    assert!(exposition.contains("tdb_serve_ops_applied_total 2"));
+    // Process-global metrics: the seed solve and the dynamic repairs ran in
+    // this process, so the solver and dynamic instrumentation is populated.
+    assert!(exposition.contains("# TYPE tdb_solve_scan_seconds histogram"));
+    assert!(exposition.contains("tdb_dynamic_apply_seconds_count"));
+    assert!(exposition.contains("tdb_solves_total"));
+
+    // The epoch latency histogram actually recorded the applied batches.
+    let count_line = exposition
+        .lines()
+        .find(|l| l.starts_with("tdb_serve_epoch_publish_seconds_count"))
+        .unwrap();
+    let batches: u64 = count_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(batches >= 1, "at least one batch published: {count_line}");
+
+    // The connection keeps working after the multi-line response.
+    client.ping().unwrap();
+    let hit = client.cover(2).unwrap();
+    assert!(hit.contained);
+    server.shutdown();
+}

@@ -23,6 +23,11 @@
 //!   epoch-stamped snapshots, served to concurrent readers over a line-based
 //!   TCP protocol ([`CoverServer`](tdb_serve::CoverServer) /
 //!   [`ServeClient`](tdb_serve::ServeClient)).
+//! * [`obs`] (`tdb-obs`) — zero-dependency observability: a process-global
+//!   metrics registry (atomic counters, gauges, log2-bucket latency
+//!   histograms with a Prometheus text exposition) and a span tracer that
+//!   exports Chrome trace-event JSON, wired through the solver phases, the
+//!   dynamic engine, and the serve protocol's `METRICS` verb.
 //! * [`datasets`] (`tdb-datasets`) — the paper's Table II catalog and synthetic
 //!   proxy synthesis.
 //!
@@ -105,6 +110,7 @@ pub use tdb_cycle as cycle;
 pub use tdb_datasets as datasets;
 pub use tdb_dynamic as dynamic;
 pub use tdb_graph as graph;
+pub use tdb_obs as obs;
 pub use tdb_serve as serve;
 
 /// The most commonly used items across the workspace, re-exported together.
