@@ -511,7 +511,11 @@ fn run(options: &Options) -> ExitCode {
             );
             let serve_report = run_serve(&options.serve);
             print_block("Bench 3/4: serve load", &format_serve_report(&serve_report));
-            let overhead_samples = if options.smoke { 1 } else { 3 };
+            // Best-of-N: the solve under test is ~1 ms, so a small N reports
+            // scheduler noise as instrumentation overhead. 15 samples per flag
+            // state keeps the whole measurement under a second while making
+            // the best-of stable to well under the 2% budget.
+            let overhead_samples = if options.smoke { 1 } else { 15 };
             let overhead = measure_solve_overhead(&g, &constraint, overhead_samples);
             print_block(
                 "Bench 4/4: tdb-obs instrumentation overhead (TDB++, registry off vs on)",

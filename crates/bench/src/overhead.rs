@@ -67,24 +67,31 @@ pub fn measure_solve_overhead(
 ) -> OverheadReport {
     let registry = tdb_obs::global();
     let was_enabled = registry.is_enabled();
-    let best_of = |enabled: bool| -> f64 {
-        registry.set_enabled(enabled);
-        let solve = || {
-            Solver::new(Algorithm::TdbPlusPlus)
-                .solve(graph, constraint)
-                .expect("unbudgeted solve cannot fail")
-        };
-        std::hint::black_box(solve());
-        let mut best = f64::INFINITY;
-        for _ in 0..samples.max(1) {
-            let t = Instant::now();
-            std::hint::black_box(solve());
-            best = best.min(t.elapsed().as_secs_f64());
-        }
-        best
+    let solve = || {
+        Solver::new(Algorithm::TdbPlusPlus)
+            .solve(graph, constraint)
+            .expect("unbudgeted solve cannot fail")
     };
-    let baseline_secs = best_of(false);
-    let instrumented_secs = best_of(true);
+    let timed = |enabled: bool| -> f64 {
+        registry.set_enabled(enabled);
+        let t = Instant::now();
+        std::hint::black_box(solve());
+        t.elapsed().as_secs_f64()
+    };
+    // Warm both flag states, then interleave the samples: pairing each
+    // baseline measurement with an adjacent instrumented one cancels the slow
+    // drift (frequency scaling, cache state) that two sequential best-of
+    // blocks would otherwise report as instrumentation overhead.
+    registry.set_enabled(false);
+    std::hint::black_box(solve());
+    registry.set_enabled(true);
+    std::hint::black_box(solve());
+    let mut baseline_secs = f64::INFINITY;
+    let mut instrumented_secs = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        baseline_secs = baseline_secs.min(timed(false));
+        instrumented_secs = instrumented_secs.min(timed(true));
+    }
     registry.set_enabled(was_enabled);
     OverheadReport {
         baseline_secs,

@@ -14,13 +14,12 @@
 //! `BUR+` is `BUR` followed by the minimal-pruning pass of Algorithm 7
 //! ([`crate::minimal`]).
 
-use tdb_cycle::find_cycle::find_cycle_through;
 use tdb_cycle::HopConstraint;
-use tdb_graph::{ActiveSet, Graph, VertexId};
+use tdb_graph::{Graph, VertexId};
 
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
 use crate::minimal::{minimal_prune_with, SearchEngine};
-use crate::solver::{CoverAlgorithm, SolveContext, SolveError};
+use crate::solver::{CoverAlgorithm, SolveContext, SolveError, SolveScratch};
 use crate::stats::Timer;
 
 /// Configuration of the bottom-up algorithm.
@@ -102,42 +101,11 @@ pub fn bottom_up_cover_with<G: Graph>(
     );
     metrics.working_edges = g.num_edges();
 
-    // H[v]: how many discovered cycles vertex v appeared on so far (Algorithm 4
-    // line 2). The counter persists across start vertices, which is what makes
-    // the heuristic favour globally popular vertices.
-    let mut hit_count = vec![0u32; n];
-    let mut active = ActiveSet::all_active(n);
-    let mut cover_vertices: Vec<VertexId> = Vec::new();
+    let mut scratch = ctx.take_scratch();
+    let grown = bottom_up_grow(g, constraint, ctx, &mut metrics, &mut scratch);
+    ctx.restore_scratch(scratch);
 
-    for start in 0..n as VertexId {
-        ctx.report_progress(start as u64, n as u64, cover_vertices.len() as u64);
-        loop {
-            ctx.checkpoint()?;
-            metrics.cycle_queries += 1;
-            let Some(cycle) = find_cycle_through(g, &active, start, constraint) else {
-                break;
-            };
-            // Update hit counts for every vertex on the cycle (lines 6–7).
-            for &v in &cycle {
-                hit_count[v as usize] += 1;
-            }
-            // FindCoverNode (Algorithm 6): the cycle vertex with the highest
-            // hit count; ties resolved towards the earliest position on the
-            // cycle, matching the pseudocode's strict `>` comparison.
-            let mut cover_vertex = cycle[0];
-            let mut best_hits = hit_count[cover_vertex as usize];
-            for &v in &cycle[1..] {
-                if hit_count[v as usize] > best_hits {
-                    best_hits = hit_count[v as usize];
-                    cover_vertex = v;
-                }
-            }
-            cover_vertices.push(cover_vertex);
-            active.deactivate(cover_vertex);
-        }
-    }
-
-    let mut cover = CycleCover::from_vertices(cover_vertices);
+    let mut cover = CycleCover::from_vertices(grown?);
 
     if config.minimal {
         let removed = minimal_prune_with(
@@ -155,6 +123,57 @@ pub fn bottom_up_cover_with<G: Graph>(
     ctx.report_progress(n as u64, n as u64, cover.len() as u64);
     ctx.accumulate(&metrics);
     Ok(CoverRun { cover, metrics })
+}
+
+/// The growth phase of Algorithm 4, factored out so the entry point can hand
+/// the borrowed scratch back to the context on every exit path.
+fn bottom_up_grow<G: Graph>(
+    g: &G,
+    constraint: &HopConstraint,
+    ctx: &mut SolveContext,
+    metrics: &mut RunMetrics,
+    scratch: &mut SolveScratch,
+) -> Result<Vec<VertexId>, SolveError> {
+    let n = g.num_vertices();
+    // H[v]: how many discovered cycles vertex v appeared on so far (Algorithm 4
+    // line 2). The counter persists across start vertices, which is what makes
+    // the heuristic favour globally popular vertices.
+    scratch.reset_hit_count(n);
+    scratch.reset_active(n, true);
+    let mut cover_vertices: Vec<VertexId> = Vec::new();
+
+    for start in 0..n as VertexId {
+        ctx.report_progress(start as u64, n as u64, cover_vertices.len() as u64);
+        loop {
+            ctx.checkpoint()?;
+            metrics.cycle_queries += 1;
+            let Some(cycle) =
+                scratch
+                    .naive
+                    .find_cycle_through(g, &scratch.active, start, constraint)
+            else {
+                break;
+            };
+            // Update hit counts for every vertex on the cycle (lines 6–7).
+            for &v in &cycle {
+                scratch.hit_count[v as usize] += 1;
+            }
+            // FindCoverNode (Algorithm 6): the cycle vertex with the highest
+            // hit count; ties resolved towards the earliest position on the
+            // cycle, matching the pseudocode's strict `>` comparison.
+            let mut cover_vertex = cycle[0];
+            let mut best_hits = scratch.hit_count[cover_vertex as usize];
+            for &v in &cycle[1..] {
+                if scratch.hit_count[v as usize] > best_hits {
+                    best_hits = scratch.hit_count[v as usize];
+                    cover_vertex = v;
+                }
+            }
+            cover_vertices.push(cover_vertex);
+            scratch.active.deactivate(cover_vertex);
+        }
+    }
+    Ok(cover_vertices)
 }
 
 impl CoverAlgorithm for BottomUpConfig {

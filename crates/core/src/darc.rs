@@ -23,12 +23,12 @@
 //! graph has `Σ_v in(v)·out(v)` edges, which is what makes DARC-DV blow up on
 //! hub-heavy graphs — the effect Table III and Figure 6 of the paper quantify.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
-use tdb_cycle::enumerate::find_cycle_through_edge;
+use tdb_cycle::enumerate::EdgeDfsSearcher;
 use tdb_cycle::HopConstraint;
 use tdb_graph::line_graph::LineGraph;
-use tdb_graph::{ActiveSet, CsrGraph, Edge, Graph};
+use tdb_graph::{ActiveSet, CsrGraph, Edge, FixedBitSet, Graph};
 
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
 use crate::solver::{CoverAlgorithm, SolveContext, SolveError};
@@ -89,8 +89,50 @@ pub fn darc_edge_transversal<G: Graph>(g: &G, constraint: &HopConstraint) -> Edg
         .expect("unbudgeted DARC transversal cannot fail")
 }
 
+/// Dense edge numbering for a [`Graph`]: edge `(u, v)` maps to
+/// `offset[u] + rank of v in out_neighbors(u)`, i.e. edges are numbered in
+/// lexicographic adjacency order. Lookup is a binary search in `u`'s sorted
+/// neighbor slice — O(log deg(u)) and allocation-free, which is what lets the
+/// DARC working sets be bitsets over edge ids instead of `HashSet<Edge>`.
+struct EdgeIndex {
+    offsets: Vec<usize>,
+}
+
+impl EdgeIndex {
+    fn build<G: Graph>(g: &G) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for u in g.vertices() {
+            acc += g.out_degree(u);
+            offsets.push(acc);
+        }
+        EdgeIndex { offsets }
+    }
+
+    /// Total number of edges indexed.
+    fn len(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// Dense id of an edge that is present in `g`.
+    #[inline]
+    fn id<G: Graph>(&self, g: &G, e: Edge) -> usize {
+        let rank = g
+            .out_neighbors(e.source)
+            .binary_search(&e.target)
+            .expect("EdgeIndex::id called with an edge absent from the graph");
+        self.offsets[e.source as usize] + rank
+    }
+}
+
 /// Budget-aware DARC edge transversal: the context's deadline is checked once
 /// per augmented edge and once per prune-queue pop.
+///
+/// The working sets `S` and `W` are bitsets over a dense edge numbering
+/// ([`EdgeIndex`]); together with the reusable [`EdgeDfsSearcher`] this makes
+/// the whole augment/prune loop allocation-free in steady state.
 pub fn darc_edge_transversal_with<G: Graph>(
     g: &G,
     constraint: &HopConstraint,
@@ -98,15 +140,17 @@ pub fn darc_edge_transversal_with<G: Graph>(
 ) -> Result<EdgeTransversal, SolveError> {
     ctx.ensure_armed();
     let active = ActiveSet::all_active(g.num_vertices());
-    let mut s: HashSet<Edge> = HashSet::new();
-    let mut w: HashSet<Edge> = HashSet::new();
+    let idx = EdgeIndex::build(g);
+    let mut s = FixedBitSet::new(idx.len());
+    let mut w = FixedBitSet::new(idx.len());
     let mut p: VecDeque<Edge> = VecDeque::new();
+    let mut searcher = EdgeDfsSearcher::new(g.num_vertices());
     let mut cycle_queries = 0u64;
 
     // Algorithm 1: AUGMENT every edge not already covered.
     for e in g.edges() {
         ctx.checkpoint()?;
-        if s.contains(&e) {
+        if s.contains(idx.id(g, e)) {
             continue;
         }
         augment(
@@ -114,9 +158,11 @@ pub fn darc_edge_transversal_with<G: Graph>(
             &active,
             constraint,
             e,
+            &idx,
             &mut s,
             &mut w,
             &mut p,
+            &mut searcher,
             &mut cycle_queries,
         );
     }
@@ -124,21 +170,33 @@ pub fn darc_edge_transversal_with<G: Graph>(
     // Algorithm 3: PRUNE.
     while let Some(e) = p.pop_front() {
         ctx.checkpoint()?;
-        if !s.contains(&e) {
+        let e_id = idx.id(g, e);
+        if !s.contains(e_id) {
             continue;
         }
         cycle_queries += 1;
-        let still_needed =
-            find_cycle_through_edge(g, &active, e, constraint, |x| x == e || !s.contains(&x))
-                .is_some();
+        let still_needed = searcher
+            .find_cycle_through_edge(g, &active, e, constraint, |x| {
+                x == e || !s.contains(idx.id(g, x))
+            })
+            .is_some();
         if !still_needed {
-            s.remove(&e);
-            w.insert(e);
+            s.remove(e_id);
+            w.insert(e_id);
         }
     }
 
-    let mut edges: Vec<Edge> = s.into_iter().collect();
-    edges.sort_unstable();
+    // Walk the adjacency in order: ascending edge ids are exactly the sorted
+    // lexicographic edge order, so no post-sort is needed.
+    let mut edges: Vec<Edge> = Vec::with_capacity(s.count_ones());
+    for u in g.vertices() {
+        let base = idx.offsets[u as usize];
+        for (rank, &v) in g.out_neighbors(u).iter().enumerate() {
+            if s.contains(base + rank) {
+                edges.push(Edge::new(u, v));
+            }
+        }
+    }
     Ok(EdgeTransversal {
         edges,
         cycle_queries,
@@ -152,35 +210,39 @@ fn augment<G: Graph>(
     active: &ActiveSet,
     constraint: &HopConstraint,
     e: Edge,
-    s: &mut HashSet<Edge>,
-    w: &mut HashSet<Edge>,
+    idx: &EdgeIndex,
+    s: &mut FixedBitSet,
+    w: &mut FixedBitSet,
     p: &mut VecDeque<Edge>,
+    searcher: &mut EdgeDfsSearcher,
     cycle_queries: &mut u64,
 ) {
-    if s.contains(&e) {
+    let e_id = idx.id(g, e);
+    if s.contains(e_id) {
         return;
     }
-    if w.remove(&e) {
-        s.insert(e);
+    if w.remove(e_id) {
+        s.insert(e_id);
         p.push_back(e);
         return;
     }
     loop {
         *cycle_queries += 1;
-        let Some(cycle_edges) =
-            find_cycle_through_edge(g, active, e, constraint, |x| !s.contains(&x))
+        let Some(cycle_edges) = searcher
+            .find_cycle_through_edge(g, active, e, constraint, |x| !s.contains(idx.id(g, x)))
         else {
             break;
         };
-        if let Some(&w_edge) = cycle_edges.iter().find(|x| w.contains(x)) {
+        if let Some(&w_edge) = cycle_edges.iter().find(|&&x| w.contains(idx.id(g, x))) {
             // Recycle an edge that used to be in the transversal (lines 12–13).
-            w.remove(&w_edge);
-            s.insert(w_edge);
+            let w_id = idx.id(g, w_edge);
+            w.remove(w_id);
+            s.insert(w_id);
             p.push_back(w_edge);
         } else {
             // Cover the whole cycle (lines 10–11).
             for ce in cycle_edges {
-                if s.insert(ce) {
+                if s.insert(idx.id(g, ce)) {
                     p.push_back(ce);
                 }
             }
@@ -233,7 +295,7 @@ pub fn darc_dv_cover_with(
 /// the paper; included to separate how much of DARC-DV's cost is the line graph
 /// versus the augment/prune paradigm itself.
 pub fn darc_vertex_direct<G: Graph>(g: &G, constraint: &HopConstraint) -> CoverRun {
-    use tdb_cycle::find_cycle::find_cycle_through;
+    use tdb_cycle::NaiveSearcher;
 
     let timer = Timer::start();
     let mut metrics = RunMetrics::new("DARC-V", constraint.max_hops, constraint.include_two_cycles);
@@ -241,6 +303,7 @@ pub fn darc_vertex_direct<G: Graph>(g: &G, constraint: &HopConstraint) -> CoverR
 
     let n = g.num_vertices();
     let mut active = ActiveSet::all_active(n);
+    let mut searcher = NaiveSearcher::new(n);
     let mut prune_queue: VecDeque<tdb_graph::VertexId> = VecDeque::new();
 
     // Augment: scan vertices; whenever an uncovered cycle through the vertex
@@ -251,7 +314,7 @@ pub fn darc_vertex_direct<G: Graph>(g: &G, constraint: &HopConstraint) -> CoverR
         }
         loop {
             metrics.cycle_queries += 1;
-            let Some(cycle) = find_cycle_through(g, &active, v, constraint) else {
+            let Some(cycle) = searcher.find_cycle_through(g, &active, v, constraint) else {
                 break;
             };
             for &c in &cycle {
@@ -266,7 +329,10 @@ pub fn darc_vertex_direct<G: Graph>(g: &G, constraint: &HopConstraint) -> CoverR
     while let Some(v) = prune_queue.pop_front() {
         active.activate(v);
         metrics.cycle_queries += 1;
-        if find_cycle_through(g, &active, v, constraint).is_some() {
+        if searcher
+            .find_cycle_through(g, &active, v, constraint)
+            .is_some()
+        {
             active.deactivate(v);
         }
     }
@@ -283,6 +349,8 @@ pub fn darc_vertex_direct<G: Graph>(g: &G, constraint: &HopConstraint) -> CoverR
 mod tests {
     use super::*;
     use crate::verify::{is_valid_cover, verify_cover};
+    use std::collections::HashSet;
+    use tdb_cycle::enumerate::find_cycle_through_edge;
     use tdb_graph::builder::graph_from_edges;
     use tdb_graph::gen::{complete_digraph, directed_cycle, erdos_renyi_gnm, layered_dag};
 

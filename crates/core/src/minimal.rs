@@ -10,12 +10,11 @@
 //!
 //! The same routine doubles as the redundancy detector of the verifier.
 
-use tdb_cycle::find_cycle::find_cycle_through;
 use tdb_cycle::{BlockSearcher, HopConstraint};
 use tdb_graph::{GraphView, VertexId};
 
 use crate::cover::{CycleCover, RunMetrics};
-use crate::solver::{SolveContext, SolveError};
+use crate::solver::{SolveContext, SolveError, SolveScratch};
 
 /// Which cycle-existence engine a pass should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,31 +77,65 @@ pub fn minimal_prune_candidates_with<V: GraphView>(
     metrics: &mut RunMetrics,
     ctx: &mut SolveContext,
 ) -> Result<usize, SolveError> {
+    let mut scratch = ctx.take_scratch();
+    let result = prune_candidates(
+        g,
+        cover,
+        candidates,
+        constraint,
+        engine,
+        metrics,
+        ctx,
+        &mut scratch,
+    );
+    ctx.restore_scratch(scratch);
+    result
+}
+
+/// The pruning loop itself, factored out so the entry point can hand the
+/// borrowed scratch back to the context on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn prune_candidates<V: GraphView>(
+    g: &V,
+    cover: &mut CycleCover,
+    candidates: &[VertexId],
+    constraint: &HopConstraint,
+    engine: SearchEngine,
+    metrics: &mut RunMetrics,
+    ctx: &mut SolveContext,
+    scratch: &mut SolveScratch,
+) -> Result<usize, SolveError> {
     ctx.ensure_armed();
     let _span = tdb_obs::trace::span("solve/minimize");
     let _timer = tdb_obs::histogram!("tdb_solve_minimize_seconds").start();
     let n = g.vertex_count();
     // G − R + {v}: all non-cover vertices are active; cover vertices inactive.
-    let mut active = cover.reduced_active_set(n);
-    let mut block = match engine {
-        SearchEngine::Block => Some(BlockSearcher::new(n)),
-        SearchEngine::Naive => None,
-    };
+    scratch.reset_active(n, true);
+    for v in cover.iter() {
+        scratch.active.deactivate(v);
+    }
 
     let mut removed = 0usize;
     for &v in candidates {
         debug_assert!(cover.contains(v), "candidate {v} is not a cover vertex");
         ctx.checkpoint()?;
         // Temporarily restore v into the graph.
-        active.activate(v);
+        scratch.active.activate(v);
         metrics.cycle_queries += 1;
-        let has_cycle = match &mut block {
-            Some(searcher) => searcher.is_on_constrained_cycle(g, &active, v, constraint),
-            None => find_cycle_through(g, &active, v, constraint).is_some(),
+        let has_cycle = match engine {
+            SearchEngine::Block => {
+                scratch
+                    .block
+                    .is_on_constrained_cycle(g, &scratch.active, v, constraint)
+            }
+            SearchEngine::Naive => scratch
+                .naive
+                .find_cycle_through(g, &scratch.active, v, constraint)
+                .is_some(),
         };
         if has_cycle {
             // v is still needed: put it back into the reduced-graph hole.
-            active.deactivate(v);
+            scratch.active.deactivate(v);
         } else {
             // v is redundant: drop it from the cover and leave it active so the
             // remaining checks see the enlarged graph (Theorem 4's invariant).

@@ -27,7 +27,7 @@ use tdb_cycle::{BlockSearcher, HopConstraint};
 use tdb_graph::{ActiveSet, Graph, VertexId};
 
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
-use crate::solver::{CoverAlgorithm, SolveContext, SolveError};
+use crate::solver::{CoverAlgorithm, SolveContext, SolveError, SolveScratch};
 use crate::stats::Timer;
 use crate::top_down::{top_down_cover, ScanOrder, TopDownConfig};
 
@@ -75,25 +75,30 @@ pub fn parallel_cycle_candidates<G: Graph + Sync>(
     constraint: &HopConstraint,
     num_threads: usize,
 ) -> Vec<bool> {
-    bounded_cycle_candidates(g, constraint, num_threads, None)
-        .expect("deadline-free candidate sweep cannot expire")
+    let mut candidates = Vec::new();
+    bounded_cycle_candidates(g, constraint, num_threads, None, &mut candidates)
+        .expect("deadline-free candidate sweep cannot expire");
+    candidates
 }
 
 /// The sharded candidate sweep behind [`parallel_cycle_candidates`], with an
-/// optional deadline. Worker threads poll the deadline every 64 vertices and
-/// abandon their shard once it passes, in which case `Err(())` is returned and
-/// the partial mask is discarded.
+/// optional deadline and a caller-provided (reusable) mask buffer. Worker
+/// threads poll the deadline every 64 vertices and abandon their shard once it
+/// passes, in which case `Err(())` is returned and the partial mask content is
+/// meaningless.
 fn bounded_cycle_candidates<G: Graph + Sync>(
     g: &G,
     constraint: &HopConstraint,
     num_threads: usize,
     deadline: Option<Instant>,
-) -> Result<Vec<bool>, ()> {
+    candidates: &mut Vec<bool>,
+) -> Result<(), ()> {
     let n = g.num_vertices();
     let threads = num_threads.max(1).min(n.max(1));
-    let mut candidates = vec![false; n];
+    candidates.clear();
+    candidates.resize(n, false);
     if n == 0 {
-        return Ok(candidates);
+        return Ok(());
     }
     let active = ActiveSet::all_active(n);
     let queries = AtomicU64::new(0);
@@ -144,7 +149,7 @@ fn bounded_cycle_candidates<G: Graph + Sync>(
     if expired.load(Ordering::Relaxed) {
         Err(())
     } else {
-        Ok(candidates)
+        Ok(())
     }
 }
 
@@ -174,14 +179,31 @@ pub fn parallel_top_down_cover_with<G: Graph + Sync>(
     config: &ParallelConfig,
     ctx: &mut SolveContext,
 ) -> Result<CoverRun, SolveError> {
+    let mut scratch = ctx.take_scratch();
+    let result = parallel_top_down_scan(g, constraint, config, ctx, &mut scratch);
+    ctx.restore_scratch(scratch);
+    result
+}
+
+/// Both phases of the parallel solve, factored out so the entry point can hand
+/// the borrowed scratch back to the context on every exit path. The sharded
+/// pre-filter keeps per-thread engines (they cannot share one scratch); the
+/// sequential phase reuses the context's.
+fn parallel_top_down_scan<G: Graph + Sync>(
+    g: &G,
+    constraint: &HopConstraint,
+    config: &ParallelConfig,
+    ctx: &mut SolveContext,
+    scratch: &mut SolveScratch,
+) -> Result<CoverRun, SolveError> {
     ctx.ensure_armed();
     let timer = Timer::start();
     let threads = config.resolved_threads();
     let n = g.num_vertices();
 
-    let candidates = bounded_cycle_candidates(g, constraint, threads, ctx.deadline())
+    bounded_cycle_candidates(g, constraint, threads, ctx.deadline(), &mut scratch.mask)
         .map_err(|()| ctx.budget_error())?;
-    let precleared = candidates.iter().filter(|&&c| !c).count();
+    let precleared = scratch.mask.iter().filter(|&&c| !c).count();
 
     // Sequential scan over the candidates only. Vertices cleared by the
     // pre-filter start out released (active) exactly as if the scan had tested
@@ -194,38 +216,41 @@ pub fn parallel_top_down_cover_with<G: Graph + Sync>(
     metrics.working_edges = g.num_edges();
     metrics.scc_released = precleared as u64;
 
-    let mut active = ActiveSet::all_inactive(n);
+    scratch.reset_active(n, false);
     for v in 0..n as VertexId {
-        if !candidates[v as usize] {
-            active.activate(v);
+        if !scratch.mask[v as usize] {
+            scratch.active.activate(v);
         }
     }
 
-    let mut searcher = BlockSearcher::new(n);
-    let mut filter = BfsFilter::new(n);
     let mut cover_vertices: Vec<VertexId> = Vec::new();
 
-    let order = crate::top_down::scan_permutation(g, config.scan_order);
+    crate::top_down::scan_permutation_into(g, config.scan_order, &mut scratch.order);
 
-    let total = order.len() as u64;
-    for (scanned, v) in order.into_iter().enumerate() {
+    let total = scratch.order.len() as u64;
+    for scanned in 0..scratch.order.len() {
+        let v = scratch.order[scanned];
         ctx.checkpoint()?;
         ctx.report_progress(scanned as u64, total, cover_vertices.len() as u64);
-        if !candidates[v as usize] {
+        if !scratch.mask[v as usize] {
             continue;
         }
-        active.activate(v);
-        if filter
-            .shortest_closed_walk(g, &active, v, constraint.max_hops)
+        scratch.active.activate(v);
+        if scratch
+            .filter
+            .shortest_closed_walk(g, &scratch.active, v, constraint.max_hops)
             .is_none()
         {
             metrics.filter_released += 1;
             continue;
         }
         metrics.cycle_queries += 1;
-        if searcher.is_on_constrained_cycle(g, &active, v, constraint) {
+        if scratch
+            .block
+            .is_on_constrained_cycle(g, &scratch.active, v, constraint)
+        {
             cover_vertices.push(v);
-            active.deactivate(v);
+            scratch.active.deactivate(v);
         }
     }
 

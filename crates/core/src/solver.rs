@@ -34,8 +34,8 @@
 
 use std::time::{Duration, Instant};
 
-use tdb_cycle::HopConstraint;
-use tdb_graph::CsrGraph;
+use tdb_cycle::{BfsFilter, BlockSearcher, HopConstraint, NaiveSearcher};
+use tdb_graph::{ActiveSet, CsrGraph, FixedBitSet};
 
 use crate::bottom_up::BottomUpConfig;
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
@@ -75,6 +75,99 @@ impl std::fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Reusable scratch state shared by every solve run through one
+/// [`SolveContext`].
+///
+/// A single static solve allocates a handful of `O(n)` structures — the active
+/// set, the search engines' stamp vectors and bitsets, the scan permutation.
+/// Amortized over one solve that is negligible, but the dynamic repair loop,
+/// the serving layer, and the benches issue *many* solves against same-sized
+/// graphs, where re-allocating this state per solve dominates the small-query
+/// regime. `SolveScratch` owns all of it once; the algorithm entry points
+/// borrow it from the context ([`SolveContext::take_scratch`]), reset the
+/// epoch-stamped structures in `O(1)`, and hand it back
+/// ([`SolveContext::restore_scratch`]) so the next solve starts warm.
+///
+/// Every engine auto-resizes at query time, so a scratch warmed on a small
+/// graph is always safe to reuse on a larger one.
+#[derive(Debug)]
+pub struct SolveScratch {
+    /// Block/barrier DFS engine (Algorithms 9–10), used by `TDB+`/`TDB++` and
+    /// the block-engine minimize pass.
+    pub block: BlockSearcher,
+    /// Naive bounded DFS engine (Algorithm 5), used by plain `TDB`, the
+    /// bottom-up family, and the paper's `BUR+` minimize pass.
+    pub naive: NaiveSearcher,
+    /// BFS upper-bound filter (Algorithm 11).
+    pub filter: BfsFilter,
+    /// The working active set (`G0` of the top-down scan, the reduced graph of
+    /// the minimize pass). Reset via [`SolveScratch::reset_active`].
+    pub active: ActiveSet,
+    /// Pre-released-vertex marks of the SCC pre-filter.
+    pub prereleased: FixedBitSet,
+    /// Bottom-up hit counters (`H` of Algorithm 4).
+    pub hit_count: Vec<u32>,
+    /// Scan-permutation buffer.
+    pub order: Vec<tdb_graph::VertexId>,
+    /// General-purpose per-vertex boolean mask (two-cycle residual removal,
+    /// parallel candidate sweep).
+    pub mask: Vec<bool>,
+}
+
+impl Default for SolveScratch {
+    fn default() -> Self {
+        SolveScratch {
+            block: BlockSearcher::new(0),
+            naive: NaiveSearcher::new(0),
+            filter: BfsFilter::new(0),
+            active: ActiveSet::all_inactive(0),
+            prereleased: FixedBitSet::new(0),
+            hit_count: Vec::new(),
+            order: Vec::new(),
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl SolveScratch {
+    /// Reset [`SolveScratch::active`] to exactly `n` vertices, all in the
+    /// given state. Reuses the existing words when the size matches (the
+    /// steady-state case of repeated solves on one graph).
+    pub fn reset_active(&mut self, n: usize, active: bool) {
+        if self.active.len() != n {
+            self.active = if active {
+                ActiveSet::all_active(n)
+            } else {
+                ActiveSet::all_inactive(n)
+            };
+        } else if active {
+            self.active.reset_all_active();
+        } else {
+            self.active.reset_all_inactive();
+        }
+    }
+
+    /// Clear and size [`SolveScratch::prereleased`] for `n` vertices.
+    pub fn reset_prereleased(&mut self, n: usize) {
+        self.prereleased.grow(n, false);
+        self.prereleased.clear_all();
+    }
+
+    /// Zero and size [`SolveScratch::hit_count`] for `n` vertices, reusing the
+    /// existing capacity.
+    pub fn reset_hit_count(&mut self, n: usize) {
+        self.hit_count.clear();
+        self.hit_count.resize(n, 0);
+    }
+
+    /// Clear and size [`SolveScratch::mask`] for `n` vertices, reusing the
+    /// existing capacity.
+    pub fn reset_mask(&mut self, n: usize) {
+        self.mask.clear();
+        self.mask.resize(n, false);
+    }
+}
+
 /// A progress snapshot reported through [`SolveContext::report_progress`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolveProgress {
@@ -105,6 +198,7 @@ pub struct SolveContext<'a> {
     totals: RunMetrics,
     solves: u64,
     progress: Option<ProgressFn<'a>>,
+    scratch: Option<SolveScratch>,
 }
 
 impl std::fmt::Debug for SolveContext<'_> {
@@ -135,7 +229,28 @@ impl<'a> SolveContext<'a> {
             totals: RunMetrics::default(),
             solves: 0,
             progress: None,
+            scratch: None,
         }
+    }
+
+    /// Borrow the context's reusable solve scratch, creating a cold one on the
+    /// first call. The caller must hand it back with
+    /// [`SolveContext::restore_scratch`] once the solve finishes (success or
+    /// failure), or the next solve starts cold again.
+    ///
+    /// Taking the scratch *out* of the context (instead of borrowing through
+    /// it) is what lets algorithms keep calling [`SolveContext::checkpoint`]
+    /// and [`SolveContext::report_progress`] while holding the engines
+    /// mutably.
+    pub fn take_scratch(&mut self) -> SolveScratch {
+        self.scratch.take().unwrap_or_default()
+    }
+
+    /// Return a scratch previously obtained with
+    /// [`SolveContext::take_scratch`], making its warmed allocations available
+    /// to the next solve.
+    pub fn restore_scratch(&mut self, scratch: SolveScratch) {
+        self.scratch = Some(scratch);
     }
 
     /// Set the wall-clock budget for subsequent solves.
@@ -274,6 +389,7 @@ impl ContextSnapshot {
             totals: RunMetrics::default(),
             solves: 0,
             progress: None,
+            scratch: None,
         }
     }
 }
@@ -611,11 +727,13 @@ impl Solver {
     ) -> Result<CoverRun, SolveError> {
         let timer = Timer::start();
         let two = minimal_two_cycle_cover(g);
-        let mut remove = vec![false; g.num_vertices()];
+        let mut scratch = ctx.take_scratch();
+        scratch.reset_mask(g.num_vertices());
         for v in two.iter() {
-            remove[v as usize] = true;
+            scratch.mask[v as usize] = true;
         }
-        let residual = g.remove_vertices(&remove);
+        let residual = g.remove_vertices(&scratch.mask);
+        ctx.restore_scratch(scratch);
         let rest = self
             .build_algorithm()
             .solve(&residual, &HopConstraint::new(k), ctx)?;

@@ -28,15 +28,14 @@
 //! cycle and been kept; and every kept vertex has a witness cycle whose other
 //! vertices are all released, so it cannot be dropped either.
 
-use tdb_cycle::bfs_filter::{BfsFilter, FilterDecision};
-use tdb_cycle::find_cycle::find_cycle_through;
-use tdb_cycle::{BlockSearcher, HopConstraint};
+use tdb_cycle::bfs_filter::FilterDecision;
+use tdb_cycle::HopConstraint;
 use tdb_graph::scc::tarjan_scc;
-use tdb_graph::{ActiveSet, Graph, VertexId};
+use tdb_graph::{Graph, VertexId};
 
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
 use crate::minimal::SearchEngine;
-use crate::solver::{CoverAlgorithm, SolveContext, SolveError};
+use crate::solver::{CoverAlgorithm, SolveContext, SolveError, SolveScratch};
 use crate::stats::Timer;
 
 /// Order in which the top-down scan processes vertices.
@@ -143,11 +142,17 @@ impl TopDownConfig {
     }
 }
 
-/// Compute the scan order as an explicit permutation of the vertex ids.
-/// Shared with the parallel variant so both scans order vertices identically.
-pub(crate) fn scan_permutation<G: Graph>(g: &G, order: ScanOrder) -> Vec<VertexId> {
+/// Compute the scan order as an explicit permutation of the vertex ids, into a
+/// reusable buffer. Shared with the parallel variant so both scans order
+/// vertices identically.
+pub(crate) fn scan_permutation_into<G: Graph>(
+    g: &G,
+    order: ScanOrder,
+    vertices: &mut Vec<VertexId>,
+) {
     let n = g.num_vertices();
-    let mut vertices: Vec<VertexId> = (0..n as VertexId).collect();
+    vertices.clear();
+    vertices.extend(0..n as VertexId);
     match order {
         ScanOrder::Ascending => {}
         ScanOrder::DegreeDescending => {
@@ -158,10 +163,9 @@ pub(crate) fn scan_permutation<G: Graph>(g: &G, order: ScanOrder) -> Vec<VertexI
         }
         ScanOrder::Random(seed) => {
             let mut rng = tdb_graph::gen::Xoshiro256::seed_from_u64(seed);
-            rng.shuffle(&mut vertices);
+            rng.shuffle(vertices);
         }
     }
-    vertices
 }
 
 /// Compute a hop-constrained cycle cover with the top-down algorithm.
@@ -189,6 +193,22 @@ pub fn top_down_cover_with<G: Graph>(
     config: &TopDownConfig,
     ctx: &mut SolveContext,
 ) -> Result<CoverRun, SolveError> {
+    let mut scratch = ctx.take_scratch();
+    let result = top_down_scan(g, constraint, config, ctx, &mut scratch);
+    ctx.restore_scratch(scratch);
+    result
+}
+
+/// The scan itself, factored out so the entry point can hand the borrowed
+/// scratch back to the context on *every* exit path (including a budget
+/// overrun surfacing through `?`).
+fn top_down_scan<G: Graph>(
+    g: &G,
+    constraint: &HopConstraint,
+    config: &TopDownConfig,
+    ctx: &mut SolveContext,
+    scratch: &mut SolveScratch,
+) -> Result<CoverRun, SolveError> {
     ctx.ensure_armed();
     let _solve_span = tdb_obs::trace::span_owned(format!("solve/{}", config.name()));
     let timer = Timer::start();
@@ -201,13 +221,13 @@ pub fn top_down_cover_with<G: Graph>(
     metrics.working_edges = g.num_edges();
 
     // G0 starts empty: nothing is active, everything is (conceptually) covered.
-    let mut active = ActiveSet::all_inactive(n);
+    scratch.reset_active(n, false);
     let mut cover_vertices: Vec<VertexId> = Vec::new();
 
     // Optional SCC pre-filter: a vertex in a trivial SCC (and, when 2-cycles
     // matter, without any reciprocated edge) can never lie on a constrained
     // cycle of the full graph, let alone of a subgraph — release it for free.
-    let mut prereleased = vec![false; n];
+    scratch.reset_prereleased(n);
     if config.scc_prefilter {
         let _span = tdb_obs::trace::span("solve/scc_prefilter");
         let _timer = tdb_obs::histogram!("tdb_solve_scc_prefilter_seconds").start();
@@ -215,43 +235,36 @@ pub fn top_down_cover_with<G: Graph>(
         let candidates = scc.cycle_candidates();
         for v in 0..n as VertexId {
             if !candidates[v as usize] {
-                prereleased[v as usize] = true;
-                active.activate(v);
+                scratch.prereleased.insert(v as usize);
+                scratch.active.activate(v);
                 metrics.scc_released += 1;
             }
         }
     }
 
-    let mut block_searcher = match config.engine {
-        SearchEngine::Block => Some(BlockSearcher::new(n)),
-        SearchEngine::Naive => None,
-    };
-    let mut filter = if config.bfs_filter {
-        Some(BfsFilter::new(n))
-    } else {
-        None
-    };
-
-    let order = scan_permutation(g, config.scan_order);
-    let total = order.len() as u64;
+    scan_permutation_into(g, config.scan_order, &mut scratch.order);
+    let total = scratch.order.len() as u64;
     let _scan_span = tdb_obs::trace::span("solve/scan");
     let _scan_timer = tdb_obs::histogram!("tdb_solve_scan_seconds").start();
-    for (scanned, v) in order.into_iter().enumerate() {
+    for scanned in 0..scratch.order.len() {
+        let v = scratch.order[scanned];
         ctx.checkpoint()?;
         ctx.report_progress(scanned as u64, total, cover_vertices.len() as u64);
-        if prereleased[v as usize] {
+        if scratch.prereleased.contains(v as usize) {
             continue;
         }
         // Tentatively insert v's in- and out-edges into G0 (Algorithm 8 line 3).
-        active.activate(v);
+        scratch.active.activate(v);
 
-        if let Some(filter) = filter.as_mut() {
+        if config.bfs_filter {
             let decision = {
                 let _timer = tdb_obs::histogram!("tdb_solve_bfs_filter_seconds").start();
                 if config.exact_filter {
-                    filter.decide_exact(g, &active, v, constraint)
+                    scratch
+                        .filter
+                        .decide_exact(g, &scratch.active, v, constraint)
                 } else {
-                    filter.decide(g, &active, v, constraint)
+                    scratch.filter.decide(g, &scratch.active, v, constraint)
                 }
             };
             match decision {
@@ -262,7 +275,7 @@ pub fn top_down_cover_with<G: Graph>(
                 }
                 FilterDecision::ProvenNecessary(_) => {
                     cover_vertices.push(v);
-                    active.deactivate(v);
+                    scratch.active.deactivate(v);
                     continue;
                 }
                 FilterDecision::NeedsVerification => {}
@@ -270,14 +283,21 @@ pub fn top_down_cover_with<G: Graph>(
         }
 
         metrics.cycle_queries += 1;
-        let necessary = match &mut block_searcher {
-            Some(searcher) => searcher.is_on_constrained_cycle(g, &active, v, constraint),
-            None => find_cycle_through(g, &active, v, constraint).is_some(),
+        let necessary = match config.engine {
+            SearchEngine::Block => {
+                scratch
+                    .block
+                    .is_on_constrained_cycle(g, &scratch.active, v, constraint)
+            }
+            SearchEngine::Naive => scratch
+                .naive
+                .find_cycle_through(g, &scratch.active, v, constraint)
+                .is_some(),
         };
         if necessary {
             // Keep v in the cover and take its edges back out of G0.
             cover_vertices.push(v);
-            active.deactivate(v);
+            scratch.active.deactivate(v);
         }
         // Otherwise v stays active: released from the cover.
     }

@@ -14,7 +14,7 @@
 //! filter is exact except for the excluded 2-cycles, which is why a `2` result
 //! still requires the DFS verification in the default (no-2-cycle) mode.
 
-use tdb_graph::{ActiveSet, Graph, VertexId};
+use tdb_graph::{ActiveSet, GraphView, VertexId};
 
 use crate::reach::{BoundedBfs, Direction};
 use crate::HopConstraint;
@@ -58,7 +58,7 @@ impl BfsFilter {
     /// `max_hops` in the active subgraph, or `None` if there is none.
     ///
     /// Self-loops are ignored (they are excluded from the problem definition).
-    pub fn shortest_closed_walk<G: Graph>(
+    pub fn shortest_closed_walk<G: GraphView>(
         &mut self,
         g: &G,
         active: &ActiveSet,
@@ -77,7 +77,7 @@ impl BfsFilter {
             Direction::Backward,
         );
         let mut best: Option<usize> = None;
-        for &w in g.out_neighbors(v) {
+        for w in g.out_iter(v) {
             if w == v || !active.is_active(w) {
                 continue;
             }
@@ -96,7 +96,7 @@ impl BfsFilter {
 
     /// The paper's filter (Algorithm 11): prune `v` iff no closed walk of
     /// length at most `k` exists; otherwise hand the vertex to the DFS.
-    pub fn decide<G: Graph>(
+    pub fn decide<G: GraphView>(
         &mut self,
         g: &G,
         active: &ActiveSet,
@@ -117,7 +117,7 @@ impl BfsFilter {
     /// when the shortest closed walk is itself an admissible simple cycle
     /// (length within `[min_len, k]`), skipping the DFS for them too. With
     /// 2-cycles excluded, a result of exactly 2 stays inconclusive.
-    pub fn decide_exact<G: Graph>(
+    pub fn decide_exact<G: GraphView>(
         &mut self,
         g: &G,
         active: &ActiveSet,
@@ -141,7 +141,8 @@ mod tests {
     use super::*;
     use crate::find_cycle::find_cycle_through;
     use tdb_graph::builder::graph_from_edges;
-    use tdb_graph::gen::{directed_cycle, directed_path, erdos_renyi_gnm};
+    use tdb_graph::gen::{directed_cycle, directed_path, erdos_renyi_gnm, Xoshiro256};
+    use tdb_graph::{DeltaGraph, Graph, GraphBuilder};
 
     fn all_active(g: &impl Graph) -> ActiveSet {
         ActiveSet::all_active(g.num_vertices())
@@ -254,6 +255,63 @@ mod tests {
         let active = all_active(&g);
         let mut f = BfsFilter::new(g.num_vertices());
         assert_eq!(f.shortest_closed_walk(&g, &active, 0, 10), Some(3));
+    }
+
+    #[test]
+    fn delta_graph_overlay_matches_materialized_graph() {
+        // Satellite of the GraphView relaxation: the filter must produce the
+        // same decisions on a DeltaGraph overlay as on a CsrGraph rebuilt from
+        // the overlay's effective edge set — Algorithm 11 now runs directly on
+        // the streaming storage.
+        for seed in 0..5u64 {
+            let n: VertexId = 24;
+            let base = erdos_renyi_gnm(n as usize, 60, seed);
+            let mut delta = DeltaGraph::new(base.clone());
+            let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5EED);
+            // Random churn: remove a few base edges, insert a few fresh ones.
+            let edges: Vec<_> = base.edges().collect();
+            for _ in 0..8 {
+                let e = edges[rng.next_index(edges.len())];
+                delta.remove_edge(e.source, e.target);
+            }
+            for _ in 0..8 {
+                let u = rng.next_index(n as usize) as VertexId;
+                let v = rng.next_index(n as usize) as VertexId;
+                if u != v {
+                    delta.insert_edge(u, v);
+                }
+            }
+            // Materialize the overlay's effective edge set.
+            let mut b = GraphBuilder::new();
+            b.reserve_vertices(n as usize);
+            for u in 0..n {
+                for v in delta.out_iter(u) {
+                    b.add_edge(u, v);
+                }
+            }
+            let materialized = b.build();
+            let active = ActiveSet::all_active(n as usize);
+            let mut f_delta = BfsFilter::new(n as usize);
+            let mut f_plain = BfsFilter::new(n as usize);
+            for k in [3usize, 4, 6] {
+                let c = HopConstraint::new(k);
+                for v in 0..n {
+                    assert_eq!(
+                        f_delta.shortest_closed_walk(&delta, &active, v, k),
+                        f_plain.shortest_closed_walk(&materialized, &active, v, k),
+                        "seed {seed}, k {k}, v {v}"
+                    );
+                    assert_eq!(
+                        f_delta.decide(&delta, &active, v, &c),
+                        f_plain.decide(&materialized, &active, v, &c)
+                    );
+                    assert_eq!(
+                        f_delta.decide_exact(&delta, &active, v, &c),
+                        f_plain.decide_exact(&materialized, &active, v, &c)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! All scratch state is epoch-stamped so a long-lived [`BlockSearcher`] performs
 //! no `O(n)` work between queries.
 
-use tdb_graph::{ActiveSet, GraphView, VertexId};
+use tdb_graph::{ActiveSet, FixedBitSet, GraphView, TimestampedVec, VertexId};
 
 use crate::HopConstraint;
 
@@ -48,10 +48,9 @@ pub struct SearchStats {
 /// Reusable block/barrier DFS engine (Algorithm 9 + 10).
 #[derive(Debug, Clone)]
 pub struct BlockSearcher {
-    block: Vec<u32>,
-    block_epoch: Vec<u32>,
-    on_stack: Vec<bool>,
-    epoch: u32,
+    block: TimestampedVec<u32>,
+    on_stack: FixedBitSet,
+    stack: Vec<VertexId>,
     stats: SearchStats,
     unblock_worklist: Vec<(VertexId, u32)>,
 }
@@ -60,13 +59,31 @@ impl BlockSearcher {
     /// Create a searcher for graphs with `n` vertices.
     pub fn new(n: usize) -> Self {
         BlockSearcher {
-            block: vec![0; n],
-            block_epoch: vec![0; n],
-            on_stack: vec![false; n],
-            epoch: 0,
+            block: TimestampedVec::new(n, 0),
+            on_stack: FixedBitSet::new(n),
+            stack: Vec::new(),
             stats: SearchStats::default(),
             unblock_worklist: Vec::new(),
         }
+    }
+
+    /// Number of vertices the scratch state is currently sized for.
+    pub fn capacity(&self) -> usize {
+        self.block.len()
+    }
+
+    /// Grow the scratch state in place to cover `n` vertices (no-op when
+    /// already large enough).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        self.block.ensure_len(n);
+        self.on_stack.grow(n, false);
+    }
+
+    /// Force the block-array epoch counter (clears all stamps first). Test
+    /// support for exercising the wrap-around reset without billions of
+    /// warm-up queries.
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.block.force_epoch(epoch);
     }
 
     /// Accumulated instrumentation counters.
@@ -105,14 +122,15 @@ impl BlockSearcher {
         s: VertexId,
         constraint: &HopConstraint,
     ) -> Option<Vec<VertexId>> {
-        debug_assert_eq!(g.vertex_count(), self.block.len());
         let _timer = tdb_obs::histogram!("tdb_cycle_block_query_seconds").start();
+        self.ensure_capacity(g.vertex_count());
         self.stats.queries += 1;
         if !active.is_active(s) || g.out_deg(s) == 0 || g.in_deg(s) == 0 {
             return None;
         }
-        self.bump_epoch();
-        let mut stack: Vec<VertexId> = Vec::with_capacity(constraint.max_hops + 1);
+        self.block.reset(); // O(1) epoch bump; full clear only on u32 wrap
+        let mut stack = std::mem::take(&mut self.stack);
+        stack.clear();
         let found = self.dfs(g, active, s, s, &mut stack, constraint);
         let result = if found {
             self.stats.hits += 1;
@@ -123,33 +141,20 @@ impl BlockSearcher {
         // Clear the on-stack flags for whatever remains (everything on success,
         // nothing on failure since the stack unwinds fully).
         for &v in &stack {
-            self.on_stack[v as usize] = false;
+            self.on_stack.remove(v as usize);
         }
+        self.stack = stack; // hand the buffer back for the next query
         result
     }
 
     #[inline]
-    fn bump_epoch(&mut self) {
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            self.block_epoch.iter_mut().for_each(|e| *e = 0);
-            self.epoch = 1;
-        }
-    }
-
-    #[inline]
     fn block_of(&self, v: VertexId) -> u32 {
-        if self.block_epoch[v as usize] == self.epoch {
-            self.block[v as usize]
-        } else {
-            0
-        }
+        self.block.get(v as usize)
     }
 
     #[inline]
     fn set_block(&mut self, v: VertexId, value: u32) {
-        self.block[v as usize] = value;
-        self.block_epoch[v as usize] = self.epoch;
+        self.block.set(v as usize, value);
     }
 
     /// Algorithm 9 (`NodeNecessary`), specialised to terminate at the first
@@ -169,7 +174,7 @@ impl BlockSearcher {
                                      // then sd(u, s | S) > k - hops_to_u (Lemma 1 / Theorem 5).
         self.set_block(u, (k + 1 - hops_to_u) as u32);
         stack.push(u);
-        self.on_stack[u as usize] = true;
+        self.on_stack.insert(u as usize);
         self.stats.pushes += 1;
 
         let sz = stack.len(); // vertices on the open path, = cycle length if closed now
@@ -194,7 +199,7 @@ impl BlockSearcher {
                 }
                 continue;
             }
-            if self.on_stack[v as usize] {
+            if self.on_stack.contains(v as usize) {
                 continue;
             }
             if sz >= k {
@@ -213,7 +218,7 @@ impl BlockSearcher {
 
         if !found {
             stack.pop();
-            self.on_stack[u as usize] = false;
+            self.on_stack.remove(u as usize);
             // If a true short distance to `s` was discovered for `u` mid-scan
             // (the excluded-2-cycle branch above lowered `u.block` below the
             // pessimistic failed-subtree bound), re-propagate it now that the
@@ -241,7 +246,10 @@ impl BlockSearcher {
         while let Some((x, l)) = self.unblock_worklist.pop() {
             self.set_block(x, l);
             for w in g.in_iter(x) {
-                if active.is_active(w) && !self.on_stack[w as usize] && self.block_of(w) > l + 1 {
+                if active.is_active(w)
+                    && !self.on_stack.contains(w as usize)
+                    && self.block_of(w) > l + 1
+                {
                     self.unblock_worklist.push((w, l + 1));
                 }
             }

@@ -11,8 +11,9 @@
 //!
 //! 1. a *backward* hop-bounded BFS from `u` (over in-edges, [`BoundedBfs`])
 //!    computes `dist(x, u)` for every active vertex within `k − 1` hops, and
-//! 2. a *forward* DFS from `v` extends simple paths, pruning any branch whose
-//!    optimistic completion `|path| + dist(x, u)` already exceeds `k`.
+//! 2. a *forward* DFS from `v` (iterative, over reusable [`DfsArena`] frames)
+//!    extends simple paths, pruning any branch whose optimistic completion
+//!    `|path| + dist(x, u)` already exceeds `k`.
 //!
 //! The BFS distances ignore the DFS's on-path exclusions, so they are
 //! admissible lower bounds and the search is exact: it returns a witness iff a
@@ -21,7 +22,7 @@
 //! queries, and the search is generic over [`GraphView`] so it runs directly
 //! on the `DeltaGraph` overlay.
 
-use tdb_graph::{ActiveSet, GraphView, VertexId};
+use tdb_graph::{ActiveSet, DfsArena, FixedBitSet, GraphView, VertexId};
 
 use crate::reach::{BoundedBfs, Direction};
 use crate::HopConstraint;
@@ -30,8 +31,8 @@ use crate::HopConstraint;
 #[derive(Debug, Clone)]
 pub struct EdgeCycleSearcher {
     bfs: BoundedBfs,
-    on_path: Vec<bool>,
-    path: Vec<VertexId>,
+    on_path: FixedBitSet,
+    dfs: DfsArena,
 }
 
 impl EdgeCycleSearcher {
@@ -39,8 +40,8 @@ impl EdgeCycleSearcher {
     pub fn new(n: usize) -> Self {
         EdgeCycleSearcher {
             bfs: BoundedBfs::new(n),
-            on_path: vec![false; n],
-            path: Vec::new(),
+            on_path: FixedBitSet::new(n),
+            dfs: DfsArena::new(),
         }
     }
 
@@ -49,12 +50,12 @@ impl EdgeCycleSearcher {
         self.on_path.len()
     }
 
-    /// Grow the scratch state to serve graphs with at least `n` vertices.
+    /// Grow the scratch state *in place* to serve graphs with at least `n`
+    /// vertices (no-op when already large enough). Dynamic-graph growth
+    /// extends the existing allocations instead of replacing them.
     pub fn ensure_capacity(&mut self, n: usize) {
-        if n > self.on_path.len() {
-            self.bfs = BoundedBfs::new(n);
-            self.on_path = vec![false; n];
-        }
+        self.bfs.ensure_capacity(n);
+        self.on_path.grow(n, false);
     }
 
     /// Find one constrained simple cycle containing the directed edge
@@ -72,8 +73,8 @@ impl EdgeCycleSearcher {
         v: VertexId,
         constraint: &HopConstraint,
     ) -> Option<Vec<VertexId>> {
-        debug_assert!(g.vertex_count() <= self.capacity());
         let _timer = tdb_obs::histogram!("tdb_cycle_edge_query_seconds").start();
+        self.ensure_capacity(g.vertex_count());
         if u == v || !active.is_active(u) || !active.is_active(v) || !g.contains_edge(u, v) {
             return None;
         }
@@ -83,18 +84,61 @@ impl EdgeCycleSearcher {
             .run(g, active, u, constraint.max_hops - 1, Direction::Backward);
         self.bfs.distance(v)?; // v cannot reach u => no cycle through (u, v)
 
-        self.path.clear();
-        self.path.push(u);
-        self.path.push(v);
-        self.on_path[u as usize] = true;
-        self.on_path[v as usize] = true;
-        let found = self.dfs(g, active, u, v, constraint);
-        let witness = if found { Some(self.path.clone()) } else { None };
-        for &x in &self.path {
-            self.on_path[x as usize] = false;
+        // Forward DFS from v toward u, pruned by the backward BFS distances.
+        // `u` is on the path but not a frame: the open path is `[u]` plus the
+        // frame stack, so its length is `1 + depth`.
+        let k = constraint.max_hops;
+        self.dfs.clear();
+        self.on_path.insert(u as usize);
+        self.on_path.insert(v as usize);
+        self.dfs.push(v, g.out_iter(v));
+        let mut found = false;
+        while !self.dfs.is_done() {
+            let d = 1 + self.dfs.depth();
+            match self.dfs.next_neighbor() {
+                Some(w) => {
+                    if w == u {
+                        if constraint.covers_len(d) {
+                            found = true;
+                            break;
+                        }
+                        continue;
+                    }
+                    if d >= k || !active.is_active(w) || self.on_path.contains(w as usize) {
+                        continue;
+                    }
+                    // Optimistic completion bound: extending to w yields d + 1
+                    // path vertices, and the shortest continuation w ->* u
+                    // adds at least dist(w) - 1 more, so the cycle has
+                    // >= d + dist(w) vertices. Unreached w (None) cannot close
+                    // within the budget.
+                    match self.bfs.distance(w) {
+                        Some(dist) if d + dist as usize <= k => {}
+                        _ => continue,
+                    }
+                    self.on_path.insert(w as usize);
+                    self.dfs.push(w, g.out_iter(w));
+                }
+                None => {
+                    let x = self.dfs.pop().expect("non-empty stack");
+                    self.on_path.remove(x as usize);
+                }
+            }
         }
-        self.path.clear();
-        witness
+        if found {
+            let mut witness = Vec::with_capacity(1 + self.dfs.depth());
+            witness.push(u);
+            witness.extend(self.dfs.path());
+            for &x in &witness {
+                self.on_path.remove(x as usize);
+            }
+            self.dfs.clear();
+            Some(witness)
+        } else {
+            // Every pop already unmarked its vertex; only u remains marked.
+            self.on_path.remove(u as usize);
+            None
+        }
     }
 
     /// Whether any constrained simple cycle contains the edge `(u, v)`.
@@ -108,47 +152,6 @@ impl EdgeCycleSearcher {
     ) -> bool {
         self.find_cycle_through_edge(g, active, u, v, constraint)
             .is_some()
-    }
-
-    /// Forward DFS from `c` (the current path tip) toward `target`, pruned by
-    /// the backward BFS distances. Recursion depth is bounded by `k`.
-    fn dfs<V: GraphView>(
-        &mut self,
-        g: &V,
-        active: &ActiveSet,
-        target: VertexId,
-        c: VertexId,
-        constraint: &HopConstraint,
-    ) -> bool {
-        let d = self.path.len(); // vertices on the open path, = cycle length if closed now
-        let k = constraint.max_hops;
-        for w in g.out_iter(c) {
-            if w == target {
-                if constraint.covers_len(d) {
-                    return true;
-                }
-                continue;
-            }
-            if d >= k || !active.is_active(w) || self.on_path[w as usize] {
-                continue;
-            }
-            // Optimistic completion bound: extending to w yields d + 1 path
-            // vertices, and the shortest continuation w ->* target adds at
-            // least dist(w) - 1 more, so the cycle has >= d + dist(w)
-            // vertices. Unreached w (None) cannot close within the budget.
-            match self.bfs.distance(w) {
-                Some(dist) if d + dist as usize <= k => {}
-                _ => continue,
-            }
-            self.path.push(w);
-            self.on_path[w as usize] = true;
-            if self.dfs(g, active, target, w, constraint) {
-                return true;
-            }
-            self.path.pop();
-            self.on_path[w as usize] = false;
-        }
-        false
     }
 }
 

@@ -12,7 +12,7 @@
 //! Enumeration is exponential by nature; every entry point takes an explicit
 //! limit so that a misbehaving caller cannot hang the test suite.
 
-use tdb_graph::{ActiveSet, Edge, Graph, VertexId};
+use tdb_graph::{ActiveSet, Edge, FixedBitSet, Graph, VertexId};
 
 use crate::HopConstraint;
 
@@ -108,13 +108,98 @@ pub fn count_cycles<G: Graph>(
     enumerate_cycles(g, active, constraint, limit).len()
 }
 
+/// Reusable engine for the filtered edge-anchored cycle search.
+///
+/// The DARC loops (`AUGMENT` / `PRUNE`) issue one query per edge per round;
+/// holding the on-path mask across queries removes the former `vec![false; n]`
+/// per call. The search itself is the bounded recursion of
+/// [`find_cycle_through_edge`].
+#[derive(Debug, Clone)]
+pub struct EdgeDfsSearcher {
+    on_path: FixedBitSet,
+    path_edges: Vec<Edge>,
+}
+
+impl EdgeDfsSearcher {
+    /// Create an engine for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        EdgeDfsSearcher {
+            on_path: FixedBitSet::new(n),
+            path_edges: Vec::new(),
+        }
+    }
+
+    /// Grow the scratch in place to cover `n` vertices (no-op when already
+    /// large enough).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        self.on_path.grow(n, false);
+    }
+
+    /// Find one hop-constrained simple cycle that traverses `through`, uses
+    /// only edges accepted by `edge_allowed`, and only active vertices. See
+    /// [`find_cycle_through_edge`] for the contract.
+    pub fn find_cycle_through_edge<G, F>(
+        &mut self,
+        g: &G,
+        active: &ActiveSet,
+        through: Edge,
+        constraint: &HopConstraint,
+        edge_allowed: F,
+    ) -> Option<Vec<Edge>>
+    where
+        G: Graph,
+        F: Fn(Edge) -> bool,
+    {
+        self.ensure_capacity(g.num_vertices());
+        let (u, v) = (through.source, through.target);
+        if u == v || !active.is_active(u) || !active.is_active(v) {
+            return None;
+        }
+        if !edge_allowed(through) {
+            return None;
+        }
+        // A cycle of length l through (u, v) is the edge plus a simple path
+        // from v back to u of length l - 1 that avoids u and v internally.
+        self.on_path.insert(u as usize);
+        self.on_path.insert(v as usize);
+        let mut path_edges = std::mem::take(&mut self.path_edges);
+        path_edges.clear();
+        path_edges.push(through);
+        let found = edge_dfs(
+            g,
+            active,
+            u,
+            v,
+            constraint,
+            &edge_allowed,
+            &mut path_edges,
+            &mut self.on_path,
+        );
+        // Unmark the path (on failure only u and v are marked; the recursion
+        // unwinds its own marks).
+        self.on_path.remove(u as usize);
+        self.on_path.remove(v as usize);
+        let witness = if found {
+            for e in &path_edges {
+                self.on_path.remove(e.target as usize);
+            }
+            Some(path_edges.clone())
+        } else {
+            None
+        };
+        self.path_edges = path_edges; // hand the buffer back
+        witness
+    }
+}
+
 /// Find one hop-constrained simple cycle that traverses the directed edge
 /// `through`, uses only edges accepted by `edge_allowed`, and only active
 /// vertices. Returns the cycle as a sequence of edges, starting with `through`.
 ///
 /// This is the search primitive behind DARC's `AUGMENT` (find an uncovered
 /// cycle through the edge being processed) and `PRUNE` (check whether removing
-/// an edge from the transversal re-exposes a cycle).
+/// an edge from the transversal re-exposes a cycle). Thin wrapper building a
+/// fresh [`EdgeDfsSearcher`] per call; the DARC loops hold a reusable engine.
 pub fn find_cycle_through_edge<G, F>(
     g: &G,
     active: &ActiveSet,
@@ -126,33 +211,13 @@ where
     G: Graph,
     F: Fn(Edge) -> bool,
 {
-    let (u, v) = (through.source, through.target);
-    if u == v || !active.is_active(u) || !active.is_active(v) {
-        return None;
-    }
-    if !edge_allowed(through) {
-        return None;
-    }
-    // A cycle of length l through (u, v) is the edge plus a simple path from v
-    // back to u of length l - 1 that avoids u and v internally.
-    let mut on_path = vec![false; g.num_vertices()];
-    on_path[u as usize] = true;
-    on_path[v as usize] = true;
-    let mut path_edges = vec![through];
-    if edge_dfs(
+    EdgeDfsSearcher::new(g.num_vertices()).find_cycle_through_edge(
         g,
         active,
-        u,
-        v,
+        through,
         constraint,
-        &edge_allowed,
-        &mut path_edges,
-        &mut on_path,
-    ) {
-        Some(path_edges)
-    } else {
-        None
-    }
+        edge_allowed,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -164,7 +229,7 @@ fn edge_dfs<G, F>(
     constraint: &HopConstraint,
     edge_allowed: &F,
     path_edges: &mut Vec<Edge>,
-    on_path: &mut [bool],
+    on_path: &mut FixedBitSet,
 ) -> bool
 where
     G: Graph,
@@ -187,11 +252,11 @@ where
             }
             continue;
         }
-        if on_path[next as usize] || len + 1 >= constraint.max_hops {
+        if on_path.contains(next as usize) || len + 1 >= constraint.max_hops {
             continue;
         }
         path_edges.push(e);
-        on_path[next as usize] = true;
+        on_path.insert(next as usize);
         if edge_dfs(
             g,
             active,
@@ -204,7 +269,7 @@ where
         ) {
             return true;
         }
-        on_path[next as usize] = false;
+        on_path.remove(next as usize);
         path_edges.pop();
     }
     false

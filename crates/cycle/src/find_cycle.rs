@@ -5,20 +5,131 @@
 //! of length at most `k` starting at the query vertex and reports the first one
 //! that closes back on the start. The worst case is `O(n^k)`, which is exactly
 //! the complexity the paper attributes to the bottom-up family.
+//!
+//! The search lives in a reusable engine, [`NaiveSearcher`]: the on-path mask
+//! is a [`FixedBitSet`] and the explicit DFS stack a [`DfsArena`], both of
+//! which amortize to zero allocation across queries. The bottom-up solver
+//! issues one query per vertex per round, so the former `vec![false; n]` per
+//! call was O(n²) of hidden clearing per solve. A thin free-function wrapper
+//! ([`find_cycle_through`]) is kept for tests and one-off queries.
 
-use tdb_graph::{ActiveSet, GraphView, VertexId};
+use tdb_graph::{ActiveSet, DfsArena, FixedBitSet, GraphView, VertexId};
 
 use crate::HopConstraint;
+
+/// Reusable engine for the naive bounded-DFS cycle search.
+///
+/// All scratch state (the on-path bit mask and the DFS frame arena) is
+/// retained across queries, so a query costs O(paths explored), with no O(n)
+/// setup. The engine auto-resizes when handed a graph larger than its
+/// current capacity.
+#[derive(Debug, Clone)]
+pub struct NaiveSearcher {
+    on_path: FixedBitSet,
+    dfs: DfsArena,
+}
+
+impl NaiveSearcher {
+    /// Create an engine for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        NaiveSearcher {
+            on_path: FixedBitSet::new(n),
+            dfs: DfsArena::new(),
+        }
+    }
+
+    /// Number of vertices this engine is currently sized for.
+    pub fn capacity(&self) -> usize {
+        self.on_path.len()
+    }
+
+    /// Grow the scratch in place to cover `n` vertices (no-op when already
+    /// large enough).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        self.on_path.grow(n, false);
+    }
+
+    /// Find one hop-constrained simple cycle through `start` in the subgraph
+    /// induced by `active` vertices.
+    ///
+    /// Returns the cycle as a vertex sequence `[start, v1, ..., v_{l-1}]`
+    /// (the closing edge back to `start` is implicit), or `None` if no cycle
+    /// through `start` satisfies the constraint. `start` itself must be
+    /// active; inactive query vertices trivially return `None`.
+    ///
+    /// The exploration order is identical to the recursive formulation: at
+    /// each vertex the out-neighbors are tried in adjacency order, and the
+    /// first closing edge that satisfies the constraint wins.
+    pub fn find_cycle_through<V: GraphView>(
+        &mut self,
+        g: &V,
+        active: &ActiveSet,
+        start: VertexId,
+        constraint: &HopConstraint,
+    ) -> Option<Vec<VertexId>> {
+        let _timer = tdb_obs::histogram!("tdb_cycle_naive_query_seconds").start();
+        self.ensure_capacity(g.vertex_count());
+        if !active.is_active(start) {
+            return None;
+        }
+        self.dfs.clear();
+        self.on_path.insert(start as usize);
+        self.dfs.push(start, g.out_iter(start));
+        let mut found = false;
+        while !self.dfs.is_done() {
+            // Number of vertices on the open path == current stack depth.
+            let len = self.dfs.depth();
+            match self.dfs.next_neighbor() {
+                Some(next) => {
+                    if !active.is_active(next) {
+                        continue;
+                    }
+                    if next == start {
+                        // Closing the cycle: its length equals the number of
+                        // vertices on the path.
+                        if constraint.covers_len(len) {
+                            found = true;
+                            break;
+                        }
+                        continue;
+                    }
+                    if self.on_path.contains(next as usize) {
+                        continue;
+                    }
+                    if len >= constraint.max_hops {
+                        // Extending would exceed the hop budget even before
+                        // closing.
+                        continue;
+                    }
+                    self.on_path.insert(next as usize);
+                    self.dfs.push(next, g.out_iter(next));
+                }
+                None => {
+                    let v = self.dfs.pop().expect("non-empty stack");
+                    self.on_path.remove(v as usize);
+                }
+            }
+        }
+        if found {
+            let path: Vec<VertexId> = self.dfs.path().collect();
+            for &v in &path {
+                self.on_path.remove(v as usize);
+            }
+            self.dfs.clear();
+            Some(path)
+        } else {
+            // Every pop already unmarked its vertex; the scratch is clean.
+            None
+        }
+    }
+}
 
 /// Find one hop-constrained simple cycle through `start` in the subgraph
 /// induced by `active` vertices.
 ///
-/// Returns the cycle as a vertex sequence `[start, v1, ..., v_{l-1}]` (the
-/// closing edge back to `start` is implicit), or `None` if no cycle through
-/// `start` satisfies the constraint.
-///
-/// `start` itself must be active; inactive query vertices trivially return
-/// `None`.
+/// Thin convenience wrapper that builds a fresh [`NaiveSearcher`] per call —
+/// fine for tests and one-off queries. Solver loops that issue millions of
+/// queries hold a reusable engine instead.
 ///
 /// Generic over [`GraphView`], so the search runs identically on a plain
 /// [`tdb_graph::CsrGraph`] and on the [`tdb_graph::DeltaGraph`] overlay used
@@ -29,59 +140,7 @@ pub fn find_cycle_through<V: GraphView>(
     start: VertexId,
     constraint: &HopConstraint,
 ) -> Option<Vec<VertexId>> {
-    let _timer = tdb_obs::histogram!("tdb_cycle_naive_query_seconds").start();
-    if !active.is_active(start) {
-        return None;
-    }
-    let mut on_path = vec![false; g.vertex_count()];
-    let mut path: Vec<VertexId> = Vec::with_capacity(constraint.max_hops + 1);
-    path.push(start);
-    on_path[start as usize] = true;
-    if dfs(g, active, start, constraint, &mut path, &mut on_path) {
-        Some(path)
-    } else {
-        None
-    }
-}
-
-fn dfs<V: GraphView>(
-    g: &V,
-    active: &ActiveSet,
-    start: VertexId,
-    constraint: &HopConstraint,
-    path: &mut Vec<VertexId>,
-    on_path: &mut [bool],
-) -> bool {
-    let current = *path.last().expect("path never empty");
-    let len = path.len(); // number of vertices on the open path
-    for next in g.out_iter(current) {
-        if !active.is_active(next) {
-            continue;
-        }
-        if next == start {
-            // Closing the cycle: its length equals the number of vertices on
-            // the path.
-            if constraint.covers_len(len) {
-                return true;
-            }
-            continue;
-        }
-        if on_path[next as usize] {
-            continue;
-        }
-        if len >= constraint.max_hops {
-            // Extending would exceed the hop budget even before closing.
-            continue;
-        }
-        path.push(next);
-        on_path[next as usize] = true;
-        if dfs(g, active, start, constraint, path, on_path) {
-            return true;
-        }
-        on_path[next as usize] = false;
-        path.pop();
-    }
-    false
+    NaiveSearcher::new(g.vertex_count()).find_cycle_through(g, active, start, constraint)
 }
 
 /// Check whether the returned vertex sequence really is a hop-constrained
@@ -241,5 +300,35 @@ mod tests {
         let g = b.build();
         let active = ActiveSet::all_active(2);
         assert!(find_cycle_through(&g, &active, 0, &HopConstraint::new(5)).is_none());
+    }
+
+    #[test]
+    fn reused_engine_leaves_no_state_behind() {
+        // A found cycle marks its path in the on-path mask; the next query on
+        // the same engine must not see those marks.
+        let g = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)]);
+        let active = all_active(&g);
+        let mut engine = NaiveSearcher::new(g.num_vertices());
+        let k3 = HopConstraint::new(3);
+        let with2 = HopConstraint::with_two_cycles(5);
+        for _ in 0..100 {
+            let c = engine.find_cycle_through(&g, &active, 0, &k3).unwrap();
+            assert_eq!(c, vec![0, 1, 2]);
+            assert!(engine.find_cycle_through(&g, &active, 3, &k3).is_none());
+            let c2 = engine.find_cycle_through(&g, &active, 3, &with2).unwrap();
+            assert_eq!(c2, vec![3, 4]);
+        }
+    }
+
+    #[test]
+    fn undersized_engine_auto_resizes() {
+        let g = directed_cycle(10);
+        let active = all_active(&g);
+        let mut engine = NaiveSearcher::new(2);
+        let c = engine
+            .find_cycle_through(&g, &active, 0, &HopConstraint::new(10))
+            .unwrap();
+        assert_eq!(c.len(), 10);
+        assert_eq!(engine.capacity(), 10);
     }
 }

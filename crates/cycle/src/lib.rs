@@ -39,7 +39,8 @@ pub mod reach;
 pub use bfs_filter::BfsFilter;
 pub use block_dfs::BlockSearcher;
 pub use edge_search::EdgeCycleSearcher;
-pub use find_cycle::find_cycle_through;
+pub use enumerate::EdgeDfsSearcher;
+pub use find_cycle::{find_cycle_through, NaiveSearcher};
 
 /// The hop constraint governing which cycles must be covered.
 ///

@@ -1,12 +1,12 @@
 //! Hop-bounded reachability over active subgraphs.
 //!
-//! A reusable BFS engine with epoch-stamped visitation arrays so that a single
-//! allocation serves millions of queries without `O(n)` clearing between them.
-//! Both search directions are supported: the BFS-filter walks the *reverse*
-//! direction (distance *to* the query vertex), while the verifier and some
-//! examples walk forward.
+//! A reusable BFS engine with an epoch-stamped distance array
+//! ([`TimestampedVec`]) so that a single allocation serves millions of queries
+//! without `O(n)` clearing between them. Both search directions are supported:
+//! the BFS-filter walks the *reverse* direction (distance *to* the query
+//! vertex), while the verifier and some examples walk forward.
 
-use tdb_graph::{ActiveSet, GraphView, VertexId};
+use tdb_graph::{ActiveSet, GraphView, TimestampedVec, VertexId};
 
 /// Direction of a BFS traversal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,12 +21,11 @@ pub enum Direction {
 ///
 /// All scratch state is epoch-stamped: starting a new query bumps a counter
 /// instead of clearing the arrays, so a query costs `O(visited)` rather than
-/// `O(n)`.
+/// `O(n)`. The engine auto-resizes when handed a graph larger than its
+/// current capacity, so it stays sound when a dynamic graph grows under it.
 #[derive(Debug, Clone)]
 pub struct BoundedBfs {
-    dist: Vec<u32>,
-    epoch_of: Vec<u32>,
-    epoch: u32,
+    dist: TimestampedVec<u32>,
     queue: Vec<VertexId>,
 }
 
@@ -34,16 +33,27 @@ impl BoundedBfs {
     /// Create an engine for graphs with `n` vertices.
     pub fn new(n: usize) -> Self {
         BoundedBfs {
-            dist: vec![0; n],
-            epoch_of: vec![0; n],
-            epoch: 0,
+            dist: TimestampedVec::new(n, u32::MAX),
             queue: Vec::new(),
         }
     }
 
-    /// Number of vertices this engine was sized for.
+    /// Number of vertices this engine is currently sized for.
     pub fn capacity(&self) -> usize {
         self.dist.len()
+    }
+
+    /// Grow the scratch arrays in place to cover `n` vertices (no-op when
+    /// already large enough).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        self.dist.ensure_len(n);
+    }
+
+    /// Force the internal epoch counter (clears all stamps first). Test
+    /// support for exercising the wrap-around reset without billions of
+    /// warm-up queries.
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.dist.force_epoch(epoch);
     }
 
     /// Run a hop-bounded BFS from `source` over active vertices.
@@ -59,13 +69,8 @@ impl BoundedBfs {
         max_hops: usize,
         direction: Direction,
     ) -> usize {
-        debug_assert_eq!(g.vertex_count(), self.dist.len());
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // Extremely rare wrap-around: fall back to a full reset.
-            self.epoch_of.iter_mut().for_each(|e| *e = 0);
-            self.epoch = 1;
-        }
+        self.ensure_capacity(g.vertex_count());
+        self.dist.reset();
         self.queue.clear();
         if !active.is_active(source) {
             return 0;
@@ -75,21 +80,23 @@ impl BoundedBfs {
         while head < self.queue.len() {
             let u = self.queue[head];
             head += 1;
-            let d = self.dist[u as usize];
+            let d = self.dist.get(u as usize);
             if d as usize >= max_hops {
                 continue;
             }
             match direction {
                 Direction::Forward => {
                     for v in g.out_iter(u) {
-                        if active.is_active(v) && self.epoch_of[v as usize] != self.epoch {
+                        // Visited-check first: it is the cheaper test and, once
+                        // the frontier saturates, the one that short-circuits.
+                        if !self.dist.is_set(v as usize) && active.is_active(v) {
                             self.visit(v, d + 1);
                         }
                     }
                 }
                 Direction::Backward => {
                     for v in g.in_iter(u) {
-                        if active.is_active(v) && self.epoch_of[v as usize] != self.epoch {
+                        if !self.dist.is_set(v as usize) && active.is_active(v) {
                             self.visit(v, d + 1);
                         }
                     }
@@ -101,16 +108,15 @@ impl BoundedBfs {
 
     #[inline]
     fn visit(&mut self, v: VertexId, d: u32) {
-        self.epoch_of[v as usize] = self.epoch;
-        self.dist[v as usize] = d;
+        self.dist.set(v as usize, d);
         self.queue.push(v);
     }
 
     /// Distance of `v` from the most recent query's source, if reached.
     #[inline]
     pub fn distance(&self, v: VertexId) -> Option<u32> {
-        if self.epoch_of[v as usize] == self.epoch {
-            Some(self.dist[v as usize])
+        if self.dist.is_set(v as usize) {
+            Some(self.dist.get(v as usize))
         } else {
             None
         }
@@ -222,5 +228,31 @@ mod tests {
             bfs.run(&g, &active, 1, 4, Direction::Forward);
         }
         assert_eq!(bfs.distance(0), Some(3));
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_cleanly() {
+        let g = graph_from_edges(&[(0, 1), (2, 3)]);
+        let active = ActiveSet::all_active(4);
+        let mut bfs = BoundedBfs::new(4);
+        bfs.run(&g, &active, 0, 5, Direction::Forward);
+        bfs.force_epoch(u32::MAX);
+        // The next run wraps the u32 epoch; stale stamps must not leak.
+        bfs.run(&g, &active, 2, 5, Direction::Forward);
+        assert_eq!(bfs.distance(0), None);
+        assert_eq!(bfs.distance(3), Some(1));
+    }
+
+    #[test]
+    fn undersized_engine_auto_resizes() {
+        // An engine built for a smaller graph must transparently cover a
+        // larger one (release builds used to index out of bounds here).
+        let g = directed_cycle(8);
+        let active = ActiveSet::all_active(8);
+        let mut bfs = BoundedBfs::new(2);
+        let reached = bfs.run(&g, &active, 0, 8, Direction::Forward);
+        assert_eq!(reached, 8);
+        assert_eq!(bfs.capacity(), 8);
+        assert_eq!(bfs.distance(7), Some(7));
     }
 }

@@ -1,0 +1,99 @@
+//! Steady-state allocation regression test for the reusable search engines.
+//!
+//! The hot path contract of this crate (see the `tdb_graph::scratch` module)
+//! is that a warmed engine answers queries without touching the allocator:
+//! all per-query state lives in epoch-stamped vectors, bitsets, and arena
+//! buffers that are reset in `O(1)` and only ever *grow*. This test pins that
+//! contract with a counting global allocator: after one warm-up pass, a few
+//! thousand existence queries across every engine must perform **zero**
+//! allocations.
+//!
+//! Kept as a single `#[test]` so the measurement window cannot interleave
+//! with allocations from a concurrently running test thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tdb_cycle::{BfsFilter, BlockSearcher, EdgeCycleSearcher, HopConstraint, NaiveSearcher};
+use tdb_graph::gen::directed_cycle;
+use tdb_graph::{ActiveSet, Graph, VertexId};
+
+/// Counts every allocator entry (alloc, realloc, zeroed) process-wide.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warmed_engines_answer_queries_without_allocating() {
+    // A single 64-cycle: with k = 5 every existence query misses, so no
+    // witness vector is ever materialized — the pure query path is isolated.
+    let g = directed_cycle(64);
+    let n = g.num_vertices();
+    let active = ActiveSet::all_active(n);
+    let constraint = HopConstraint::new(5);
+
+    let mut naive = NaiveSearcher::new(n);
+    let mut block = BlockSearcher::new(n);
+    let mut filter = BfsFilter::new(n);
+    let mut edge = EdgeCycleSearcher::new(n);
+
+    let run_all = |naive: &mut NaiveSearcher,
+                   block: &mut BlockSearcher,
+                   filter: &mut BfsFilter,
+                   edge: &mut EdgeCycleSearcher| {
+        for v in 0..n as VertexId {
+            assert!(naive
+                .find_cycle_through(&g, &active, v, &constraint)
+                .is_none());
+            assert!(!block.is_on_constrained_cycle(&g, &active, v, &constraint));
+            filter.decide(&g, &active, v, &constraint);
+            let w = (v + 1) % n as VertexId;
+            assert!(edge
+                .find_cycle_through_edge(&g, &active, v, w, &constraint)
+                .is_none());
+        }
+    };
+
+    // Warm-up: grows every internal buffer to its steady-state footprint and
+    // registers the observability counters/histograms these queries touch.
+    run_all(&mut naive, &mut block, &mut filter, &mut edge);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..50 {
+        run_all(&mut naive, &mut block, &mut filter, &mut edge);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "warmed search engines must not allocate per query \
+         ({} allocations across {} queries)",
+        after - before,
+        50 * 4 * n
+    );
+}

@@ -27,15 +27,14 @@
 //! The overlay is compacted back into a clean CSR once the delta exceeds a
 //! threshold, keeping neighbor scans fast under sustained churn.
 
-use std::collections::HashSet;
 use std::time::Instant;
 
 use tdb_core::minimal::{minimal_prune_candidates_with, SearchEngine};
-use tdb_core::solver::{SolveContext, SolveError, Solver, TwoCycleMode};
+use tdb_core::solver::{SolveContext, SolveError, SolveScratch, Solver, TwoCycleMode};
 use tdb_core::{Algorithm, CycleCover, RunMetrics};
 use tdb_cycle::{EdgeCycleSearcher, HopConstraint};
 use tdb_graph::scc::tarjan_scc;
-use tdb_graph::{ActiveSet, CsrGraph, DeltaGraph, GraphView, VertexId};
+use tdb_graph::{ActiveSet, CsrGraph, DeltaGraph, FixedBitSet, GraphView, VertexId};
 
 use crate::batch::{EdgeBatch, EdgeOp, UpdateMetrics};
 
@@ -114,6 +113,12 @@ pub struct DynamicCover {
     dirty_vertices: Vec<VertexId>,
     /// `dirty_mask[v]` mirrors membership of `v` in `dirty_vertices`.
     dirty_mask: Vec<bool>,
+    /// Reusable component marks for [`DynamicCover::minimize_candidates`]
+    /// (component ids of the touched vertices), sized to the component map.
+    component_marks: FixedBitSet,
+    /// Warm solve scratch handed to the minimize pass, so repeated minimizes
+    /// reuse one set of engine allocations instead of re-allocating per call.
+    solve_scratch: SolveScratch,
     totals: UpdateMetrics,
 }
 
@@ -156,6 +161,8 @@ impl DynamicCover {
             components: None,
             dirty_vertices: Vec::new(),
             dirty_mask: vec![false; n],
+            component_marks: FixedBitSet::new(0),
+            solve_scratch: SolveScratch::default(),
             totals: UpdateMetrics::default(),
         }
     }
@@ -400,20 +407,24 @@ impl DynamicCover {
     /// so `C` still exists and still avoids every other cover vertex —
     /// pruning elsewhere only *removes* cover vertices, which cannot cover
     /// `C`. Hence `v` is still non-redundant.
-    fn minimize_candidates(&self) -> Vec<VertexId> {
+    fn minimize_candidates(&mut self) -> Vec<VertexId> {
         let Some(map) = &self.components else {
             return self.cover.iter().collect();
         };
-        let mut touched_components: HashSet<u32> = HashSet::new();
+        // Component ids are dense in 0..map.len(), so a reusable bitset over
+        // that range replaces the old per-call `HashSet<u32>`.
+        let marks = &mut self.component_marks;
+        marks.grow(map.len(), false);
+        marks.clear_all();
         for &d in &self.dirty_vertices {
             if let Some(&c) = map.get(d as usize) {
-                touched_components.insert(c);
+                marks.insert(c as usize);
             }
         }
         self.cover
             .iter()
             .filter(|&v| match map.get(v as usize) {
-                Some(c) => touched_components.contains(c),
+                Some(&c) => marks.contains(c as usize),
                 None => true, // vertex born after the map: always re-examine
             })
             .collect()
@@ -446,6 +457,7 @@ impl DynamicCover {
             self.constraint.include_two_cycles,
         );
         let mut ctx = SolveContext::new();
+        ctx.restore_scratch(std::mem::take(&mut self.solve_scratch));
         let removed = minimal_prune_candidates_with(
             &self.graph,
             &mut self.cover,
@@ -456,6 +468,7 @@ impl DynamicCover {
             &mut ctx,
         )
         .unwrap_or_else(|e: SolveError| unreachable!("unbudgeted pruning cannot fail: {e}"));
+        self.solve_scratch = ctx.take_scratch();
         self.active = self.cover.reduced_active_set(self.graph.vertex_count());
         self.dirty = false;
         // Refresh the component map for the next round and forget the dirt it
@@ -486,12 +499,11 @@ impl DynamicCover {
     }
 
     /// Grow the activation mask and searcher scratch after the graph gained
-    /// vertices (cheap no-op otherwise).
+    /// vertices (cheap no-op otherwise). Extends in place: freshly minted
+    /// vertices are never in the cover, so they join the mask as active.
     fn sync_capacity(&mut self) {
         let n = self.graph.vertex_count();
-        if self.active.len() < n {
-            self.active = self.cover.reduced_active_set(n);
-        }
+        self.active.ensure_len(n, true);
         self.searcher.ensure_capacity(n);
     }
 

@@ -14,10 +14,16 @@
 //! `(u, v)` is *present* in the reduced graph iff both `u` and `v` are active.
 //! Deactivating a vertex therefore removes exactly its in- and out-edges, which
 //! is precisely the operation the paper needs.
+//!
+//! The mask is backed by [`FixedBitSet`](crate::scratch::FixedBitSet): a
+//! single boxed `u64`-word slice, 8× denser than the former `Vec<bool>` —
+//! which matters because the hot searcher loops consult the mask on every
+//! edge scan, and at scale the whole mask stays cache-resident.
 
+use crate::scratch::FixedBitSet;
 use crate::types::VertexId;
 
-/// Dense boolean activation mask over the vertices of a graph.
+/// Dense activation mask over the vertices of a graph.
 ///
 /// ```
 /// use tdb_graph::ActiveSet;
@@ -32,7 +38,7 @@ use crate::types::VertexId;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActiveSet {
-    active: Vec<bool>,
+    active: FixedBitSet,
     num_active: usize,
 }
 
@@ -40,7 +46,7 @@ impl ActiveSet {
     /// All vertices active.
     pub fn all_active(n: usize) -> Self {
         ActiveSet {
-            active: vec![true; n],
+            active: FixedBitSet::all_set(n),
             num_active: n,
         }
     }
@@ -48,18 +54,22 @@ impl ActiveSet {
     /// No vertex active.
     pub fn all_inactive(n: usize) -> Self {
         ActiveSet {
-            active: vec![false; n],
+            active: FixedBitSet::new(n),
             num_active: 0,
         }
     }
 
     /// Build from an explicit mask.
     pub fn from_mask(mask: Vec<bool>) -> Self {
-        let num_active = mask.iter().filter(|&&b| b).count();
-        ActiveSet {
-            active: mask,
-            num_active,
+        let mut active = FixedBitSet::new(mask.len());
+        let mut num_active = 0;
+        for (i, &a) in mask.iter().enumerate() {
+            if a {
+                active.insert(i);
+                num_active += 1;
+            }
         }
+        ActiveSet { active, num_active }
     }
 
     /// Number of vertices covered by the mask (active + inactive).
@@ -77,7 +87,7 @@ impl ActiveSet {
     /// Whether vertex `v` is active.
     #[inline]
     pub fn is_active(&self, v: VertexId) -> bool {
-        self.active[v as usize]
+        self.active.contains(v as usize)
     }
 
     /// Number of active vertices.
@@ -95,27 +105,21 @@ impl ActiveSet {
     /// Activate `v`. Returns `true` if the state changed.
     #[inline]
     pub fn activate(&mut self, v: VertexId) -> bool {
-        let slot = &mut self.active[v as usize];
-        if *slot {
-            false
-        } else {
-            *slot = true;
+        let changed = self.active.insert(v as usize);
+        if changed {
             self.num_active += 1;
-            true
         }
+        changed
     }
 
     /// Deactivate `v`. Returns `true` if the state changed.
     #[inline]
     pub fn deactivate(&mut self, v: VertexId) -> bool {
-        let slot = &mut self.active[v as usize];
-        if *slot {
-            *slot = false;
+        let changed = self.active.remove(v as usize);
+        if changed {
             self.num_active -= 1;
-            true
-        } else {
-            false
         }
+        changed
     }
 
     /// Set the state of `v` explicitly.
@@ -130,41 +134,47 @@ impl ActiveSet {
 
     /// Iterator over the active vertex ids in ascending order.
     pub fn iter_active(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.active
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a)
-            .map(|(i, _)| i as VertexId)
+        self.active.iter_ones().map(|i| i as VertexId)
     }
 
     /// Iterator over the inactive vertex ids in ascending order.
     pub fn iter_inactive(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.active
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| !a)
-            .map(|(i, _)| i as VertexId)
+        (0..self.active.len() as VertexId).filter(move |&v| !self.is_active(v))
     }
 
-    /// Borrow the raw mask.
-    pub fn as_mask(&self) -> &[bool] {
-        &self.active
+    /// Materialize the mask as a `Vec<bool>` (allocates; not for hot paths).
+    pub fn to_mask(&self) -> Vec<bool> {
+        (0..self.active.len())
+            .map(|i| self.active.contains(i))
+            .collect()
     }
 
-    /// Consume into the raw mask.
+    /// Consume into a `Vec<bool>` mask.
     pub fn into_mask(self) -> Vec<bool> {
-        self.active
+        self.to_mask()
+    }
+
+    /// Grow the mask to at least `n` vertices, new vertices `active`.
+    /// No-op when already at least `n` long.
+    pub fn ensure_len(&mut self, n: usize, active: bool) {
+        let old = self.active.len();
+        if n > old {
+            self.active.grow(n, active);
+            if active {
+                self.num_active += n - old;
+            }
+        }
     }
 
     /// Reset every vertex to active.
     pub fn reset_all_active(&mut self) {
-        self.active.iter_mut().for_each(|b| *b = true);
+        self.active.set_all();
         self.num_active = self.active.len();
     }
 
     /// Reset every vertex to inactive.
     pub fn reset_all_inactive(&mut self) {
-        self.active.iter_mut().for_each(|b| *b = false);
+        self.active.clear_all();
         self.num_active = 0;
     }
 }
@@ -229,6 +239,35 @@ mod tests {
         let a = ActiveSet::from_mask(vec![false, true]);
         let mask = a.clone().into_mask();
         assert_eq!(ActiveSet::from_mask(mask), a);
-        assert_eq!(a.as_mask(), &[false, true]);
+        assert_eq!(a.to_mask(), vec![false, true]);
+    }
+
+    #[test]
+    fn ensure_len_grows_in_place() {
+        let mut a = ActiveSet::all_active(3);
+        a.deactivate(1);
+        a.ensure_len(6, true);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.num_active(), 5);
+        assert!(!a.is_active(1));
+        assert!(a.is_active(5));
+        a.ensure_len(4, false); // shrink request: no-op
+        assert_eq!(a.len(), 6);
+
+        let mut b = ActiveSet::all_active(2);
+        b.ensure_len(4, false);
+        assert_eq!(b.num_active(), 2);
+        assert!(!b.is_active(3));
+    }
+
+    #[test]
+    fn large_masks_spill_past_128_vertices() {
+        let mut a = ActiveSet::all_active(300);
+        assert_eq!(a.num_active(), 300);
+        a.deactivate(129);
+        a.deactivate(299);
+        assert_eq!(a.num_active(), 298);
+        assert_eq!(a.iter_inactive().collect::<Vec<_>>(), vec![129, 299]);
+        assert!(a.iter_active().all(|v| v != 129 && v != 299));
     }
 }

@@ -29,6 +29,9 @@
 //!   sharded (per-component) solve pipeline in `tdb-core`.
 //! * [`metrics`] — degree/recirocity statistics used to reproduce Table II of the
 //!   paper.
+//! * [`scratch`] — reusable O(1)-reset search scratch ([`TimestampedVec`],
+//!   [`FixedBitSet`], [`DfsArena`]) shared by every hot-path searcher so a
+//!   solve performs no per-query O(n) work.
 //!
 //! The crate is deliberately free of external graph dependencies: the paper's
 //! algorithms are sensitive to adjacency layout and vertex-deletion cost, so the
@@ -63,6 +66,7 @@ pub mod io;
 pub mod line_graph;
 pub mod metrics;
 pub mod scc;
+pub mod scratch;
 pub mod types;
 pub mod view;
 
@@ -71,6 +75,7 @@ pub use builder::GraphBuilder;
 pub use condense::{Condensation, ExtractedComponent};
 pub use csr::CsrGraph;
 pub use delta::DeltaGraph;
+pub use scratch::{DfsArena, FixedBitSet, TimestampedVec};
 pub use types::{Edge, GraphError, VertexId, INVALID_VERTEX};
 pub use view::GraphView;
 

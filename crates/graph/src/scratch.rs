@@ -1,0 +1,563 @@
+//! Reusable, constant-time-resettable scratch structures for the hot path.
+//!
+//! The paper's complexity claims (O(k·m) per block query, O(k·n·m) for the
+//! top-down family) assume a per-vertex search costs O(visited) — which is
+//! only true if the search state can be *reset* without touching all `n`
+//! slots. The searchers in `tdb-cycle` run millions of queries per solve, so
+//! a `vec![false; n]` per query silently turns the whole solve into O(n²).
+//!
+//! This module collects the three idioms the workspace uses instead
+//! (following the `rust_road_router` data-structure playbook):
+//!
+//! * [`TimestampedVec`] — a value array paired with a `u32` epoch stamp per
+//!   slot. "Clearing" bumps the epoch (O(1)); slots whose stamp is stale read
+//!   as the default value. On the rare epoch wrap-around the stamps are
+//!   zeroed in full, keeping reads sound across the entire `u32` range.
+//! * [`FixedBitSet`] — dense bit mask over one flat boxed `u64`-word slice:
+//!   single-register shifts per membership test, one word fill per 64
+//!   elements to clear.
+//! * [`DfsArena`] — an explicit DFS stack whose frames index into one flat,
+//!   shared neighbor arena, replacing recursion (and its per-frame iterator
+//!   state) with two reusable `Vec`s that amortize to zero allocation.
+//!
+//! All three auto-grow: passing a larger index/length extends the structure
+//! in place rather than asserting, so reusable engines stay valid when a
+//! dynamic graph grows under them.
+
+use crate::types::VertexId;
+
+// ---------------------------------------------------------------------------
+// TimestampedVec
+// ---------------------------------------------------------------------------
+
+/// A `Vec<T>` with O(1) bulk reset via epoch stamps.
+///
+/// Each slot carries the epoch at which it was last written; [`reset`]
+/// invalidates every slot by bumping the current epoch. Reads of a stale slot
+/// return the default value. When the `u32` epoch wraps around, the stamp
+/// array is cleared in full once, so a slot stamped two billion resets ago
+/// can never alias the current epoch.
+///
+/// ```
+/// use tdb_graph::scratch::TimestampedVec;
+///
+/// let mut dist: TimestampedVec<u32> = TimestampedVec::new(4, u32::MAX);
+/// dist.set(2, 7);
+/// assert_eq!(dist.get(2), 7);
+/// dist.reset(); // O(1)
+/// assert_eq!(dist.get(2), u32::MAX);
+/// ```
+///
+/// [`reset`]: TimestampedVec::reset
+#[derive(Debug, Clone)]
+pub struct TimestampedVec<T> {
+    data: Vec<T>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    default: T,
+}
+
+impl<T: Clone> TimestampedVec<T> {
+    /// Create with `len` slots, all reading as `default`.
+    pub fn new(len: usize, default: T) -> Self {
+        TimestampedVec {
+            data: vec![default.clone(); len],
+            stamp: vec![0; len],
+            epoch: 1,
+            default,
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether there are zero slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Grow to at least `len` slots (no-op when already large enough). New
+    /// slots read as the default value. Existing stamps are untouched, so
+    /// growth is O(growth), not O(len).
+    pub fn ensure_len(&mut self, len: usize) {
+        if len > self.data.len() {
+            self.data.resize(len, self.default.clone());
+            self.stamp.resize(len, 0);
+        }
+    }
+
+    /// Invalidate every slot in O(1) by bumping the epoch. On `u32` wrap the
+    /// stamps are zeroed in full (once every 2³²−1 resets) so stale slots can
+    /// never alias the fresh epoch.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Whether slot `i` was written since the last [`reset`](Self::reset).
+    #[inline]
+    pub fn is_set(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+
+    /// Read slot `i`: the stored value if written this epoch, else the
+    /// default.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        if self.stamp[i] == self.epoch {
+            self.data[i].clone()
+        } else {
+            self.default.clone()
+        }
+    }
+
+    /// Write slot `i`, stamping it into the current epoch.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: T) {
+        self.data[i] = value;
+        self.stamp[i] = self.epoch;
+    }
+
+    /// The current epoch (exposed for the wrap-around property tests).
+    #[inline]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Force the epoch counter to `epoch` (`0` is mapped to `1`), clearing
+    /// every stamp so the jump cannot resurrect stale slots.
+    ///
+    /// Test support: lets the wrap-around path (`epoch == u32::MAX` →
+    /// [`reset`](Self::reset) → full clear) be exercised without two billion
+    /// warm-up resets.
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.stamp.iter_mut().for_each(|s| *s = 0);
+        self.epoch = epoch.max(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FixedBitSet
+// ---------------------------------------------------------------------------
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-universe bit set over `0..len`.
+///
+/// One flat boxed allocation of `⌈len/64⌉` words — `u64` deliberately, not
+/// `u128`: the searcher inner loops test a bit per scanned edge, and a
+/// single-register shift beats the double-word shuffle wider words compile
+/// to. Clearing is a word fill, membership is a shift and mask, and the
+/// 8×-denser-than-`Vec<bool>` layout keeps large masks resident in cache.
+///
+/// ```
+/// use tdb_graph::scratch::FixedBitSet;
+///
+/// let mut s = FixedBitSet::new(200);
+/// assert!(s.insert(150));
+/// assert!(!s.insert(150)); // already present
+/// assert!(s.contains(150));
+/// assert_eq!(s.count_ones(), 1);
+/// s.clear_all();
+/// assert!(!s.contains(150));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedBitSet {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl FixedBitSet {
+    /// An all-clear set over `0..len`.
+    pub fn new(len: usize) -> Self {
+        FixedBitSet {
+            words: vec![0u64; len.div_ceil(WORD_BITS)].into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// An all-set set over `0..len`.
+    pub fn all_set(len: usize) -> Self {
+        let mut s = FixedBitSet::new(len);
+        s.set_all();
+        s
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the universe is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Add `i`; returns `true` when it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let bit = 1u64 << (i % WORD_BITS);
+        let was_clear = *word & bit == 0;
+        *word |= bit;
+        was_clear
+    }
+
+    /// Remove `i`; returns `true` when it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let bit = 1u64 << (i % WORD_BITS);
+        let was_set = *word & bit != 0;
+        *word &= !bit;
+        was_set
+    }
+
+    /// Set membership of `i` explicitly; returns `true` when it changed.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) -> bool {
+        if value {
+            self.insert(i)
+        } else {
+            self.remove(i)
+        }
+    }
+
+    /// Clear every bit.
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Set every bit in the universe (tail bits beyond `len` stay clear, so
+    /// [`count_ones`](Self::count_ones) stays exact).
+    pub fn set_all(&mut self) {
+        let len = self.len;
+        for (idx, w) in self.words.iter_mut().enumerate() {
+            let lo = idx * WORD_BITS;
+            let in_word = len.saturating_sub(lo).min(WORD_BITS);
+            *w = if in_word == WORD_BITS {
+                u64::MAX
+            } else if in_word == 0 {
+                0
+            } else {
+                (1u64 << in_word) - 1
+            };
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Grow the universe to at least `new_len`, with new elements taking
+    /// membership `value`. No-op when already large enough. Existing bits are
+    /// preserved; the word slice reallocates only when the universe outgrows
+    /// its current word count.
+    pub fn grow(&mut self, new_len: usize, value: bool) {
+        if new_len <= self.len {
+            return;
+        }
+        let old_len = self.len;
+        let new_words = new_len.div_ceil(WORD_BITS);
+        if new_words > self.words.len() {
+            let mut spilled = vec![0u64; new_words].into_boxed_slice();
+            spilled[..self.words.len()].copy_from_slice(&self.words);
+            self.words = spilled;
+        }
+        self.len = new_len;
+        if value {
+            for i in old_len..new_len {
+                self.insert(i);
+            }
+        }
+    }
+
+    /// Iterator over set bits in ascending order, word-at-a-time.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(idx, &word)| {
+            let base = idx * WORD_BITS;
+            std::iter::successors(if word == 0 { None } else { Some(word) }, |&rest| {
+                let next = rest & (rest - 1); // drop lowest set bit
+                if next == 0 {
+                    None
+                } else {
+                    Some(next)
+                }
+            })
+            .map(move |rest| base + rest.trailing_zeros() as usize)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DfsArena
+// ---------------------------------------------------------------------------
+
+/// One suspended DFS frame: a vertex plus a cursor into the shared arena
+/// slice holding its (pre-buffered) neighbor list.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    vertex: VertexId,
+    start: usize,
+    cursor: usize,
+}
+
+/// An explicit DFS stack with frames indexing into one flat neighbor arena.
+///
+/// The graph trait's neighbor iterators are opaque `impl Iterator` values and
+/// cannot be stored in frames, so [`push`](Self::push) buffers each vertex's
+/// neighbors into a shared flat `Vec` instead; popping truncates the arena
+/// back. This keeps per-frame cost at O(out-degree) — the same work the
+/// recursive formulation does — while both backing vectors are reused across
+/// queries, amortizing to zero allocation in steady state.
+///
+/// The traversal order is identical to the recursive `for w in out(v)` loop:
+/// neighbors are consumed in iterator order via
+/// [`next_neighbor`](Self::next_neighbor).
+#[derive(Debug, Clone, Default)]
+pub struct DfsArena {
+    frames: Vec<Frame>,
+    arena: Vec<VertexId>,
+}
+
+impl DfsArena {
+    /// An empty arena (no capacity held; it grows on first use and is then
+    /// reused).
+    pub fn new() -> Self {
+        DfsArena::default()
+    }
+
+    /// Drop all frames and buffered neighbors (capacity retained).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.arena.clear();
+    }
+
+    /// Current stack depth.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the stack is empty.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Push a frame for `vertex`, buffering its neighbors into the arena.
+    #[inline]
+    pub fn push(&mut self, vertex: VertexId, neighbors: impl Iterator<Item = VertexId>) {
+        let start = self.arena.len();
+        self.arena.extend(neighbors);
+        self.frames.push(Frame {
+            vertex,
+            start,
+            cursor: start,
+        });
+    }
+
+    /// The vertex of the top (deepest) frame.
+    #[inline]
+    pub fn top(&self) -> Option<VertexId> {
+        self.frames.last().map(|f| f.vertex)
+    }
+
+    /// Advance the top frame's neighbor cursor, returning the next unvisited
+    /// neighbor (or `None` when the frame is exhausted).
+    #[inline]
+    pub fn next_neighbor(&mut self) -> Option<VertexId> {
+        let frame = self.frames.last_mut()?;
+        if frame.cursor < self.arena.len() {
+            let w = self.arena[frame.cursor];
+            frame.cursor += 1;
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    /// Pop the top frame, releasing its arena slice, and return its vertex.
+    #[inline]
+    pub fn pop(&mut self) -> Option<VertexId> {
+        let frame = self.frames.pop()?;
+        self.arena.truncate(frame.start);
+        Some(frame.vertex)
+    }
+
+    /// The vertices of the current stack from root to top — the DFS path.
+    pub fn path(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.frames.iter().map(|f| f.vertex)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamped_set_get_reset() {
+        let mut v: TimestampedVec<u32> = TimestampedVec::new(3, u32::MAX);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_set(0));
+        v.set(0, 5);
+        v.set(2, 9);
+        assert!(v.is_set(0));
+        assert_eq!(v.get(0), 5);
+        assert_eq!(v.get(1), u32::MAX);
+        v.reset();
+        assert!(!v.is_set(0));
+        assert_eq!(v.get(2), u32::MAX);
+        v.set(2, 1);
+        assert_eq!(v.get(2), 1);
+    }
+
+    #[test]
+    fn timestamped_wraparound_clears_stale_stamps() {
+        let mut v: TimestampedVec<u32> = TimestampedVec::new(2, 0);
+        v.set(0, 42);
+        // Jump to the last epoch before the wrap; the forced jump clears all
+        // stamps, so slot 0 must read as default again.
+        v.force_epoch(u32::MAX);
+        assert_eq!(v.get(0), 0);
+        v.set(1, 7);
+        assert_eq!(v.get(1), 7);
+        // This reset wraps: epoch u32::MAX -> 0 -> full clear -> 1.
+        v.reset();
+        assert_eq!(v.epoch(), 1);
+        assert_eq!(v.get(1), 0);
+        // A stamp written at epoch 1 pre-wrap must NOT leak into the fresh
+        // epoch 1: the wrap cleared it.
+        assert!(!v.is_set(0));
+        assert!(!v.is_set(1));
+    }
+
+    #[test]
+    fn timestamped_ensure_len_grows_with_defaults() {
+        let mut v: TimestampedVec<bool> = TimestampedVec::new(2, false);
+        v.set(1, true);
+        v.ensure_len(5);
+        assert_eq!(v.len(), 5);
+        assert!(v.get(1));
+        assert!(!v.get(4));
+        v.ensure_len(3); // shrink requests are no-ops
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn bitset_small_universe() {
+        let mut s = FixedBitSet::new(100);
+        assert!(s.insert(0));
+        assert!(s.insert(99));
+        assert!(!s.insert(99));
+        assert!(s.contains(99));
+        assert!(!s.contains(50));
+        assert_eq!(s.count_ones(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn bitset_multi_word_universe() {
+        let mut s = FixedBitSet::new(300);
+        s.insert(0);
+        s.insert(127);
+        s.insert(128);
+        s.insert(299);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 127, 128, 299]);
+        assert_eq!(s.count_ones(), 4);
+        s.clear_all();
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    fn bitset_set_all_masks_tail() {
+        for len in [0usize, 1, 127, 128, 129, 255, 256, 300] {
+            let s = FixedBitSet::all_set(len);
+            assert_eq!(s.count_ones(), len, "len={len}");
+            assert_eq!(s.iter_ones().count(), len, "len={len}");
+        }
+    }
+
+    #[test]
+    fn bitset_grow_preserves_and_spills() {
+        let mut s = FixedBitSet::new(4);
+        s.insert(1);
+        s.grow(10, true);
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+        assert!(s.contains(7));
+        assert_eq!(s.count_ones(), 1 + 6);
+        // Grow across a word boundary.
+        s.grow(200, false);
+        assert!(s.contains(1));
+        assert!(s.contains(9));
+        assert!(!s.contains(199));
+        s.grow(150, true); // shrink request: no-op
+        assert_eq!(s.len(), 200);
+    }
+
+    #[test]
+    fn arena_dfs_matches_recursion_order() {
+        // Tiny diamond: 0 -> {1, 2}, 1 -> {3}, 2 -> {3}.
+        let out: Vec<Vec<VertexId>> = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let mut order = Vec::new();
+        let mut dfs = DfsArena::new();
+        let mut seen = FixedBitSet::new(4);
+        dfs.push(0, out[0].iter().copied());
+        seen.insert(0);
+        order.push(0);
+        while !dfs.is_done() {
+            match dfs.next_neighbor() {
+                Some(w) if seen.insert(w as usize) => {
+                    order.push(w);
+                    dfs.push(w, out[w as usize].iter().copied());
+                }
+                Some(_) => {}
+                None => {
+                    dfs.pop();
+                }
+            }
+        }
+        assert_eq!(order, vec![0, 1, 3, 2]);
+        assert!(dfs.is_done());
+        assert_eq!(dfs.arena.len(), 0); // fully released
+    }
+
+    #[test]
+    fn arena_path_tracks_stack() {
+        let mut dfs = DfsArena::new();
+        dfs.push(5, [6].into_iter());
+        dfs.push(6, std::iter::empty());
+        assert_eq!(dfs.path().collect::<Vec<_>>(), vec![5, 6]);
+        assert_eq!(dfs.top(), Some(6));
+        assert_eq!(dfs.depth(), 2);
+        assert_eq!(dfs.pop(), Some(6));
+        assert_eq!(dfs.pop(), Some(5));
+        assert_eq!(dfs.pop(), None);
+        dfs.clear();
+        assert!(dfs.is_done());
+    }
+}
