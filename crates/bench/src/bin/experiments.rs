@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Subcommands: `table2`, `table3`, `table4`, `figure6`, `figure7`, `figure8`,
-//! `figure9`, `figure10`, `large`, `stream`, `serve`, `bench`, `sharding`,
-//! `all`. Options: `--scale <f64>`,
+//! `figure9`, `figure10`, `large`, `stream`, `serve`, `weighted`, `bench`,
+//! `sharding`, `all`. Options: `--scale <f64>`,
 //! `--seed <u64>`, `--slow-limit <edges>`, `--verify`, `--k <list>` (comma
 //! separated, default `3,4,5,6,7`), `--budget <seconds>` (wall-clock budget
 //! per cell; overruns print as `-`).
@@ -33,10 +33,21 @@
 //!     --serve-readers 4 --serve-writers 2
 //! ```
 //!
+//! The `weighted` subcommand runs the `Objective::MinWeight` scenario: a
+//! skewed VIP cost model vs the cardinality baseline, the all-1 bit-exactness
+//! contract, and a `Budget::MaxCost` best-effort solve with its residual
+//! audit — it exits nonzero if any contract fails:
+//!
+//! ```text
+//! cargo run --release -p tdb-bench --bin experiments -- weighted \
+//!     --weighted-vertices 20000 --weighted-edges 80000
+//! ```
+//!
 //! The `bench` subcommand runs the pinned perf-trajectory scenarios
-//! (end-to-end solve, streaming churn, serve load, instrumentation overhead)
-//! and records them to `BENCH_<tag>.json` (`--bench-tag`, `--bench-out`);
-//! `--smoke` shrinks the workloads to CI size.
+//! (end-to-end solve, streaming churn, serve load, weighted objective,
+//! instrumentation overhead) and records them to `BENCH_<tag>.json`
+//! (`--bench-tag`, `--bench-out`); `--smoke` shrinks the workloads to CI
+//! size.
 //!
 //! Any subcommand accepts `--trace-out <file>`: the `tdb-obs` tracer is
 //! enabled for the run and a Chrome trace-event file (loadable in
@@ -59,6 +70,7 @@ use tdb_bench::serve::{format_serve_report, run_serve, ServeLoadConfig};
 use tdb_bench::sharding::{format_sharding_report, run_sharding, ShardingConfig};
 use tdb_bench::streaming::{format_stream_report, run_stream, StreamConfig};
 use tdb_bench::trajectory::trajectory_document;
+use tdb_bench::weighted::{format_weighted_report, run_weighted, WeightedConfig};
 use tdb_bench::{
     figure10_rows, figure67_rows, figure89_rows, format_rows, proxy, run_cell, table2_rows,
     table3_rows, table4_rows, ExperimentConfig,
@@ -73,6 +85,7 @@ struct Options {
     stream: StreamConfig,
     sharding: ShardingConfig,
     serve: ServeLoadConfig,
+    weighted: WeightedConfig,
     smoke: bool,
     bench_tag: String,
     bench_out: Option<String>,
@@ -105,7 +118,12 @@ fn parse_args() -> Result<Options, String> {
     } else {
         ServeLoadConfig::acceptance()
     };
-    let mut bench_tag = String::from("PR7");
+    let mut weighted = if smoke {
+        WeightedConfig::smoke()
+    } else {
+        WeightedConfig::acceptance()
+    };
+    let mut bench_tag = String::from("PR9");
     let mut bench_out = None;
     let mut trace_out = None;
 
@@ -278,6 +296,34 @@ fn parse_args() -> Result<Options, String> {
                 }
                 serve.breaker_ratio = b;
             }
+            "--weighted-vertices" => {
+                let v: usize = value("--weighted-vertices")?
+                    .parse()
+                    .map_err(|e| format!("--weighted-vertices: {e}"))?;
+                if v < 2 {
+                    return Err("--weighted-vertices: need at least two vertices".into());
+                }
+                weighted.vertices = v;
+            }
+            "--weighted-edges" => {
+                weighted.edges = value("--weighted-edges")?
+                    .parse()
+                    .map_err(|e| format!("--weighted-edges: {e}"))?;
+            }
+            "--weighted-vip-degree" => {
+                weighted.vip_degree = value("--weighted-vip-degree")?
+                    .parse()
+                    .map_err(|e| format!("--weighted-vip-degree: {e}"))?;
+            }
+            "--weighted-vip-cost" => {
+                let c: u64 = value("--weighted-vip-cost")?
+                    .parse()
+                    .map_err(|e| format!("--weighted-vip-cost: {e}"))?;
+                if c == 0 {
+                    return Err("--weighted-vip-cost: costs are clamped to >= 1".into());
+                }
+                weighted.vip_cost = c;
+            }
             "--bench-tag" => bench_tag = value("--bench-tag")?,
             "--bench-out" => bench_out = Some(value("--bench-out")?),
             "--trace-out" => trace_out = Some(value("--trace-out")?),
@@ -292,11 +338,13 @@ fn parse_args() -> Result<Options, String> {
     sharding.seed = seed;
     sharding.verify = verify;
     serve.seed = seed;
+    weighted.seed = seed;
     if ks_explicit {
         if let Some(&k) = ks.first() {
             stream.k = k;
             sharding.k = k;
             serve.k = k;
+            weighted.k = k;
         }
     }
     // `--sharding` selects the scenario without requiring a positional
@@ -327,6 +375,7 @@ fn parse_args() -> Result<Options, String> {
         stream,
         sharding,
         serve,
+        weighted,
         smoke,
         bench_tag,
         bench_out,
@@ -376,9 +425,10 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|stream|serve|bench|sharding|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS] [--smoke] [--trace-out PATH]");
+            eprintln!("usage: experiments [table2|table3|table4|figure6|figure7|figure8|figure9|figure10|large|stream|serve|weighted|bench|sharding|all] [--scale F] [--seed N] [--slow-limit E] [--k 3,4,5] [--verify] [--budget SECS] [--smoke] [--trace-out PATH]");
             eprintln!("       stream flags: [--stream-vertices N] [--stream-edges M] [--stream-updates U] [--stream-batch B] [--stream-churn 0..1] [--stream-compact T]");
             eprintln!("       serve flags: [--serve-vertices N] [--serve-edges M] [--serve-updates U] [--serve-readers R] [--serve-writers W] [--serve-breakers 0..1]");
+            eprintln!("       weighted flags: [--weighted-vertices N] [--weighted-edges M] [--weighted-vip-degree D] [--weighted-vip-cost C]");
             eprintln!("       bench flags: [--bench-tag TAG] [--bench-out PATH]");
             eprintln!("       sharding flags: [--sharding] [--shard-components C] [--shard-vertices N] [--shard-edges M] [--shard-threads T] [--shard-algo NAME]");
             return ExitCode::FAILURE;
@@ -488,11 +538,28 @@ fn run(options: &Options) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "weighted" => {
+            let w = &options.weighted;
+            let mut lines = vec![format!(
+                "workload  |V|={} |E|~{} k={} seed {}  VIP: degree >= {} costs {}x",
+                w.vertices, w.edges, w.k, w.seed, w.vip_degree, w.vip_cost
+            )];
+            let report = run_weighted(w);
+            lines.extend(format_weighted_report(&report));
+            print_block(
+                "Weighted objective: MinWeight vs MinCardinality, budgeted best-effort",
+                &lines,
+            );
+            if !report.healthy() {
+                eprintln!("error: a weighted-objective contract failed (see report above)");
+                return ExitCode::FAILURE;
+            }
+        }
         "bench" => {
             // The pinned perf trajectory: one end-to-end solve, the streaming
-            // churn scenario, the serve load scenario, and the measured cost
-            // of the tdb-obs instrumentation, recorded to BENCH_<tag>.json
-            // for PR-over-PR comparison.
+            // churn scenario, the serve load scenario, the weighted objective
+            // scenario, and the measured cost of the tdb-obs instrumentation,
+            // recorded to BENCH_<tag>.json for PR-over-PR comparison.
             let dataset = Dataset::WikiVote;
             let g = proxy(dataset, cfg);
             let constraint = HopConstraint::new(5);
@@ -501,16 +568,21 @@ fn run(options: &Options) -> ExitCode {
                 return ExitCode::FAILURE;
             };
             print_block(
-                "Bench 1/4: end-to-end TDB++ (k = 5)",
+                "Bench 1/5: end-to-end TDB++ (k = 5)",
                 &format_rows(std::slice::from_ref(&e2e)),
             );
             let stream_report = run_stream(&options.stream);
             print_block(
-                "Bench 2/4: streaming churn",
+                "Bench 2/5: streaming churn",
                 &format_stream_report(&stream_report),
             );
             let serve_report = run_serve(&options.serve);
-            print_block("Bench 3/4: serve load", &format_serve_report(&serve_report));
+            print_block("Bench 3/5: serve load", &format_serve_report(&serve_report));
+            let weighted_report = run_weighted(&options.weighted);
+            print_block(
+                "Bench 4/5: weighted objective (MinWeight vs MinCardinality, budgeted)",
+                &format_weighted_report(&weighted_report),
+            );
             // Best-of-N: the solve under test is ~1 ms, so a small N reports
             // scheduler noise as instrumentation overhead. 15 samples per flag
             // state keeps the whole measurement under a second while making
@@ -518,18 +590,20 @@ fn run(options: &Options) -> ExitCode {
             let overhead_samples = if options.smoke { 1 } else { 15 };
             let overhead = measure_solve_overhead(&g, &constraint, overhead_samples);
             print_block(
-                "Bench 4/4: tdb-obs instrumentation overhead (TDB++, registry off vs on)",
+                "Bench 5/5: tdb-obs instrumentation overhead (TDB++, registry off vs on)",
                 std::slice::from_ref(&overhead.format()),
             );
 
             let ok = (!options.stream.verify_each_batch
                 || stream_report.valid_batches == stream_report.batches)
-                && serve_report.healthy();
+                && serve_report.healthy()
+                && weighted_report.healthy();
             let doc = trajectory_document(
                 &options.bench_tag,
                 &e2e,
                 &stream_report,
                 &serve_report,
+                &weighted_report,
                 &overhead,
             );
             let path = options

@@ -10,17 +10,18 @@ pub use tdb_obs::Json;
 
 use crate::overhead::OverheadReport;
 
-/// Assemble the trajectory document from the three pinned scenarios plus the
+/// Assemble the trajectory document from the pinned scenarios plus the
 /// observability-overhead measurement.
 ///
 /// The caller runs the scenarios (end-to-end solve, streaming churn, serve
-/// load, instrumentation overhead) and passes the reports; this function only
-/// shapes the file.
+/// load, weighted objective, instrumentation overhead) and passes the
+/// reports; this function only shapes the file.
 pub fn trajectory_document(
     tag: &str,
     end_to_end: &crate::RowResult,
     stream: &crate::streaming::StreamReport,
     serve: &crate::serve::ServeReport,
+    weighted: &crate::weighted::WeightedReport,
     observability: &OverheadReport,
 ) -> Json {
     let e2e = Json::obj()
@@ -60,6 +61,23 @@ pub fn trajectory_document(
             .set("read_p50_secs", p.p50)
             .set("read_p99_secs", p.p99);
     }
+    let weights = Json::obj()
+        .set("vertices", weighted.vertices)
+        .set("edges", weighted.edges)
+        .set("vip_vertices", weighted.vip_vertices)
+        .set("cardinality_secs", weighted.cardinality_time.as_secs_f64())
+        .set("weighted_secs", weighted.weighted_time.as_secs_f64())
+        .set("cardinality_cover", weighted.cardinality_cover)
+        .set("cardinality_cost", weighted.cardinality_cost)
+        .set("weighted_cover", weighted.weighted_cover)
+        .set("weighted_cost", weighted.weighted_cost)
+        .set("unit_weights_bit_exact", weighted.unit_weights_bit_exact)
+        .set("budget_cap", weighted.budget_cap)
+        .set("budgeted_cover", weighted.budgeted_cover)
+        .set("budgeted_cost", weighted.budgeted_cost)
+        .set("budgeted_exhausted", weighted.budgeted_exhausted)
+        .set("residual_cycles", weighted.residual_cycles)
+        .set("budget_respected", weighted.budget_respected);
     let obs = Json::obj()
         .set("baseline_secs", observability.baseline_secs)
         .set("instrumented_secs", observability.instrumented_secs)
@@ -74,6 +92,7 @@ pub fn trajectory_document(
                 .set("end_to_end", e2e)
                 .set("streaming", streaming)
                 .set("serve", serving)
+                .set("weighted", weights)
                 .set("observability", obs),
         )
 }

@@ -65,21 +65,6 @@ impl BottomUpConfig {
     }
 }
 
-/// Compute a hop-constrained cycle cover with the bottom-up algorithm.
-///
-/// Legacy entry point kept for compatibility; prefer
-/// [`Solver`](crate::solver::Solver) or [`bottom_up_cover_with`], which honor
-/// time budgets and progress callbacks.
-pub fn bottom_up_cover<G: Graph>(
-    g: &G,
-    constraint: &HopConstraint,
-    config: &BottomUpConfig,
-) -> CoverRun {
-    let mut ctx = SolveContext::new();
-    bottom_up_cover_with(g, constraint, config, &mut ctx)
-        .expect("unbudgeted bottom-up solve cannot fail")
-}
-
 /// Budget- and progress-aware bottom-up cover computation.
 ///
 /// The exhaustive inner search makes this the family that needs a budget most:
@@ -141,6 +126,7 @@ fn bottom_up_grow<G: Graph>(
     scratch.reset_hit_count(n);
     scratch.reset_active(n, true);
     let mut cover_vertices: Vec<VertexId> = Vec::new();
+    let costs = ctx.vertex_costs().clone();
 
     for start in 0..n as VertexId {
         ctx.report_progress(start as u64, n as u64, cover_vertices.len() as u64);
@@ -160,12 +146,20 @@ fn bottom_up_grow<G: Graph>(
             }
             // FindCoverNode (Algorithm 6): the cycle vertex with the highest
             // hit count; ties resolved towards the earliest position on the
-            // cycle, matching the pseudocode's strict `>` comparison.
+            // cycle, matching the pseudocode's strict `>` comparison. Under a
+            // non-uniform cost model the criterion becomes hits *per unit
+            // cost*, compared exactly via u128 cross-multiplication — with
+            // equal costs the comparison reduces to the original strict `>`,
+            // so the unweighted pick is preserved bit-exactly.
             let mut cover_vertex = cycle[0];
             let mut best_hits = scratch.hit_count[cover_vertex as usize];
+            let mut best_cost = costs.cost(cover_vertex);
             for &v in &cycle[1..] {
-                if scratch.hit_count[v as usize] > best_hits {
-                    best_hits = scratch.hit_count[v as usize];
+                let hits = scratch.hit_count[v as usize];
+                let cost = costs.cost(v);
+                if (hits as u128) * (best_cost as u128) > (best_hits as u128) * (cost as u128) {
+                    best_hits = hits;
+                    best_cost = cost;
                     cover_vertex = v;
                 }
             }
@@ -197,6 +191,15 @@ mod tests {
     use crate::verify::verify_cover;
     use tdb_graph::builder::graph_from_edges;
     use tdb_graph::gen::{complete_digraph, directed_cycle, erdos_renyi_gnm, layered_dag};
+
+    fn bottom_up_cover<G: Graph>(
+        g: &G,
+        constraint: &HopConstraint,
+        config: &BottomUpConfig,
+    ) -> CoverRun {
+        bottom_up_cover_with(g, constraint, config, &mut SolveContext::new())
+            .expect("unbudgeted solve cannot fail")
+    }
 
     fn check_valid(g: &impl Graph, run: &CoverRun, constraint: &HopConstraint) {
         let v = verify_cover(g, &run.cover, constraint);

@@ -138,6 +138,24 @@ pub fn darc_edge_transversal_with<G: Graph>(
     constraint: &HopConstraint,
     ctx: &mut SolveContext,
 ) -> Result<EdgeTransversal, SolveError> {
+    darc_edge_transversal_ordered(g, constraint, ctx, None)
+}
+
+/// [`darc_edge_transversal_with`] with an optional per-edge cost used to order
+/// the PRUNE queue, costliest first.
+///
+/// The prune loop only ever *pops* — augmentation pushed every transversal
+/// edge before pruning starts — so reordering the queue cannot change which
+/// edges are examined, only when. Examining expensive edges first drops a
+/// costly redundant edge before the cheap edges that would re-justify it are
+/// tested, skewing the surviving transversal cheap. `None` (and a stable sort
+/// under equal costs) preserves the FIFO order bit-exactly.
+pub(crate) fn darc_edge_transversal_ordered<G: Graph>(
+    g: &G,
+    constraint: &HopConstraint,
+    ctx: &mut SolveContext,
+    edge_cost: Option<&dyn Fn(Edge) -> u64>,
+) -> Result<EdgeTransversal, SolveError> {
     ctx.ensure_armed();
     let active = ActiveSet::all_active(g.num_vertices());
     let idx = EdgeIndex::build(g);
@@ -167,7 +185,12 @@ pub fn darc_edge_transversal_with<G: Graph>(
         );
     }
 
-    // Algorithm 3: PRUNE.
+    // Algorithm 3: PRUNE, costliest first when a cost function is supplied.
+    if let Some(cost) = edge_cost {
+        let mut queue: Vec<Edge> = p.drain(..).collect();
+        queue.sort_by_key(|&e| std::cmp::Reverse(cost(e)));
+        p.extend(queue);
+    }
     while let Some(e) = p.pop_front() {
         ctx.checkpoint()?;
         let e_id = idx.id(g, e);
@@ -250,18 +273,12 @@ fn augment<G: Graph>(
     }
 }
 
-/// Run the paper's baseline **DARC-DV**: DARC on the directed line graph,
-/// mapped back to a vertex cover of `g`.
-///
-/// Legacy entry point kept for compatibility; prefer
-/// [`Solver`](crate::solver::Solver) or [`darc_dv_cover_with`], which honor
-/// time budgets.
-pub fn darc_dv_cover(g: &CsrGraph, constraint: &HopConstraint) -> CoverRun {
-    let mut ctx = SolveContext::new();
-    darc_dv_cover_with(g, constraint, &mut ctx).expect("unbudgeted DARC-DV solve cannot fail")
-}
-
 /// Budget-aware DARC-DV cover computation.
+///
+/// When the context carries a non-uniform [`CostModel`](tdb_graph::CostModel),
+/// the line-graph prune queue is ordered by the cost of each line-graph edge's
+/// *middle vertex* (the vertex the edge maps back to), costliest first — the
+/// DARC analogue of weight-aware minimization.
 pub fn darc_dv_cover_with(
     g: &CsrGraph,
     constraint: &HopConstraint,
@@ -278,7 +295,13 @@ pub fn darc_dv_cover_with(
     let lg = LineGraph::build(g);
     metrics.working_edges = lg.graph().num_edges();
 
-    let transversal = darc_edge_transversal_with(lg.graph(), constraint, ctx)?;
+    let costs = ctx.vertex_costs().clone();
+    let transversal = if costs.is_uniform() {
+        darc_edge_transversal_with(lg.graph(), constraint, ctx)?
+    } else {
+        let middle_cost = |e: Edge| costs.cost(lg.middle_vertex(e));
+        darc_edge_transversal_ordered(lg.graph(), constraint, ctx, Some(&middle_cost))?
+    };
     metrics.cycle_queries = transversal.cycle_queries;
 
     let vertices = lg.middle_vertices(&transversal.edges);
@@ -353,6 +376,11 @@ mod tests {
     use tdb_cycle::enumerate::find_cycle_through_edge;
     use tdb_graph::builder::graph_from_edges;
     use tdb_graph::gen::{complete_digraph, directed_cycle, erdos_renyi_gnm, layered_dag};
+
+    fn darc_dv_cover(g: &CsrGraph, constraint: &HopConstraint) -> CoverRun {
+        darc_dv_cover_with(g, constraint, &mut SolveContext::new())
+            .expect("unbudgeted solve cannot fail")
+    }
 
     #[test]
     fn edge_transversal_covers_a_triangle_with_one_edge() {
@@ -473,12 +501,18 @@ mod tests {
         // the three compared algorithms. We check the weaker, robust property
         // that it is never *smaller* than half the TDB++ cover (it is a valid
         // cover, so it cannot be arbitrarily small either).
-        use crate::top_down::{top_down_cover, TopDownConfig};
+        use crate::top_down::{top_down_cover_with, TopDownConfig};
         for seed in 0..3u64 {
             let g = erdos_renyi_gnm(35, 150, seed + 11);
             let constraint = HopConstraint::new(4);
             let dv = darc_dv_cover(&g, &constraint);
-            let td = top_down_cover(&g, &constraint, &TopDownConfig::tdb_plus_plus());
+            let td = top_down_cover_with(
+                &g,
+                &constraint,
+                &TopDownConfig::tdb_plus_plus(),
+                &mut SolveContext::new(),
+            )
+            .unwrap();
             assert!(
                 2 * dv.cover_size() + 1 >= td.cover_size(),
                 "seed {seed}: DARC-DV {} vs TDB++ {}",

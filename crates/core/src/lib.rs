@@ -9,19 +9,27 @@
 //! `2..=k`). All of the paper's algorithm variants sit behind **one unified
 //! surface**:
 //!
+//! * [`CoverRequest`](request::CoverRequest) / [`CoverReport`](request::CoverReport)
+//!   — the primary API: everything a solve needs as one value (algorithm, `k`,
+//!   [`Objective`](request::Objective), [`CostModel`](tdb_graph::CostModel),
+//!   [`Budget`](request::Budget), two-cycle mode, sharding, …) and a structured
+//!   result (cover, total cost, budget exhaustion, residual cycles, per-breaker
+//!   explanations) instead of a bare vertex vector.
 //! * [`Algorithm`] — the enum of every evaluated variant (`BUR`, `BUR+`,
 //!   `DARC-DV`, `TDB`, `TDB+`, `TDB++`, plus this crate's extensions).
-//! * [`Solver`](solver::Solver) — the builder that turns an [`Algorithm`] into
-//!   a configured run: `Solver::new(Algorithm::TdbPlusPlus)
-//!   .with_scan_order(..).with_threads(..).with_time_budget(..).solve(&g, &c)`.
+//! * [`Solver`](solver::Solver) — the execution engine behind a request
+//!   ([`Solver::from_request`](solver::Solver::from_request)); the `with_*`
+//!   builders remain as delegating sugar:
+//!   `Solver::new(Algorithm::TdbPlusPlus).with_scan_order(..).solve(&g, &c)`.
 //! * [`CoverAlgorithm`](solver::CoverAlgorithm) — the trait behind the
 //!   builder. Each family's configuration struct ([`top_down::TopDownConfig`],
 //!   [`bottom_up::BottomUpConfig`], [`darc::DarcDvConfig`],
 //!   [`parallel::ParallelConfig`]) implements it, so an algorithm is a value
 //!   you configure once and run against any graph.
 //! * [`SolveContext`](solver::SolveContext) / [`SolveError`](solver::SolveError)
-//!   — shared run state (seed, deadline, accumulated metrics, progress
-//!   callback) and typed failure: a solver with a time budget returns
+//!   — shared run state (seed, per-vertex costs, deadline, accumulated
+//!   metrics, progress callback) and typed failure: a solver with a time
+//!   budget returns
 //!   [`SolveError::BudgetExceeded`](solver::SolveError::BudgetExceeded)
 //!   instead of running unbounded.
 //!
@@ -51,17 +59,16 @@
 //! use tdb_graph::gen::directed_cycle;
 //!
 //! let g = directed_cycle(4);
-//! let constraint = HopConstraint::new(5);
-//! let run = Solver::new(Algorithm::TdbPlusPlus).solve(&g, &constraint).unwrap();
-//! assert_eq!(run.cover_size(), 1);
-//! assert!(verify_cover(&g, &run.cover, &constraint).is_valid_and_minimal());
+//! let report = CoverRequest::new(Algorithm::TdbPlusPlus, 5).solve(&g).unwrap();
+//! assert_eq!(report.cover_size(), 1);
+//! assert_eq!(report.total_cost, 1);
+//! assert!(!report.exhausted);
 //! ```
 //!
-//! The per-family free functions (`top_down::top_down_cover`,
-//! `bottom_up::bottom_up_cover`, `darc::darc_dv_cover`,
-//! `parallel::parallel_top_down_cover`) remain available as legacy wrappers
-//! around the same implementations, but new code should go through
-//! [`Solver`](solver::Solver).
+//! The budget-aware per-family entry points (`top_down::top_down_cover_with`
+//! and friends) remain public for callers that thread their own
+//! [`SolveContext`](solver::SolveContext); new code should go through
+//! [`CoverRequest`](request::CoverRequest) or [`Solver`](solver::Solver).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -72,6 +79,7 @@ pub mod darc;
 pub mod minimal;
 pub mod parallel;
 pub mod partition;
+pub mod request;
 pub mod solver;
 pub mod stats;
 pub mod top_down;
@@ -80,6 +88,7 @@ pub mod verify;
 
 pub use cover::{CoverRun, CycleCover, RunMetrics};
 pub use partition::{Partition, Partitioner, Shard};
+pub use request::{BreakerStat, Budget, CoverReport, CoverRequest, Cycle, Objective};
 pub use solver::{
     CoverAlgorithm, ShardingMode, SolveContext, SolveError, SolveProgress, Solver, TwoCycleMode,
 };
@@ -231,19 +240,20 @@ pub fn compute_cover(g: &CsrGraph, constraint: &HopConstraint, algorithm: Algori
 
 /// Commonly used items re-exported together.
 pub mod prelude {
-    pub use crate::bottom_up::{bottom_up_cover, bottom_up_cover_with, BottomUpConfig};
+    pub use crate::bottom_up::{bottom_up_cover_with, BottomUpConfig};
     pub use crate::compute_cover;
     pub use crate::cover::{CoverRun, CycleCover, RunMetrics};
-    pub use crate::darc::{darc_dv_cover, darc_dv_cover_with, DarcDvConfig};
+    pub use crate::darc::{darc_dv_cover_with, DarcDvConfig};
     pub use crate::minimal::{minimal_prune, minimal_prune_candidates_with, SearchEngine};
-    pub use crate::parallel::{
-        parallel_top_down_cover, parallel_top_down_cover_with, ParallelConfig,
-    };
+    pub use crate::parallel::{parallel_top_down_cover_with, ParallelConfig};
     pub use crate::partition::{Partition, Partitioner, Shard};
+    pub use crate::request::{
+        BreakerStat, Budget, CoverReport, CoverRequest, Cycle, Objective, DEFAULT_RESIDUAL_CAP,
+    };
     pub use crate::solver::{
         CoverAlgorithm, ShardingMode, SolveContext, SolveError, SolveProgress, Solver, TwoCycleMode,
     };
-    pub use crate::top_down::{top_down_cover, top_down_cover_with, ScanOrder, TopDownConfig};
+    pub use crate::top_down::{top_down_cover_with, ScanOrder, TopDownConfig};
     pub use crate::two_cycle::{combined_cover, minimal_two_cycle_cover};
     pub use crate::verify::{is_valid_cover, verify_cover};
     pub use crate::{Algorithm, AlgorithmParseError};

@@ -78,6 +78,24 @@ pub fn minimal_prune_candidates_with<V: GraphView>(
     ctx: &mut SolveContext,
 ) -> Result<usize, SolveError> {
     let mut scratch = ctx.take_scratch();
+    // Weight-aware examination order: drop the costliest redundant breaker
+    // first. Algorithm 7 is correct under any candidate order (a removed
+    // vertex stays active for subsequent checks regardless), and examining
+    // expensive vertices first means a costly redundancy is committed before
+    // the cheap vertices that would re-justify it are tested — so the
+    // surviving minimal cover skews cheap. The stable cost-keyed sort is the
+    // identity under equal weights, preserving the unweighted order
+    // bit-exactly.
+    let ordered: Vec<VertexId>;
+    let candidates = if ctx.vertex_costs().is_uniform() {
+        candidates
+    } else {
+        let costs = ctx.vertex_costs().clone();
+        let mut by_cost = candidates.to_vec();
+        by_cost.sort_by_key(|&v| std::cmp::Reverse(costs.cost(v)));
+        ordered = by_cost;
+        &ordered
+    };
     let result = prune_candidates(
         g,
         cover,

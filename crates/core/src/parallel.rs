@@ -29,7 +29,7 @@ use tdb_graph::{ActiveSet, Graph, VertexId};
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
 use crate::solver::{CoverAlgorithm, SolveContext, SolveError, SolveScratch};
 use crate::stats::Timer;
-use crate::top_down::{top_down_cover, ScanOrder, TopDownConfig};
+use crate::top_down::{top_down_cover_with, ScanOrder, TopDownConfig};
 
 /// Configuration of the parallel TDB++ extension.
 #[derive(Debug, Clone, Copy)]
@@ -153,22 +153,6 @@ fn bounded_cycle_candidates<G: Graph + Sync>(
     }
 }
 
-/// Parallel TDB++: parallel global pre-filter followed by the sequential
-/// top-down scan restricted to the surviving candidates.
-///
-/// Legacy entry point kept for compatibility; prefer
-/// [`Solver`](crate::solver::Solver) or [`parallel_top_down_cover_with`],
-/// which honor time budgets and progress callbacks.
-pub fn parallel_top_down_cover<G: Graph + Sync>(
-    g: &G,
-    constraint: &HopConstraint,
-    config: &ParallelConfig,
-) -> CoverRun {
-    let mut ctx = SolveContext::new();
-    parallel_top_down_cover_with(g, constraint, config, &mut ctx)
-        .expect("unbudgeted parallel solve cannot fail")
-}
-
 /// Budget- and progress-aware parallel TDB++.
 ///
 /// The deadline is honored in both phases: the sharded pre-filter polls it
@@ -226,6 +210,7 @@ fn parallel_top_down_scan<G: Graph + Sync>(
     let mut cover_vertices: Vec<VertexId> = Vec::new();
 
     crate::top_down::scan_permutation_into(g, config.scan_order, &mut scratch.order);
+    crate::top_down::order_costly_first(ctx.vertex_costs(), &mut scratch.order);
 
     let total = scratch.order.len() as u64;
     for scanned in 0..scratch.order.len() {
@@ -326,7 +311,13 @@ pub fn parallel_is_valid_cover<G: Graph + Sync>(
 /// Convenience: sequential verification fallback used in tests to compare
 /// against the parallel path.
 pub fn sequential_reference_cover<G: Graph>(g: &G, constraint: &HopConstraint) -> CoverRun {
-    top_down_cover(g, constraint, &TopDownConfig::tdb_plus_plus())
+    top_down_cover_with(
+        g,
+        constraint,
+        &TopDownConfig::tdb_plus_plus(),
+        &mut SolveContext::new(),
+    )
+    .expect("unbudgeted solve cannot fail")
 }
 
 #[cfg(test)]
@@ -334,6 +325,15 @@ mod tests {
     use super::*;
     use crate::verify::is_valid_cover;
     use tdb_graph::gen::{erdos_renyi_gnm, preferential_attachment, PreferentialConfig};
+
+    fn parallel_top_down_cover<G: Graph + Sync>(
+        g: &G,
+        constraint: &HopConstraint,
+        config: &ParallelConfig,
+    ) -> CoverRun {
+        parallel_top_down_cover_with(g, constraint, config, &mut SolveContext::new())
+            .expect("unbudgeted solve cannot fail")
+    }
 
     #[test]
     fn parallel_matches_sequential_cover_exactly() {

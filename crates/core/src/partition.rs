@@ -158,6 +158,7 @@ pub(crate) fn solve_sharded(
             let failure = &failure;
             let failed = &failed;
             let next = &next;
+            let snapshot = &snapshot;
             scope.spawn(move || {
                 loop {
                     if failed.load(Ordering::Relaxed) {
@@ -167,8 +168,15 @@ pub(crate) fn solve_sharded(
                     let Some(shard) = shards.get(i) else {
                         return;
                     };
-                    // Each shard races the parent's armed deadline.
+                    // Each shard races the parent's armed deadline. Costs
+                    // travel in global ids; project them through the shard's
+                    // monotone id map so local vertex v reads the cost of
+                    // to_global[v].
                     let mut shard_ctx = snapshot.materialize();
+                    if !shard_ctx.vertex_costs().is_uniform() {
+                        let projected = shard_ctx.vertex_costs().project(&shard.to_global);
+                        shard_ctx.set_vertex_costs(projected);
+                    }
                     match solver.solve_shard(&shard.graph, constraint, &mut shard_ctx) {
                         Ok(run) => *results[i].lock().unwrap() = Some(run),
                         Err(e) => {

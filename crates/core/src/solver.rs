@@ -1,19 +1,22 @@
 //! The unified solver surface: one entry point for every cover algorithm.
 //!
-//! The rest of the crate implements three algorithm families behind four
-//! historically separate free functions with four unrelated config structs.
-//! This module unifies them:
+//! The rest of the crate implements three algorithm families behind unrelated
+//! per-family config structs. This module unifies them:
 //!
 //! * [`CoverAlgorithm`] — the trait every algorithm configuration implements.
 //!   An algorithm is a *value* ([`TopDownConfig`], [`BottomUpConfig`],
 //!   [`DarcDvConfig`], [`ParallelConfig`]) that you configure once and run
 //!   against any graph.
-//! * [`Solver`] — a builder constructed from the [`Algorithm`] enum that picks
-//!   the right configuration and shared run options (scan order, threads, time
-//!   budget, seed) without the caller matching on families.
+//! * [`Solver`] — the execution engine behind a
+//!   [`CoverRequest`](crate::CoverRequest): [`Solver::from_request`] maps a
+//!   request onto the right family configuration and the shared run options
+//!   (objective, costs, budget, scan order, threads, time budget, seed,
+//!   sharding); the `with_*` builders are delegating sugar over the same
+//!   fields.
 //! * [`SolveContext`] — shared run state threaded through every algorithm:
-//!   RNG seed, deadline/budget checks, accumulated [`RunMetrics`] across
-//!   solves, and an optional progress callback.
+//!   RNG seed, per-vertex costs when the objective is weight-aware,
+//!   deadline/budget checks, accumulated [`RunMetrics`] across solves, and an
+//!   optional progress callback.
 //! * [`SolveError`] — typed failure; today the only variant is
 //!   [`SolveError::BudgetExceeded`], returned when a configured time budget
 //!   runs out mid-solve instead of running unbounded.
@@ -41,11 +44,12 @@ use crate::bottom_up::BottomUpConfig;
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
 use crate::darc::DarcDvConfig;
 use crate::parallel::ParallelConfig;
+use crate::request::{self, Budget, CoverReport, CoverRequest, Objective};
 use crate::stats::Timer;
 use crate::top_down::{ScanOrder, TopDownConfig};
 use crate::two_cycle::minimal_two_cycle_cover;
 use crate::Algorithm;
-use tdb_graph::{Graph, VertexId};
+use tdb_graph::{CostModel, Graph, VertexId};
 
 /// Why a solve did not produce a cover.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,6 +196,7 @@ pub struct SolveContext<'a> {
     /// Seed for any randomized choices an algorithm makes (e.g. the
     /// [`ScanOrder::Random`] permutation when the caller did not pin one).
     pub seed: u64,
+    costs: CostModel,
     budget: Option<Duration>,
     deadline: Option<Instant>,
     armed_at: Option<Instant>,
@@ -223,6 +228,7 @@ impl<'a> SolveContext<'a> {
     pub fn new() -> Self {
         SolveContext {
             seed: 0,
+            costs: CostModel::Uniform,
             budget: None,
             deadline: None,
             armed_at: None,
@@ -231,6 +237,23 @@ impl<'a> SolveContext<'a> {
             progress: None,
             scratch: None,
         }
+    }
+
+    /// Install per-vertex costs, making every algorithm threaded through this
+    /// context weight-aware. [`Solver::solve_with`] sets this automatically
+    /// when the solver's objective is [`Objective::MinWeight`] and its cost
+    /// model is non-uniform; all weight-aware code paths are *ordering*
+    /// refinements that degenerate exactly to the unweighted behavior under
+    /// equal weights (see [`crate::request`] for the argument).
+    pub fn set_vertex_costs(&mut self, costs: CostModel) {
+        self.costs = costs;
+    }
+
+    /// The per-vertex costs this context threads into the algorithms
+    /// ([`CostModel::Uniform`] unless [`SolveContext::set_vertex_costs`] was
+    /// called).
+    pub fn vertex_costs(&self) -> &CostModel {
+        &self.costs
     }
 
     /// Borrow the context's reusable solve scratch, creating a cold one on the
@@ -357,6 +380,7 @@ impl<'a> SolveContext<'a> {
     pub(crate) fn snapshot(&self) -> ContextSnapshot {
         ContextSnapshot {
             seed: self.seed,
+            costs: self.costs.clone(),
             budget: self.budget,
             deadline: self.deadline,
             armed_at: self.armed_at,
@@ -364,25 +388,31 @@ impl<'a> SolveContext<'a> {
     }
 }
 
-/// A copyable snapshot of a [`SolveContext`]'s budget state.
+/// A cheaply cloneable snapshot of a [`SolveContext`]'s budget and cost state.
 ///
 /// The sharded executor cannot hand the parent context to worker threads (it
 /// may carry a non-`Sync` progress callback), so it snapshots the armed
-/// deadline once and materializes an equivalent child context per shard:
-/// every shard then races the *same* wall-clock deadline the caller armed.
-#[derive(Debug, Clone, Copy)]
+/// deadline and cost model once and materializes an equivalent child context
+/// per shard: every shard then races the *same* wall-clock deadline the
+/// caller armed. Costs travel in global vertex ids; the executor projects
+/// them through each shard's id map before solving (see
+/// [`crate::partition`]).
+#[derive(Debug, Clone)]
 pub(crate) struct ContextSnapshot {
     seed: u64,
+    costs: CostModel,
     budget: Option<Duration>,
     deadline: Option<Instant>,
     armed_at: Option<Instant>,
 }
 
 impl ContextSnapshot {
-    /// A fresh context sharing this snapshot's seed and armed deadline.
-    pub(crate) fn materialize(self) -> SolveContext<'static> {
+    /// A fresh context sharing this snapshot's seed, costs, and armed
+    /// deadline.
+    pub(crate) fn materialize(&self) -> SolveContext<'static> {
         SolveContext {
             seed: self.seed,
+            costs: self.costs.clone(),
             budget: self.budget,
             deadline: self.deadline,
             armed_at: self.armed_at,
@@ -485,10 +515,16 @@ pub(crate) fn available_threads() -> usize {
 
 /// The unified entry point: configure once, solve any graph.
 ///
-/// `Solver` maps an [`Algorithm`] to its family configuration and applies the
-/// shared options (scan order, threads, time budget, seed, sharding) in one
-/// place, so that harnesses, examples and tests no longer hand-roll per-family
-/// dispatch.
+/// `Solver` is the execution engine behind [`CoverRequest`]:
+/// [`Solver::from_request`] is the primary constructor, mapping a request's
+/// [`Algorithm`] to its family configuration and applying the shared options
+/// (objective, costs, budget, scan order, threads, time budget, seed,
+/// sharding) in one place. The `with_*` builders are delegating sugar over
+/// the same fields for call sites that start from [`Solver::new`].
+///
+/// [`Solver::solve`] returns the raw [`CoverRun`] (cover + metrics);
+/// [`Solver::solve_report`] additionally applies the [`Budget`], prices the
+/// cover, and (on request) explains it — see [`CoverReport`].
 ///
 /// ```
 /// use tdb_core::prelude::*;
@@ -501,7 +537,7 @@ pub(crate) fn available_threads() -> usize {
 ///     assert!(is_valid_cover(&g, &run.cover, &constraint), "{algorithm}");
 /// }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Solver {
     algorithm: Algorithm,
     scan_order: Option<ScanOrder>,
@@ -510,25 +546,92 @@ pub struct Solver {
     seed: u64,
     two_cycle_mode: TwoCycleMode,
     sharding: ShardingMode,
+    objective: Objective,
+    costs: CostModel,
+    budget: Budget,
+    explain: bool,
+    residual_cap: usize,
 }
 
 impl Solver {
     /// A solver for `algorithm` with that algorithm's default configuration.
     pub fn new(algorithm: Algorithm) -> Self {
+        Solver::from_request(CoverRequest::new(algorithm, 0))
+    }
+
+    /// The primary constructor: a solver executing `request`.
+    ///
+    /// The request's `k`/`include_two_cycles` are carried by the
+    /// [`HopConstraint`] passed to the solve methods
+    /// ([`CoverRequest::constraint`] builds it); everything else maps onto
+    /// solver state here.
+    pub fn from_request(request: CoverRequest) -> Self {
         Solver {
-            algorithm,
-            scan_order: None,
-            threads: 0,
-            time_budget: None,
-            seed: 0,
-            two_cycle_mode: TwoCycleMode::FollowConstraint,
-            sharding: ShardingMode::Off,
+            algorithm: request.algorithm,
+            scan_order: request.scan_order,
+            threads: request.threads,
+            time_budget: request.time_budget,
+            seed: request.seed,
+            two_cycle_mode: request.two_cycle_mode,
+            sharding: request.sharding,
+            objective: request.objective,
+            costs: request.costs,
+            budget: request.budget,
+            explain: request.explain,
+            residual_cap: request.residual_cap,
         }
     }
 
     /// The algorithm this solver runs.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// What this solver minimizes (see [`Objective`]).
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Per-vertex removal costs, consulted by [`Objective::MinWeight`] and
+    /// [`Budget::MaxCost`].
+    pub fn with_costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Operational cap applied by [`Solver::solve_report`] (see [`Budget`]).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Have [`Solver::solve_report`] compute per-breaker statistics
+    /// ([`CoverReport::breaker_stats`]).
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
+    }
+
+    /// Cap on residual cycles enumerated by a budget-exhausted report.
+    pub fn with_residual_cap(mut self, cap: usize) -> Self {
+        self.residual_cap = cap;
+        self
+    }
+
+    /// The configured objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The configured cost model.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
     }
 
     /// Override the vertex scan order (top-down and parallel families; the
@@ -610,7 +713,7 @@ impl Solver {
     /// shard workers do not multiply against `available_parallelism` (an
     /// explicit `with_threads(n)` is honored as given).
     pub(crate) fn shard_solver(&self) -> Solver {
-        let mut shard = *self;
+        let mut shard = self.clone();
         if matches!(self.algorithm, Algorithm::TdbParallel) && shard.threads == 0 {
             shard.threads = 1;
         }
@@ -655,14 +758,25 @@ impl Solver {
         }
     }
 
-    /// A fresh [`SolveContext`] carrying this solver's seed and budget.
+    /// A fresh [`SolveContext`] carrying this solver's seed, time budget, and
+    /// (under [`Objective::MinWeight`] with a non-uniform model) per-vertex
+    /// costs.
     pub fn context(&self) -> SolveContext<'static> {
         let mut ctx = SolveContext::new();
         ctx.seed = self.seed;
         if let Some(budget) = self.time_budget {
             ctx.set_time_budget(budget);
         }
+        if self.weight_aware() {
+            ctx.set_vertex_costs(self.costs.clone());
+        }
         ctx
+    }
+
+    /// Whether this solver threads costs into the algorithms: the objective
+    /// must ask for weight and the model must actually distinguish vertices.
+    fn weight_aware(&self) -> bool {
+        self.objective == Objective::MinWeight && !self.costs.is_uniform()
     }
 
     /// Compute a cover of `g` under `constraint`.
@@ -680,10 +794,69 @@ impl Solver {
         ctx: &mut SolveContext,
     ) -> Result<CoverRun, SolveError> {
         ctx.arm();
+        if self.weight_aware() && ctx.vertex_costs().is_uniform() {
+            ctx.set_vertex_costs(self.costs.clone());
+        }
         match self.sharding.resolved_threads() {
             None => self.solve_shard(g, constraint, ctx),
             Some(threads) => crate::partition::solve_sharded(self, g, constraint, ctx, threads),
         }
+    }
+
+    /// Compute a structured [`CoverReport`]: solve, apply the configured
+    /// [`Budget`], price the cover, and — when a budget dropped vertices or
+    /// explanation was requested — enumerate residual cycles and per-breaker
+    /// statistics.
+    ///
+    /// Budget trimming ranks the computed cover by cost-effectiveness (total
+    /// degree per unit cost) and keeps the best vertices that fit; under
+    /// sharding the cap is enforced here, globally on the merged cover, so a
+    /// large shard's high-value breakers win over a small shard's marginal
+    /// ones (the largest-first shard queue makes them available first).
+    pub fn solve_report(
+        &self,
+        g: &CsrGraph,
+        constraint: &HopConstraint,
+    ) -> Result<CoverReport, SolveError> {
+        let mut ctx = self.context();
+        self.solve_report_with(g, constraint, &mut ctx)
+    }
+
+    /// [`Solver::solve_report`] with a caller-provided context.
+    pub fn solve_report_with(
+        &self,
+        g: &CsrGraph,
+        constraint: &HopConstraint,
+        ctx: &mut SolveContext,
+    ) -> Result<CoverReport, SolveError> {
+        let run = self.solve_with(g, constraint, ctx)?;
+        // Residual/explain enumeration must use the constraint the cover was
+        // actually computed under, not the caller's literal one.
+        let effective = match self.two_cycle_mode {
+            TwoCycleMode::FollowConstraint => *constraint,
+            TwoCycleMode::Integrated | TwoCycleMode::Separate => {
+                HopConstraint::with_two_cycles(constraint.max_hops)
+            }
+        };
+        let (kept, exhausted) = request::apply_budget(g, &run.cover, self.budget, &self.costs);
+        let residual = if exhausted {
+            request::enumerate_residual(g, &kept, &effective, self.residual_cap)
+        } else {
+            Vec::new()
+        };
+        let breaker_stats = if self.explain {
+            request::breaker_statistics(g, &run.cover, &kept, &effective, &self.costs)
+        } else {
+            Vec::new()
+        };
+        Ok(CoverReport {
+            total_cost: self.costs.total(kept.iter()),
+            cover: kept,
+            metrics: run.metrics,
+            exhausted,
+            residual,
+            breaker_stats,
+        })
     }
 
     /// The per-shard (equivalently: unsharded) solve pipeline — two-cycle-mode

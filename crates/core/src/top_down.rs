@@ -168,19 +168,20 @@ pub(crate) fn scan_permutation_into<G: Graph>(
     }
 }
 
-/// Compute a hop-constrained cycle cover with the top-down algorithm.
-///
-/// Legacy entry point kept for compatibility; prefer
-/// [`Solver`](crate::solver::Solver) or [`top_down_cover_with`], which honor
-/// time budgets and progress callbacks.
-pub fn top_down_cover<G: Graph>(
-    g: &G,
-    constraint: &HopConstraint,
-    config: &TopDownConfig,
-) -> CoverRun {
-    let mut ctx = SolveContext::new();
-    top_down_cover_with(g, constraint, config, &mut ctx)
-        .expect("unbudgeted top-down solve cannot fail")
+/// Refine a scan permutation for a weight-aware solve: stable-sort so that
+/// costlier vertices are scanned *first*. Early-scanned vertices face a sparse
+/// `G0` and tend to be released; late-scanned ones face the dense end of the
+/// scan and tend to be kept — so scanning expensive vertices early biases the
+/// kept (cover) positions toward cheap vertices without changing any
+/// keep/release decision's correctness (the scan is correct under any
+/// permutation). The sort is stable and keyed on cost alone, so under equal
+/// weights it is the identity and the unweighted scan order is preserved
+/// bit-exactly.
+pub(crate) fn order_costly_first(costs: &tdb_graph::CostModel, vertices: &mut [VertexId]) {
+    if costs.is_uniform() {
+        return;
+    }
+    vertices.sort_by_key(|&v| std::cmp::Reverse(costs.cost(v)));
 }
 
 /// Budget- and progress-aware top-down cover computation.
@@ -243,6 +244,7 @@ fn top_down_scan<G: Graph>(
     }
 
     scan_permutation_into(g, config.scan_order, &mut scratch.order);
+    order_costly_first(ctx.vertex_costs(), &mut scratch.order);
     let total = scratch.order.len() as u64;
     let _scan_span = tdb_obs::trace::span("solve/scan");
     let _scan_timer = tdb_obs::histogram!("tdb_solve_scan_seconds").start();
@@ -331,13 +333,31 @@ impl CoverAlgorithm for TopDownConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bottom_up::{bottom_up_cover, BottomUpConfig};
+    use crate::bottom_up::{bottom_up_cover_with, BottomUpConfig};
     use crate::verify::verify_cover;
     use tdb_graph::builder::graph_from_edges;
     use tdb_graph::gen::{
         complete_digraph, directed_cycle, erdos_renyi_gnm, layered_dag, preferential_attachment,
         small_world, PreferentialConfig,
     };
+
+    fn top_down_cover<G: Graph>(
+        g: &G,
+        constraint: &HopConstraint,
+        config: &TopDownConfig,
+    ) -> CoverRun {
+        top_down_cover_with(g, constraint, config, &mut SolveContext::new())
+            .expect("unbudgeted solve cannot fail")
+    }
+
+    fn bottom_up_cover<G: Graph>(
+        g: &G,
+        constraint: &HopConstraint,
+        config: &BottomUpConfig,
+    ) -> CoverRun {
+        bottom_up_cover_with(g, constraint, config, &mut SolveContext::new())
+            .expect("unbudgeted solve cannot fail")
+    }
 
     fn all_variants() -> Vec<TopDownConfig> {
         vec![

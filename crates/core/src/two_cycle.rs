@@ -19,8 +19,9 @@ use tdb_cycle::HopConstraint;
 use tdb_graph::{CsrGraph, Graph, VertexId};
 
 use crate::cover::{CoverRun, CycleCover, RunMetrics};
+use crate::solver::SolveContext;
 use crate::stats::Timer;
-use crate::top_down::{top_down_cover, TopDownConfig};
+use crate::top_down::{top_down_cover_with, TopDownConfig};
 
 /// All reciprocated pairs `{u, v}` (with `u < v`) of the graph — the 2-cycles.
 pub fn two_cycle_pairs<G: Graph>(g: &G) -> Vec<(VertexId, VertexId)> {
@@ -99,7 +100,13 @@ pub fn combined_cover(g: &CsrGraph, k: usize, config: &TopDownConfig) -> CoverRu
         remove[v as usize] = true;
     }
     let residual = g.remove_vertices(&remove);
-    let rest = top_down_cover(&residual, &HopConstraint::new(k), config);
+    let rest = top_down_cover_with(
+        &residual,
+        &HopConstraint::new(k),
+        config,
+        &mut SolveContext::new(),
+    )
+    .expect("unbudgeted solve cannot fail");
 
     let mut metrics = RunMetrics::new("2CYC+TDB", k, true);
     metrics.cycle_queries = rest.metrics.cycle_queries;
@@ -205,7 +212,13 @@ mod tests {
             random_rewire: 0.1,
             seed: 33,
         });
-        let plain = top_down_cover(&g, &HopConstraint::new(4), &TopDownConfig::tdb_plus_plus());
+        let plain = top_down_cover_with(
+            &g,
+            &HopConstraint::new(4),
+            &TopDownConfig::tdb_plus_plus(),
+            &mut SolveContext::new(),
+        )
+        .unwrap();
         let combined = combined_cover(&g, 4, &TopDownConfig::tdb_plus_plus());
         assert!(combined.cover_size() >= plain.cover_size());
     }

@@ -159,6 +159,9 @@ pub struct UpdateMetrics {
     pub cycles_repaired: u64,
     /// Vertices added to the cover to break those cycles.
     pub breakers_added: u64,
+    /// Total vertex cost of the added breakers under the engine's cost model
+    /// (equals `breakers_added` when costs are uniform).
+    pub breaker_cost: u64,
     /// Edge-anchored cycle queries issued (including the final miss per edge).
     pub edge_queries: u64,
     /// Vertices removed by lazy re-minimization during this window.
@@ -192,6 +195,7 @@ impl UpdateMetrics {
         self.noops += other.noops;
         self.cycles_repaired += other.cycles_repaired;
         self.breakers_added += other.breakers_added;
+        self.breaker_cost = self.breaker_cost.saturating_add(other.breaker_cost);
         self.edge_queries += other.edge_queries;
         self.pruned += other.pruned;
         self.minimize_checked += other.minimize_checked;

@@ -31,10 +31,10 @@ use std::time::Instant;
 
 use tdb_core::minimal::{minimal_prune_candidates_with, SearchEngine};
 use tdb_core::solver::{SolveContext, SolveError, SolveScratch, Solver, TwoCycleMode};
-use tdb_core::{Algorithm, CycleCover, RunMetrics};
+use tdb_core::{Algorithm, CycleCover, Objective, RunMetrics};
 use tdb_cycle::{EdgeCycleSearcher, HopConstraint};
 use tdb_graph::scc::tarjan_scc;
-use tdb_graph::{ActiveSet, CsrGraph, DeltaGraph, FixedBitSet, GraphView, VertexId};
+use tdb_graph::{ActiveSet, CostModel, CsrGraph, DeltaGraph, FixedBitSet, GraphView, VertexId};
 
 use crate::batch::{EdgeBatch, EdgeOp, UpdateMetrics};
 
@@ -119,6 +119,9 @@ pub struct DynamicCover {
     /// Warm solve scratch handed to the minimize pass, so repeated minimizes
     /// reuse one set of engine allocations instead of re-allocating per call.
     solve_scratch: SolveScratch,
+    /// Vertex cost model steering insert repairs: with non-uniform costs the
+    /// breaker heuristic maximizes degree per unit cost instead of raw degree.
+    costs: CostModel,
     totals: UpdateMetrics,
 }
 
@@ -163,8 +166,28 @@ impl DynamicCover {
             dirty_mask: vec![false; n],
             component_marks: FixedBitSet::new(0),
             solve_scratch: SolveScratch::default(),
+            costs: CostModel::Uniform,
             totals: UpdateMetrics::default(),
         }
+    }
+
+    /// Attach a vertex cost model: insert repairs then pick the breaker
+    /// maximizing degree per unit cost (u128 cross-multiplied, so uniform or
+    /// all-equal costs reproduce the unweighted choice bit-for-bit), and
+    /// [`UpdateMetrics::breaker_cost`] accumulates the cost of added breakers.
+    pub fn with_vertex_costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// The engine's vertex cost model ([`CostModel::Uniform`] by default).
+    pub fn vertex_costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Total cost of the current cover under the engine's cost model.
+    pub fn cover_cost(&self) -> u64 {
+        self.costs.total(self.cover.iter())
     }
 
     /// The current cover. Valid for the current graph at every point; minimal
@@ -216,7 +239,9 @@ impl DynamicCover {
     pub fn state(&self) -> CoverState {
         CoverState {
             graph: self.graph.clone(),
+            cover_cost: self.cover_cost(),
             cover: self.cover.clone(),
+            costs: self.costs.clone(),
             constraint: self.constraint,
             dirty: self.dirty,
             totals: self.totals,
@@ -359,13 +384,14 @@ impl DynamicCover {
             let breaker = if added >= self.config.max_breakers_per_insert {
                 u // covers the edge itself: breaks all remaining cycles at once
             } else {
-                Self::pick_breaker(&self.graph, &cycle)
+                Self::pick_breaker(&self.graph, &cycle, &self.costs)
             };
             self.cover.insert(breaker);
             self.active.deactivate(breaker);
             self.mark_dirty(breaker);
             added += 1;
             window.breakers_added += 1;
+            window.breaker_cost = window.breaker_cost.saturating_add(self.costs.cost(breaker));
             if breaker == u || breaker == v {
                 break; // endpoint covered: nothing through (u, v) survives
             }
@@ -481,18 +507,26 @@ impl DynamicCover {
         (removed, candidates.len())
     }
 
-    /// Breaker heuristic: the highest-degree vertex of the witness cycle.
-    /// Hubs sit on many cycles, so covering them preempts future repairs —
-    /// the same bias the static top-down scan exhibits on skewed graphs.
-    /// Deterministic: ties resolve to the earliest cycle position.
-    fn pick_breaker(graph: &DeltaGraph, cycle: &[VertexId]) -> VertexId {
+    /// Breaker heuristic: the vertex of the witness cycle with the highest
+    /// degree per unit cost. Hubs sit on many cycles, so covering them
+    /// preempts future repairs — the same bias the static top-down scan
+    /// exhibits on skewed graphs — while the cost divisor steers repairs away
+    /// from expensive vertices under a [`CostModel::PerVertex`] model.
+    /// Deterministic: the comparison is the u128 cross-multiplication
+    /// `deg(x) * cost(best) > deg(best) * cost(x)`, which with all-equal
+    /// costs reduces to the strict `deg(x) > deg(best)` of the unweighted
+    /// engine, so ties still resolve to the earliest cycle position.
+    fn pick_breaker(graph: &DeltaGraph, cycle: &[VertexId], costs: &CostModel) -> VertexId {
         let mut best = cycle[0];
-        let mut best_deg = graph.out_deg(best) + graph.in_deg(best);
+        let mut best_deg = (graph.out_deg(best) + graph.in_deg(best)) as u128;
+        let mut best_cost = costs.cost(best) as u128;
         for &x in &cycle[1..] {
-            let deg = graph.out_deg(x) + graph.in_deg(x);
-            if deg > best_deg {
+            let deg = (graph.out_deg(x) + graph.in_deg(x)) as u128;
+            let cost = costs.cost(x) as u128;
+            if deg * best_cost > best_deg * cost {
                 best = x;
                 best_deg = deg;
+                best_cost = cost;
             }
         }
         best
@@ -545,6 +579,12 @@ pub struct CoverState {
     pub graph: DeltaGraph,
     /// The cover at capture time, valid for [`CoverState::graph`].
     pub cover: CycleCover,
+    /// Total cover cost under the engine's cost model at capture time
+    /// (equals the cover size when costs are uniform).
+    pub cover_cost: u64,
+    /// The engine's vertex cost model at capture time (Arc-backed, so the
+    /// copy is cheap).
+    pub costs: CostModel,
     /// The hop constraint the cover maintains.
     pub constraint: HopConstraint,
     /// Whether the engine considered the cover possibly non-minimal.
@@ -626,9 +666,17 @@ impl SolveDynamic for Solver {
                 HopConstraint::with_two_cycles(constraint.max_hops)
             }
         };
-        Ok(DynamicCover::from_cover_with_config(
-            graph, run.cover, maintained, config,
-        ))
+        // Mirror the static solver's gating: the engine goes weight-aware
+        // exactly when the seeding solve did.
+        let costs = if self.objective() == Objective::MinWeight {
+            self.costs().clone()
+        } else {
+            CostModel::Uniform
+        };
+        Ok(
+            DynamicCover::from_cover_with_config(graph, run.cover, maintained, config)
+                .with_vertex_costs(costs),
+        )
     }
 }
 
@@ -943,6 +991,68 @@ mod tests {
         assert_eq!(a.num_edges(), b.num_edges());
         assert!(a.edges().zip(b.edges()).all(|(x, y)| x == y));
         assert!(raw.is_valid() && coalesced.is_valid());
+    }
+
+    #[test]
+    fn weighted_repair_prefers_cheap_breakers() {
+        // Path 0 -> 1 -> 2 with vertex 1 a hub (extra spokes raise its
+        // degree). Unweighted repair of the closing edge picks the hub;
+        // with the hub 100x more expensive the repair avoids it.
+        let edges = &[(0, 1), (1, 2), (1, 5), (5, 1), (6, 1), (1, 6)];
+        let base = || {
+            let mut g: Vec<(u32, u32)> = edges.to_vec();
+            g.push((3, 4)); // padding so vertex ids reach 6
+            graph_from_edges(&g)
+        };
+        let k = HopConstraint::new(3);
+        // k=3 without 2-cycles: the seed graph has no constrained cycle yet,
+        // so the empty cover is valid until the closing edge arrives.
+        let mut plain_cover =
+            DynamicCover::from_cover(base(), CycleCover::from_vertices(vec![]), k);
+        assert!(plain_cover.is_valid());
+        assert_eq!(plain_cover.insert_edge(2, 0), 1);
+        let unweighted_breaker = plain_cover.cover().iter().next().unwrap();
+        assert_eq!(unweighted_breaker, 1, "hub wins on degree");
+
+        let costs = CostModel::from_fn(7, |v| if v == 1 { 100 } else { 1 });
+        let mut weighted = DynamicCover::from_cover(base(), CycleCover::from_vertices(vec![]), k)
+            .with_vertex_costs(costs.clone());
+        assert_eq!(weighted.insert_edge(2, 0), 1);
+        let weighted_breaker = weighted.cover().iter().next().unwrap();
+        assert_ne!(weighted_breaker, 1, "expensive hub must be avoided");
+        assert!(weighted.is_valid());
+        assert_eq!(weighted.totals().breaker_cost, 1);
+        assert_eq!(weighted.cover_cost(), 1);
+        assert_eq!(weighted.state().cover_cost, 1);
+
+        // All-equal costs reproduce the unweighted choice bit-for-bit.
+        let flat = CostModel::from_fn(7, |_| 1);
+        let mut flat_cover = DynamicCover::from_cover(base(), CycleCover::from_vertices(vec![]), k)
+            .with_vertex_costs(flat);
+        assert_eq!(flat_cover.insert_edge(2, 0), 1);
+        assert_eq!(
+            flat_cover.cover().as_slice(),
+            plain_cover.cover().as_slice(),
+            "all-1 weights must not change the repair"
+        );
+    }
+
+    #[test]
+    fn solve_dynamic_threads_the_solver_cost_model() {
+        let g = graph_from_edges(&[(0, 1), (1, 2)]);
+        let costs = CostModel::from_fn(3, |v| (v as u64 + 1) * 10);
+        let d = Solver::new(Algorithm::TdbPlusPlus)
+            .with_objective(Objective::MinWeight)
+            .with_costs(costs)
+            .solve_dynamic(g.clone(), &HopConstraint::new(4))
+            .unwrap();
+        assert!(!d.vertex_costs().is_uniform());
+        // Without MinWeight the costs stay behind: uniform engine.
+        let d = Solver::new(Algorithm::TdbPlusPlus)
+            .with_costs(CostModel::from_fn(3, |_| 7))
+            .solve_dynamic(g, &HopConstraint::new(4))
+            .unwrap();
+        assert!(d.vertex_costs().is_uniform());
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Per-vertex removal costs — the weight substrate of min-weight covers.
+//!
+//! The paper's objective is minimum *cardinality*: every vertex is equally
+//! expensive to delete. Real deployments rarely work that way — suspending a
+//! high-value account, victimizing a long-running transaction, or cutting a
+//! wide bus all cost more than their low-traffic counterparts. A [`CostModel`]
+//! attaches a `u64` removal cost to every vertex so the solver layer
+//! (`tdb-core`) can optimize covered-cycles-per-unit-cost instead of raw
+//! counts.
+//!
+//! The model is deliberately tiny:
+//!
+//! * [`CostModel::Uniform`] — every vertex costs 1. This is the default and
+//!   the exact paper semantics; all weight-aware code paths degenerate to the
+//!   unweighted ones under it.
+//! * [`CostModel::PerVertex`] — an explicit weight per vertex, shared behind
+//!   an `Arc` so solvers, shards, and snapshots clone it in O(1).
+//!
+//! Costs are clamped to `>= 1` on read: a zero-cost vertex would make
+//! "cycles per unit cost" undefined and would let budgeted solves pick
+//! infinitely many "free" breakers.
+//!
+//! The binary graph codec ([`crate::io`]) serializes a non-uniform model as an
+//! optional trailing section of the `.tdbg` format, so weighted instances ship
+//! as one artifact.
+
+use std::sync::Arc;
+
+use crate::types::VertexId;
+
+/// Per-vertex removal costs. See the [module docs](self) for semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// Every vertex costs 1 — the paper's minimum-cardinality semantics.
+    #[default]
+    Uniform,
+    /// Explicit cost per vertex, indexed by [`VertexId`]. Vertices beyond the
+    /// slice (e.g. minted later by a streaming insert) cost 1.
+    PerVertex(Arc<[u64]>),
+}
+
+impl CostModel {
+    /// Build a per-vertex model from explicit weights.
+    pub fn per_vertex(weights: impl Into<Arc<[u64]>>) -> Self {
+        CostModel::PerVertex(weights.into())
+    }
+
+    /// Build a per-vertex model by evaluating `f` for each of `n` vertices.
+    pub fn from_fn(n: usize, mut f: impl FnMut(VertexId) -> u64) -> Self {
+        CostModel::PerVertex((0..n as VertexId).map(&mut f).collect())
+    }
+
+    /// The removal cost of `v`, clamped to `>= 1`. Vertices without an entry
+    /// (uniform model, or ids beyond the weight slice) cost 1.
+    #[inline]
+    pub fn cost(&self, v: VertexId) -> u64 {
+        match self {
+            CostModel::Uniform => 1,
+            CostModel::PerVertex(w) => w.get(v as usize).copied().unwrap_or(1).max(1),
+        }
+    }
+
+    /// Whether this is the uniform (cardinality) model.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, CostModel::Uniform)
+    }
+
+    /// The explicit weight slice, if any.
+    pub fn weights(&self) -> Option<&[u64]> {
+        match self {
+            CostModel::Uniform => None,
+            CostModel::PerVertex(w) => Some(w),
+        }
+    }
+
+    /// Total cost of a vertex set (saturating).
+    pub fn total<I: IntoIterator<Item = VertexId>>(&self, vertices: I) -> u64 {
+        vertices
+            .into_iter()
+            .fold(0u64, |acc, v| acc.saturating_add(self.cost(v)))
+    }
+
+    /// Restrict the model to a compact sub-range of vertices: entry `i` of the
+    /// result is the cost of `map[i]` in `self`. Used by the sharded executor,
+    /// whose per-SCC subgraphs renumber vertices through exactly such a map.
+    pub fn project(&self, map: &[VertexId]) -> CostModel {
+        match self {
+            CostModel::Uniform => CostModel::Uniform,
+            CostModel::PerVertex(_) => {
+                CostModel::PerVertex(map.iter().map(|&g| self.cost(g)).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_one_everywhere() {
+        let c = CostModel::Uniform;
+        assert!(c.is_uniform());
+        assert_eq!(c.cost(0), 1);
+        assert_eq!(c.cost(u32::MAX), 1);
+        assert_eq!(c.total([1, 2, 3]), 3);
+        assert!(c.weights().is_none());
+    }
+
+    #[test]
+    fn per_vertex_reads_clamp_and_default() {
+        let c = CostModel::per_vertex(vec![5, 0, 7]);
+        assert!(!c.is_uniform());
+        assert_eq!(c.cost(0), 5);
+        assert_eq!(c.cost(1), 1, "zero weights are clamped to 1");
+        assert_eq!(c.cost(2), 7);
+        assert_eq!(c.cost(99), 1, "out-of-slice vertices cost 1");
+        assert_eq!(c.total([0, 2]), 12);
+        assert_eq!(c.weights().unwrap(), &[5, 0, 7]);
+    }
+
+    #[test]
+    fn from_fn_indexes_by_vertex() {
+        let c = CostModel::from_fn(4, |v| u64::from(v) * 10 + 1);
+        assert_eq!(c.cost(0), 1);
+        assert_eq!(c.cost(3), 31);
+    }
+
+    #[test]
+    fn total_saturates_instead_of_overflowing() {
+        let c = CostModel::per_vertex(vec![u64::MAX, u64::MAX]);
+        assert_eq!(c.total([0, 1]), u64::MAX);
+    }
+
+    #[test]
+    fn project_remaps_through_a_shard_map() {
+        let c = CostModel::per_vertex(vec![10, 20, 30, 40]);
+        let shard = c.project(&[3, 1]);
+        assert_eq!(shard.cost(0), 40);
+        assert_eq!(shard.cost(1), 20);
+        assert!(CostModel::Uniform.project(&[3, 1]).is_uniform());
+    }
+
+    #[test]
+    fn clones_share_the_weight_storage() {
+        let c = CostModel::per_vertex(vec![1u64; 1024]);
+        let d = c.clone();
+        let (CostModel::PerVertex(a), CostModel::PerVertex(b)) = (&c, &d) else {
+            panic!("expected per-vertex models");
+        };
+        assert!(Arc::ptr_eq(a, b));
+    }
+}

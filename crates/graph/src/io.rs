@@ -8,19 +8,37 @@
 //! The binary format (`TDBG` magic) stores the deduplicated edge list as
 //! little-endian `u32` pairs and loads an order of magnitude faster, which
 //! matters when the experiment harness re-reads multi-million-edge proxies.
+//!
+//! # Binary layout
+//!
+//! ```text
+//! version 1:  "TDBG" | u32 version | u64 n | u64 m | m x (u32 src, u32 dst)
+//! version 2:  ... as version 1 ... | u64 w | w x u64 cost
+//! ```
+//!
+//! Version 2 appends an **optional weights section** — the serialized form of
+//! a non-uniform [`CostModel`] — after the edge records: an entry count `w`
+//! followed by one little-endian `u64` cost per vertex. `w` must equal `n`;
+//! a mismatch is the typed [`GraphError::WeightsLength`], never a partial
+//! parse. Unweighted graphs keep writing version 1 byte-for-byte, and both
+//! versions load through every read entry point ([`from_binary`] drops the
+//! weights, [`from_binary_weighted`] returns them).
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::builder::GraphBuilder;
+use crate::cost::CostModel;
 use crate::csr::CsrGraph;
 use crate::types::{GraphError, VertexId};
 use crate::Graph;
 
 /// Magic prefix of the binary graph format.
 const MAGIC: &[u8; 4] = b"TDBG";
-/// Current binary format version.
+/// Binary format version for plain (unweighted) graphs.
 const VERSION: u32 = 1;
+/// Binary format version carrying the optional per-vertex weights section.
+const VERSION_WEIGHTED: u32 = 2;
 
 /// Parse an edge-list from any reader.
 ///
@@ -79,16 +97,35 @@ pub fn write_edge_list<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), 
     Ok(())
 }
 
-/// Serialize a graph into the compact binary format.
+/// Serialize a graph into the compact binary format (version 1, no weights).
 pub fn to_binary(graph: &CsrGraph) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(24 + graph.num_edges() * 8);
+    to_binary_weighted(graph, &CostModel::Uniform)
+}
+
+/// Serialize a graph plus its cost model.
+///
+/// A [`CostModel::Uniform`] model writes the plain version-1 format
+/// byte-for-byte; a per-vertex model writes version 2 with exactly one weight
+/// per vertex appended (missing entries serialize as their effective cost, 1).
+pub fn to_binary_weighted(graph: &CsrGraph, costs: &CostModel) -> Vec<u8> {
+    let n = graph.num_vertices();
+    let weighted = !costs.is_uniform();
+    let mut buf =
+        Vec::with_capacity(24 + graph.num_edges() * 8 + if weighted { 8 + n * 8 } else { 0 });
     buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
-    buf.extend_from_slice(&(graph.num_vertices() as u64).to_le_bytes());
+    let version = if weighted { VERSION_WEIGHTED } else { VERSION };
+    buf.extend_from_slice(&version.to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
     buf.extend_from_slice(&(graph.num_edges() as u64).to_le_bytes());
     for e in graph.edges() {
         buf.extend_from_slice(&e.source.to_le_bytes());
         buf.extend_from_slice(&e.target.to_le_bytes());
+    }
+    if weighted {
+        buf.extend_from_slice(&(n as u64).to_le_bytes());
+        for v in graph.vertices() {
+            buf.extend_from_slice(&costs.cost(v).to_le_bytes());
+        }
     }
     buf
 }
@@ -136,13 +173,22 @@ impl<'a> ByteReader<'a> {
     }
 }
 
-/// Deserialize a graph from the compact binary format.
-///
-/// Untrusted input is safe here: truncated buffers, bad magic/version,
-/// header counts that would overflow or exceed the id space, out-of-range
-/// edge endpoints, and trailing garbage all produce a typed
-/// [`GraphError::Format`] — never a panic.
+/// Deserialize a graph from the compact binary format, dropping any weights
+/// section. See [`from_binary_weighted`] for the full contract.
 pub fn from_binary(data: &[u8]) -> Result<CsrGraph, GraphError> {
+    from_binary_weighted(data).map(|(g, _)| g)
+}
+
+/// Deserialize a graph and its cost model from the compact binary format.
+///
+/// Version-1 buffers yield [`CostModel::Uniform`]; version-2 buffers yield the
+/// per-vertex weights of their trailing section. Untrusted input is safe here:
+/// truncated buffers, bad magic/version, header counts that would overflow or
+/// exceed the id space, out-of-range edge endpoints, and trailing garbage all
+/// produce a typed [`GraphError::Format`] — never a panic — and a weights
+/// section whose entry count disagrees with the vertex count is the typed
+/// [`GraphError::WeightsLength`].
+pub fn from_binary_weighted(data: &[u8]) -> Result<(CsrGraph, CostModel), GraphError> {
     if data.len() < 24 {
         return Err(GraphError::Format("buffer shorter than header".into()));
     }
@@ -154,9 +200,9 @@ pub fn from_binary(data: &[u8]) -> Result<CsrGraph, GraphError> {
         )));
     }
     let version = data.get_u32_le()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_WEIGHTED {
         return Err(GraphError::Format(format!(
-            "unsupported version {version}, expected {VERSION}"
+            "unsupported version {version}, expected {VERSION} or {VERSION_WEIGHTED}"
         )));
     }
     let n = data.get_u64_le()? as usize;
@@ -175,7 +221,7 @@ pub fn from_binary(data: &[u8]) -> Result<CsrGraph, GraphError> {
             data.remaining() / 8
         )));
     }
-    if data.remaining() != m * 8 {
+    if version == VERSION && data.remaining() != m * 8 {
         return Err(GraphError::Format(format!(
             "trailing garbage: {} bytes after the {m} declared edge records",
             data.remaining() - m * 8
@@ -193,12 +239,55 @@ pub fn from_binary(data: &[u8]) -> Result<CsrGraph, GraphError> {
         }
         builder.add_edge(u, v);
     }
-    Ok(builder.build())
+    let costs = if version == VERSION_WEIGHTED {
+        // The count is checked against the header before any byte-length
+        // test: a wrong-sized section is a length mismatch first, whatever
+        // else is wrong with the buffer — and never a reason to allocate.
+        let w = data.get_u64_le()? as usize;
+        if w != n {
+            return Err(GraphError::WeightsLength {
+                vertices: n,
+                weights: w,
+            });
+        }
+        if data.remaining() / 8 < w {
+            return Err(GraphError::Format(format!(
+                "truncated weights section: need {w} entries, have bytes for {}",
+                data.remaining() / 8
+            )));
+        }
+        if data.remaining() != w * 8 {
+            return Err(GraphError::Format(format!(
+                "trailing garbage: {} bytes after the {w} declared weight entries",
+                data.remaining() - w * 8
+            )));
+        }
+        let mut weights = Vec::with_capacity(w);
+        for _ in 0..w {
+            weights.push(data.get_u64_le()?);
+        }
+        CostModel::per_vertex(weights)
+    } else {
+        CostModel::Uniform
+    };
+    Ok((builder.build(), costs))
 }
 
 /// Write the binary format to disk.
 pub fn write_binary<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), GraphError> {
     let bytes = to_binary(graph);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Write the binary format plus a cost model to disk.
+pub fn write_binary_weighted<P: AsRef<Path>>(
+    graph: &CsrGraph,
+    costs: &CostModel,
+    path: P,
+) -> Result<(), GraphError> {
+    let bytes = to_binary_weighted(graph, costs);
     let mut file = std::fs::File::create(path)?;
     file.write_all(&bytes)?;
     Ok(())
@@ -210,6 +299,14 @@ pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
     let mut bytes = Vec::new();
     file.read_to_end(&mut bytes)?;
     from_binary(&bytes)
+}
+
+/// Read the binary format plus its cost model from disk.
+pub fn read_binary_weighted<P: AsRef<Path>>(path: P) -> Result<(CsrGraph, CostModel), GraphError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    from_binary_weighted(&bytes)
 }
 
 #[cfg(test)]
@@ -341,15 +438,24 @@ mod tests {
         ));
     }
 
+    fn sample_costs() -> CostModel {
+        CostModel::per_vertex(vec![3, 1, 4, 1])
+    }
+
     #[test]
     fn every_truncation_of_a_valid_buffer_is_a_typed_error() {
         // The codec must survive truncation at *every* byte boundary: a typed
         // Format error, never a panic, and never a silently-parsed prefix.
-        let bytes = to_binary(&sample());
-        for len in 0..bytes.len() {
-            match from_binary(&bytes[..len]) {
-                Err(GraphError::Format(_)) => {}
-                other => panic!("truncation to {len} bytes produced {other:?}"),
+        // The weighted buffer exercises the version-2 weights section too.
+        for bytes in [
+            to_binary(&sample()),
+            to_binary_weighted(&sample(), &sample_costs()),
+        ] {
+            for len in 0..bytes.len() {
+                match from_binary(&bytes[..len]) {
+                    Err(GraphError::Format(_)) => {}
+                    other => panic!("truncation to {len} bytes produced {other:?}"),
+                }
             }
         }
     }
@@ -359,38 +465,110 @@ mod tests {
         use crate::gen::{erdos_renyi_gnm, Xoshiro256};
         // Deterministic corruption fuzzing of the manual LE codec: flip bytes,
         // splice lengths, and assert the result is always Ok or a typed error.
+        // Runs over both an unweighted (v1) and a weighted (v2) clean buffer;
+        // a flipped version byte also makes v1 bytes parse down the v2 path.
         let g = erdos_renyi_gnm(40, 150, 3);
-        let clean = to_binary(&g);
-        let mut rng = Xoshiro256::seed_from_u64(0xC0FFEE);
-        for case in 0..500 {
-            let mut bytes = clean.clone();
-            // Corrupt 1..=4 positions.
-            for _ in 0..=rng.next_index(4) {
-                let pos = rng.next_index(bytes.len());
-                bytes[pos] = bytes[pos].wrapping_add(1 + rng.next_index(255) as u8);
-            }
-            // Occasionally also truncate or extend.
-            match rng.next_index(4) {
-                0 => {
-                    let keep = rng.next_index(bytes.len() + 1);
-                    bytes.truncate(keep);
+        let costs = CostModel::from_fn(40, |v| u64::from(v % 7) + 1);
+        for clean in [to_binary(&g), to_binary_weighted(&g, &costs)] {
+            let mut rng = Xoshiro256::seed_from_u64(0xC0FFEE);
+            for case in 0..500 {
+                let mut bytes = clean.clone();
+                // Corrupt 1..=4 positions.
+                for _ in 0..=rng.next_index(4) {
+                    let pos = rng.next_index(bytes.len());
+                    bytes[pos] = bytes[pos].wrapping_add(1 + rng.next_index(255) as u8);
                 }
-                1 => bytes.push(rng.next_index(256) as u8),
-                _ => {}
-            }
-            match from_binary(&bytes) {
-                Ok(parsed) => {
-                    // A corrupted payload can still be a well-formed graph;
-                    // it must at least respect its own header.
-                    assert!(
-                        parsed.num_vertices() <= u32::MAX as usize + 1,
-                        "case {case}"
-                    );
+                // Occasionally also truncate or extend.
+                match rng.next_index(4) {
+                    0 => {
+                        let keep = rng.next_index(bytes.len() + 1);
+                        bytes.truncate(keep);
+                    }
+                    1 => bytes.push(rng.next_index(256) as u8),
+                    _ => {}
                 }
-                Err(GraphError::Format(msg)) => assert!(!msg.is_empty(), "case {case}"),
-                Err(other) => panic!("case {case}: unexpected error variant {other:?}"),
+                match from_binary_weighted(&bytes) {
+                    Ok((parsed, _)) => {
+                        // A corrupted payload can still be a well-formed graph;
+                        // it must at least respect its own header.
+                        assert!(
+                            parsed.num_vertices() <= u32::MAX as usize + 1,
+                            "case {case}"
+                        );
+                    }
+                    Err(GraphError::Format(msg)) => assert!(!msg.is_empty(), "case {case}"),
+                    Err(GraphError::WeightsLength { vertices, weights }) => {
+                        assert_ne!(vertices, weights, "case {case}")
+                    }
+                    Err(other) => panic!("case {case}: unexpected error variant {other:?}"),
+                }
             }
         }
+    }
+
+    #[test]
+    fn weighted_binary_round_trip() {
+        let g = sample();
+        let costs = sample_costs();
+        let bytes = to_binary_weighted(&g, &costs);
+        let (back, model) = from_binary_weighted(&bytes).unwrap();
+        assert_eq!(back.num_vertices(), g.num_vertices());
+        assert!(g.edges().zip(back.edges()).all(|(a, b)| a == b));
+        assert_eq!(model.weights().unwrap(), &[3, 1, 4, 1]);
+        // Uniform models stay on the version-1 wire format byte-for-byte.
+        assert_eq!(to_binary_weighted(&g, &CostModel::Uniform), to_binary(&g));
+        // The plain reader accepts a weighted buffer and drops the weights.
+        assert_eq!(from_binary(&bytes).unwrap().num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn weighted_binary_round_trip_on_disk() {
+        let g = sample();
+        let dir = std::env::temp_dir().join(format!("tdb_graph_wbin_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.tdbg");
+        write_binary_weighted(&g, &sample_costs(), &path).unwrap();
+        let (back, model) = read_binary_weighted(&path).unwrap();
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(model.cost(2), 4);
+        // read_binary_weighted on an unweighted file yields the uniform model.
+        write_binary(&g, &path).unwrap();
+        let (_, model) = read_binary_weighted(&path).unwrap();
+        assert!(model.is_uniform());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn weights_count_mismatch_is_the_typed_error() {
+        let g = sample();
+        let mut bytes = to_binary_weighted(&g, &sample_costs());
+        // The weights count sits right after the m edge records.
+        let count_off = 24 + g.num_edges() * 8;
+        bytes[count_off..count_off + 8].copy_from_slice(&9u64.to_le_bytes());
+        match from_binary_weighted(&bytes) {
+            Err(GraphError::WeightsLength { vertices, weights }) => {
+                assert_eq!(vertices, 4);
+                assert_eq!(weights, 9);
+            }
+            other => panic!("expected WeightsLength, got {other:?}"),
+        }
+        // A mismatched count wins over byte-level truncation: the same wrong
+        // count with the payload cut short still reports the mismatch.
+        bytes.truncate(count_off + 8);
+        assert!(matches!(
+            from_binary_weighted(&bytes),
+            Err(GraphError::WeightsLength { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_binary_rejects_trailing_garbage() {
+        let mut bytes = to_binary_weighted(&sample(), &sample_costs());
+        bytes.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        assert!(matches!(
+            from_binary_weighted(&bytes),
+            Err(GraphError::Format(msg)) if msg.contains("trailing")
+        ));
     }
 
     #[test]

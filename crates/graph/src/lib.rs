@@ -20,7 +20,10 @@
 //!   preferential attachment, R-MAT, classic topologies, small-world) driven by a
 //!   vendored SplitMix64/xoshiro256** RNG so that every experiment is bit-for-bit
 //!   reproducible.
-//! * [`io`] — SNAP-style edge-list text I/O plus a compact binary format.
+//! * [`CostModel`] — per-vertex removal costs (uniform or explicit weights),
+//!   the substrate of the min-weight cover objective in `tdb-core`.
+//! * [`io`] — SNAP-style edge-list text I/O plus a compact binary format with
+//!   an optional per-vertex weights section.
 //! * [`line_graph`] — the directed line-graph transform used by the DARC-DV
 //!   baseline.
 //! * [`scc`] — Tarjan strongly connected components and cycle-vertex pruning.
@@ -59,6 +62,7 @@
 pub mod active;
 pub mod builder;
 pub mod condense;
+pub mod cost;
 pub mod csr;
 pub mod delta;
 pub mod gen;
@@ -73,6 +77,7 @@ pub mod view;
 pub use active::ActiveSet;
 pub use builder::GraphBuilder;
 pub use condense::{Condensation, ExtractedComponent};
+pub use cost::CostModel;
 pub use csr::CsrGraph;
 pub use delta::DeltaGraph;
 pub use scratch::{DfsArena, FixedBitSet, TimestampedVec};

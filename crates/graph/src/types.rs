@@ -79,6 +79,14 @@ pub enum GraphError {
     },
     /// The binary graph format header or payload is malformed.
     Format(String),
+    /// A binary weights section declares a different entry count than the
+    /// graph has vertices.
+    WeightsLength {
+        /// Number of vertices in the graph header.
+        vertices: usize,
+        /// Number of weight entries the section declares.
+        weights: usize,
+    },
     /// Underlying I/O error.
     Io(std::io::Error),
 }
@@ -97,6 +105,10 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             GraphError::Format(msg) => write!(f, "malformed graph data: {msg}"),
+            GraphError::WeightsLength { vertices, weights } => write!(
+                f,
+                "weights section has {weights} entries for a graph with {vertices} vertices"
+            ),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -51,6 +51,11 @@ pub struct CoverAnswer {
     pub contained: bool,
     /// Epoch of the snapshot that answered.
     pub epoch: u64,
+    /// Total vertex cost of the snapshot cover (`cost=` field).
+    pub cost: u64,
+    /// Whether the cover is knowingly incomplete (`exhausted=` field; always
+    /// `false` from the resident engine).
+    pub exhausted: bool,
 }
 
 /// A `BREAKERS?` answer.
@@ -104,15 +109,27 @@ impl ServeClient {
     pub fn cover(&mut self, v: VertexId) -> Result<CoverAnswer, ClientError> {
         let line = self.round_trip(&format!("COVER? {v}"))?;
         let mut tok = line.split_whitespace();
-        match (tok.next(), tok.next(), tok.next(), tok.next()) {
-            (Some("OK"), Some(inout @ ("IN" | "OUT")), Some(epoch), None) => {
-                let epoch = epoch
-                    .parse()
-                    .map_err(|_| ClientError::Malformed(line.clone()))?;
-                Ok(CoverAnswer {
-                    contained: inout == "IN",
-                    epoch,
-                })
+        match (tok.next(), tok.next(), tok.next(), tok.next(), tok.next()) {
+            (
+                Some("OK"),
+                Some(inout @ ("IN" | "OUT")),
+                Some(epoch),
+                Some(cost),
+                Some(exhausted),
+            ) => {
+                let parse = || -> Option<CoverAnswer> {
+                    Some(CoverAnswer {
+                        contained: inout == "IN",
+                        epoch: epoch.parse().ok()?,
+                        cost: cost.strip_prefix("cost=")?.parse().ok()?,
+                        exhausted: match exhausted.strip_prefix("exhausted=")? {
+                            "0" => false,
+                            "1" => true,
+                            _ => return None,
+                        },
+                    })
+                };
+                parse().ok_or_else(|| ClientError::Malformed(line.clone()))
             }
             _ => Err(ClientError::Malformed(line)),
         }
@@ -143,6 +160,21 @@ impl ServeClient {
             return Err(malformed());
         }
         Ok(BreakersAnswer { epoch, breakers })
+    }
+
+    /// `EXPLAIN? v` — the vertex's cost and witness-cycle count, as key →
+    /// value pairs (`epoch`, `vertex`, `in_cover`, `cost`, `cycles`,
+    /// `truncated`).
+    pub fn explain(&mut self, v: VertexId) -> Result<Vec<(String, String)>, ClientError> {
+        let line = self.round_trip(&format!("EXPLAIN? {v}"))?;
+        parse_kv(&line, "EXPLAIN").map_err(|e| ClientError::Malformed(format!("{e}: {line:?}")))
+    }
+
+    /// `RESIDUAL?` — uncovered-cycle audit of the published snapshot, as key
+    /// → value pairs (`epoch`, `count`, `truncated`).
+    pub fn residual(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        let line = self.round_trip("RESIDUAL?")?;
+        parse_kv(&line, "RESIDUAL").map_err(|e| ClientError::Malformed(format!("{e}: {line:?}")))
     }
 
     /// `INSERT u v` — acknowledged at enqueue, visible in a later epoch.

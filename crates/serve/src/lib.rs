@@ -80,4 +80,6 @@ pub mod snapshot;
 pub use client::{BreakersAnswer, ClientError, CoverAnswer, ServeClient};
 pub use engine::{CoverEngine, EngineConfig, EngineStats, UpdateQueue};
 pub use server::{CoverServer, ServeConfig, ServerStats};
-pub use snapshot::{BreakerScratch, BreakerStat, CoverSnapshot, SnapshotCell};
+pub use snapshot::{
+    BreakerScratch, BreakerStat, CoverSnapshot, ExplainAnswer, ResidualAnswer, SnapshotCell,
+};

@@ -8,14 +8,19 @@
 //! ```text
 //! request  := "COVER?" SP vertex
 //!           | "BREAKERS?" SP vertex SP vertex
+//!           | "EXPLAIN?" SP vertex
+//!           | "RESIDUAL?"
 //!           | "INSERT" SP vertex SP vertex
 //!           | "DELETE" SP vertex SP vertex
 //!           | "STATS" | "SNAPSHOT" | "METRICS" | "PING" | "SHUTDOWN"
 //! vertex   := decimal u32
 //!
 //! response := "OK" SP payload | "ERR" SP message
-//! payload  := "IN" SP epoch | "OUT" SP epoch          (COVER?)
+//! payload  := ("IN" | "OUT") SP epoch
+//!             SP "cost=" total SP "exhausted=" bit     (COVER?)
 //!           | "BREAKERS" SP epoch SP count {SP vertex} (BREAKERS?)
+//!           | "EXPLAIN" {SP key "=" value}             (EXPLAIN?)
+//!           | "RESIDUAL" {SP key "=" value}            (RESIDUAL?)
 //!           | "QUEUED"                                 (INSERT / DELETE)
 //!           | "STATS" {SP key "=" value}               (STATS)
 //!           | "SNAPSHOT" {SP key "=" value}            (SNAPSHOT)
@@ -23,6 +28,17 @@
 //!           | "PONG"                                   (PING)
 //!           | "BYE"                                    (SHUTDOWN)
 //! ```
+//!
+//! The `COVER?` reply carries the cover's `cost=` (total vertex cost of the
+//! snapshot cover under the engine's cost model; equals the cover size under
+//! uniform costs) and `exhausted=` (`1` when the cover is known incomplete —
+//! the resident engine maintains complete covers, so it always answers `0`;
+//! the field keeps clients forward-compatible with budgeted serving).
+//! `EXPLAIN? v` reports how load-bearing `v` is: its cost and the number of
+//! constrained cycles only it breaks (keys `epoch`, `vertex`, `in_cover`,
+//! `cost`, `cycles`, `truncated`). `RESIDUAL?` counts constrained cycles the
+//! published cover fails to break (keys `epoch`, `count`, `truncated`) — the
+//! wire-level completeness audit, `count=0` on a healthy service.
 //!
 //! `key` and `value` are percent-escaped ([`kv_response`] / [`parse_kv`]):
 //! `%`, space, `=`, TAB, CR and LF appear as `%25` `%20` `%3d` `%09` `%0d`
@@ -50,6 +66,10 @@ pub enum Request {
     /// `BREAKERS? u v` — cover vertices implicated in constrained cycles
     /// through the (possibly hypothetical) edge `(u, v)`.
     Breakers(VertexId, VertexId),
+    /// `EXPLAIN? v` — cost and witness-cycle count of vertex `v`.
+    Explain(VertexId),
+    /// `RESIDUAL?` — count of constrained cycles the cover fails to break.
+    Residual,
     /// `INSERT u v` — enqueue an edge insertion.
     Insert(VertexId, VertexId),
     /// `DELETE u v` — enqueue an edge removal.
@@ -102,6 +122,8 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
         "BREAKERS?" => {
             Request::Breakers(vertex(tokens.next(), verb)?, vertex(tokens.next(), verb)?)
         }
+        "EXPLAIN?" => Request::Explain(vertex(tokens.next(), verb)?),
+        "RESIDUAL?" => Request::Residual,
         "INSERT" => Request::Insert(vertex(tokens.next(), verb)?, vertex(tokens.next(), verb)?),
         "DELETE" => Request::Delete(vertex(tokens.next(), verb)?, vertex(tokens.next(), verb)?),
         "STATS" => Request::Stats,
@@ -115,9 +137,14 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
     Ok(request)
 }
 
-/// Format the `COVER?` response.
-pub fn cover_response(contained: bool, epoch: u64) -> String {
-    format!("OK {} {epoch}", if contained { "IN" } else { "OUT" })
+/// Format the `COVER?` response. `cost` is the snapshot cover's total vertex
+/// cost; `exhausted` marks a knowingly incomplete (budget-trimmed) cover.
+pub fn cover_response(contained: bool, epoch: u64, cost: u64, exhausted: bool) -> String {
+    format!(
+        "OK {} {epoch} cost={cost} exhausted={}",
+        if contained { "IN" } else { "OUT" },
+        u8::from(exhausted)
+    )
 }
 
 /// Format the `BREAKERS?` response.
@@ -240,6 +267,8 @@ mod tests {
             parse_request("  BREAKERS? 3 4 "),
             Ok(Request::Breakers(3, 4))
         );
+        assert_eq!(parse_request("EXPLAIN? 12"), Ok(Request::Explain(12)));
+        assert_eq!(parse_request("RESIDUAL?"), Ok(Request::Residual));
         assert_eq!(parse_request("INSERT 0 1"), Ok(Request::Insert(0, 1)));
         assert_eq!(parse_request("DELETE 1 0"), Ok(Request::Delete(1, 0)));
         assert_eq!(parse_request("STATS"), Ok(Request::Stats));
@@ -253,6 +282,11 @@ mod tests {
         assert!(parse_request("COVER? x").is_err(), "non-numeric vertex");
         assert!(parse_request("COVER? 1 2").is_err(), "extra argument");
         assert!(parse_request("BREAKERS? 1").is_err(), "one vertex short");
+        assert!(parse_request("EXPLAIN?").is_err(), "missing vertex");
+        assert!(
+            parse_request("RESIDUAL? 1").is_err(),
+            "no-arg verb with arg"
+        );
         assert!(parse_request("INSERT 1 -2").is_err(), "negative id");
         assert!(parse_request("EXPLODE 1").is_err(), "unknown verb");
         assert!(parse_request("STATS now").is_err(), "no-arg verb with arg");
@@ -260,8 +294,14 @@ mod tests {
 
     #[test]
     fn responses_format_as_single_lines() {
-        assert_eq!(cover_response(true, 9), "OK IN 9");
-        assert_eq!(cover_response(false, 0), "OK OUT 0");
+        assert_eq!(
+            cover_response(true, 9, 12, false),
+            "OK IN 9 cost=12 exhausted=0"
+        );
+        assert_eq!(
+            cover_response(false, 0, 0, true),
+            "OK OUT 0 cost=0 exhausted=1"
+        );
         assert_eq!(breakers_response(4, &[7, 9]), "OK BREAKERS 4 2 7 9");
         assert_eq!(breakers_response(1, &[]), "OK BREAKERS 1 0");
         assert_eq!(queued_response(), "OK QUEUED");

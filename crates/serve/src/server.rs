@@ -219,6 +219,8 @@ impl Drop for CoverServer {
 struct VerbHistograms {
     cover: Histogram,
     breakers: Histogram,
+    explain: Histogram,
+    residual: Histogram,
     insert: Histogram,
     delete: Histogram,
     stats: Histogram,
@@ -234,6 +236,8 @@ impl VerbHistograms {
         VerbHistograms {
             cover: h("cover"),
             breakers: h("breakers"),
+            explain: h("explain"),
+            residual: h("residual"),
             insert: h("insert"),
             delete: h("delete"),
             stats: h("stats"),
@@ -248,6 +252,8 @@ impl VerbHistograms {
         match request {
             Request::Cover(_) => &self.cover,
             Request::Breakers(..) => &self.breakers,
+            Request::Explain(_) => &self.explain,
+            Request::Residual => &self.residual,
             Request::Insert(..) => &self.insert,
             Request::Delete(..) => &self.delete,
             Request::Stats => &self.stats,
@@ -326,13 +332,50 @@ impl Connection {
             Request::Cover(v) => {
                 let snap = self.snapshots.load();
                 self.server_stats.reads.fetch_add(1, Ordering::Relaxed);
-                cover_response(snap.contains(v), snap.epoch())
+                // The resident engine repairs after every update, so the
+                // published cover is never knowingly incomplete; the
+                // exhausted field is wired for budgeted serving.
+                cover_response(snap.contains(v), snap.epoch(), snap.total_cost(), false)
             }
             Request::Breakers(u, v) => {
                 let snap = self.snapshots.load();
                 let breakers = snap.breakers_through(scratch, u, v);
                 self.server_stats.reads.fetch_add(1, Ordering::Relaxed);
                 breakers_response(snap.epoch(), &breakers)
+            }
+            Request::Explain(v) => {
+                let snap = self.snapshots.load();
+                self.server_stats.reads.fetch_add(1, Ordering::Relaxed);
+                match snap.explain(v) {
+                    Some(answer) => kv_response(
+                        "EXPLAIN",
+                        &[
+                            ("epoch", snap.epoch().to_string()),
+                            ("vertex", v.to_string()),
+                            ("in_cover", u8::from(answer.in_cover).to_string()),
+                            ("cost", answer.cost.to_string()),
+                            ("cycles", answer.cycles_through.to_string()),
+                            ("truncated", u8::from(answer.truncated).to_string()),
+                        ],
+                    ),
+                    None => {
+                        self.server_stats.errors.fetch_add(1, Ordering::Relaxed);
+                        err_response(&format!("EXPLAIN?: vertex {v} out of range"))
+                    }
+                }
+            }
+            Request::Residual => {
+                let snap = self.snapshots.load();
+                self.server_stats.reads.fetch_add(1, Ordering::Relaxed);
+                let answer = snap.residual();
+                kv_response(
+                    "RESIDUAL",
+                    &[
+                        ("epoch", snap.epoch().to_string()),
+                        ("count", answer.count.to_string()),
+                        ("truncated", u8::from(answer.truncated).to_string()),
+                    ],
+                )
             }
             Request::Insert(u, v) | Request::Delete(u, v) => {
                 let op = match request {

@@ -18,13 +18,15 @@
 //!   publication, so the epoch sequence any one reader observes is monotone.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
+use tdb_core::request::{BREAKER_CYCLE_CAP, DEFAULT_RESIDUAL_CAP};
 use tdb_core::CycleCover;
+use tdb_cycle::enumerate::enumerate_cycles;
 use tdb_cycle::reach::{BoundedBfs, Direction};
 use tdb_cycle::HopConstraint;
 use tdb_dynamic::{CoverState, UpdateMetrics};
-use tdb_graph::{ActiveSet, DeltaGraph, GraphView, VertexId};
+use tdb_graph::{ActiveSet, CsrGraph, DeltaGraph, GraphView, VertexId};
 
 /// Degree statistics of one cover vertex at publication time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +54,35 @@ pub struct CoverSnapshot {
     epoch: u64,
     state: CoverState,
     breakers: Vec<BreakerStat>,
+    /// Lazily materialized CSR copy of the snapshot graph, built once on the
+    /// first `EXPLAIN?` / `RESIDUAL?` query against this epoch and shared by
+    /// all subsequent ones (the snapshot itself is immutable).
+    materialized: OnceLock<Arc<CsrGraph>>,
+}
+
+/// The `EXPLAIN? v` answer computed against one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplainAnswer {
+    /// Whether `v` is in the snapshot cover.
+    pub in_cover: bool,
+    /// The vertex's cost under the snapshot's cost model.
+    pub cost: u64,
+    /// Hop-constrained cycles through `v` that no *other* cover vertex
+    /// breaks — the vertex's witness count (0 for non-cover vertices that
+    /// are fully shadowed by the cover).
+    pub cycles_through: u64,
+    /// The enumeration hit its cap; `cycles_through` is a lower bound.
+    pub truncated: bool,
+}
+
+/// The `RESIDUAL?` answer computed against one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidualAnswer {
+    /// Constrained cycles the snapshot cover does NOT break (0 for a valid
+    /// cover — the resident engine's invariant).
+    pub count: u64,
+    /// The enumeration hit its cap; `count` is a lower bound.
+    pub truncated: bool,
 }
 
 impl CoverSnapshot {
@@ -71,6 +102,73 @@ impl CoverSnapshot {
             epoch,
             state,
             breakers,
+            materialized: OnceLock::new(),
+        }
+    }
+
+    /// The snapshot graph as a clean CSR, materialized once per snapshot and
+    /// cached (the backing store of the `EXPLAIN?` / `RESIDUAL?` cycle
+    /// enumerations).
+    fn materialized(&self) -> &CsrGraph {
+        self.materialized
+            .get_or_init(|| Arc::new(self.state.graph.materialize()))
+    }
+
+    /// Total cover cost under the engine's cost model at capture time
+    /// (equals the cover size when costs are uniform).
+    pub fn total_cost(&self) -> u64 {
+        self.state.cover_cost
+    }
+
+    /// The cost of one vertex under the snapshot's cost model.
+    pub fn vertex_cost(&self, v: VertexId) -> u64 {
+        self.state.costs.cost(v)
+    }
+
+    /// The `EXPLAIN? v` query: how load-bearing is `v` for this snapshot?
+    ///
+    /// Counts the hop-constrained cycles through `v` that no other cover
+    /// vertex intersects, by enumerating cycles in the reduced graph with
+    /// `v` re-activated — the same witness semantics as
+    /// `tdb_core::CoverReport::breaker_stats`. For a cover vertex this is
+    /// the number of constrained cycles that would become uncovered if `v`
+    /// were released (0 means `v` is redundant right now); for a non-cover
+    /// vertex it is 0 whenever the cover is valid. The enumeration is capped
+    /// at `tdb_core::request::BREAKER_CYCLE_CAP`; `truncated` marks a hit
+    /// cap. Returns `None` for an out-of-range vertex id.
+    pub fn explain(&self, v: VertexId) -> Option<ExplainAnswer> {
+        let n = self.vertex_count();
+        if v as usize >= n {
+            return None;
+        }
+        let g = self.materialized();
+        let mut active = self.state.cover.reduced_active_set(n);
+        active.activate(v);
+        let witnesses = enumerate_cycles(g, &active, &self.state.constraint, BREAKER_CYCLE_CAP);
+        // Cycles that avoid v entirely are residual leaks of an invalid or
+        // dirty cover, not witnesses for v.
+        let through = witnesses.iter().filter(|c| c.contains(&v)).count();
+        Some(ExplainAnswer {
+            in_cover: self.contains(v),
+            cost: self.vertex_cost(v),
+            cycles_through: through as u64,
+            truncated: witnesses.len() >= BREAKER_CYCLE_CAP,
+        })
+    }
+
+    /// The `RESIDUAL?` query: count the constrained cycles the snapshot cover
+    /// fails to break (capped at `tdb_core::request::DEFAULT_RESIDUAL_CAP`).
+    ///
+    /// The resident engine repairs after every update, so a healthy service
+    /// answers 0 — the verb is the wire-level completeness audit.
+    pub fn residual(&self) -> ResidualAnswer {
+        let n = self.vertex_count();
+        let g = self.materialized();
+        let active = self.state.cover.reduced_active_set(n);
+        let survivors = enumerate_cycles(g, &active, &self.state.constraint, DEFAULT_RESIDUAL_CAP);
+        ResidualAnswer {
+            count: survivors.len() as u64,
+            truncated: survivors.len() >= DEFAULT_RESIDUAL_CAP,
         }
     }
 
@@ -324,6 +422,41 @@ mod tests {
         // Degenerate inputs.
         assert!(s.breakers_through(&mut scratch, 1, 1).is_empty());
         assert!(s.breakers_through(&mut scratch, 0, 99).is_empty());
+    }
+
+    #[test]
+    fn explain_counts_witness_cycles_and_costs() {
+        // Two triangles sharing vertex 2; cover = {2}.
+        let s = snapshot_of(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)], 4, 1);
+        assert_eq!(s.cover().as_slice(), &[2]);
+        assert_eq!(s.total_cost(), 1, "uniform costs: total = cover size");
+        let e = s.explain(2).unwrap();
+        assert!(e.in_cover);
+        assert_eq!(e.cost, 1);
+        assert_eq!(e.cycles_through, 2, "vertex 2 breaks both triangles");
+        assert!(!e.truncated);
+        // A non-cover vertex is fully shadowed: zero witnesses.
+        let e = s.explain(0).unwrap();
+        assert!(!e.in_cover);
+        assert_eq!(e.cycles_through, 0);
+        // Out-of-range id.
+        assert!(s.explain(99).is_none());
+    }
+
+    #[test]
+    fn residual_is_zero_for_a_valid_snapshot() {
+        let s = snapshot_of(&[(0, 1), (1, 2), (2, 0)], 4, 0);
+        let r = s.residual();
+        assert_eq!(r.count, 0);
+        assert!(!r.truncated);
+        // An (invalidly) empty cover exposes the triangle.
+        let d = tdb_dynamic::DynamicCover::from_cover(
+            graph_from_edges(&[(0, 1), (1, 2), (2, 0)]),
+            tdb_core::CycleCover::from_vertices(vec![]),
+            HopConstraint::new(4),
+        );
+        let bare = CoverSnapshot::new(1, d.state());
+        assert_eq!(bare.residual().count, 1);
     }
 
     #[test]

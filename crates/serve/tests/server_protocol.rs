@@ -50,12 +50,40 @@ fn cover_breakers_and_snapshot_round_trip() {
     client.ping().unwrap();
     let hit = client.cover(2).unwrap();
     assert!(hit.contained);
+    assert_eq!(hit.cost, 1, "uniform costs: total cost = cover size");
+    assert!(!hit.exhausted, "the resident cover is always complete");
     let miss = client.cover(0).unwrap();
     assert!(!miss.contained);
     assert_eq!(hit.epoch, miss.epoch, "quiet server stays on one epoch");
 
     let b = client.breakers(1, 2).unwrap();
     assert_eq!(b.breakers, vec![2]);
+
+    let explain = client.explain(2).unwrap();
+    let field = |key: &str| {
+        explain
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    assert_eq!(field("vertex"), "2");
+    assert_eq!(field("in_cover"), "1");
+    assert_eq!(field("cost"), "1");
+    assert_eq!(field("cycles"), "2", "vertex 2 breaks both triangles");
+    assert_eq!(field("truncated"), "0");
+    assert!(client.explain(999).is_err(), "out-of-range vertex is ERR");
+
+    let residual = client.residual().unwrap();
+    let field = |key: &str| {
+        residual
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    assert_eq!(field("count"), "0", "a healthy service has no residual");
+    assert_eq!(field("truncated"), "0");
 
     let snap = client.snapshot().unwrap();
     let get = |key: &str| {

@@ -8,13 +8,17 @@
 //! only audit yesterday's graph — this example keeps the audit set current
 //! *while the stream flows*:
 //!
-//! 1. synthesize a transaction network and seed a [`DynamicCover`] with one
-//!    static solve,
-//! 2. stream batches of new transfers and expirations through
+//! 1. synthesize a transaction network, price each account (suspending a
+//!    high-value account costs more), and solve a *weighted* cover through
+//!    [`CoverRequest`] — printing the cover cost and the top-5 `EXPLAIN?`
+//!    breakers (which audited accounts break the most laundering cycles),
+//! 2. seed a [`DynamicCover`] from the weighted solver, so streaming repairs
+//!    keep avoiding expensive accounts,
+//! 3. stream batches of new transfers and expirations through
 //!    [`DynamicCover::apply`], keeping the audit set valid after every batch,
-//! 3. plant a laundering ring mid-stream and show it is caught the moment its
+//! 4. plant a laundering ring mid-stream and show it is caught the moment its
 //!    closing transfer arrives — no re-solve, and
-//! 4. compare the incremental cost per batch with the full re-solve a static
+//! 5. compare the incremental cost per batch with the full re-solve a static
 //!    deployment would need.
 //!
 //! ```text
@@ -25,6 +29,7 @@ use std::time::Instant;
 
 use tdb::prelude::*;
 use tdb_graph::gen::{preferential_attachment, PreferentialConfig, Xoshiro256};
+use tdb_graph::{CostModel, Graph};
 
 const ACCOUNTS: usize = 5_000;
 const SUSPICIOUS_LEN: usize = 5; // audit every transfer cycle of length <= 5
@@ -42,8 +47,57 @@ fn main() {
     });
     let constraint = HopConstraint::new(SUSPICIOUS_LEN);
 
-    // One static solve seeds the live audit set.
-    let solver = Solver::new(Algorithm::TdbPlusPlus);
+    // Suspending an account for audit has a business cost: freezing a busy
+    // high-value marketplace account hurts far more than freezing a quiet
+    // mule. Accounts in the top tier by transaction volume are 100x as
+    // expensive to suspend.
+    const VIP_DEGREE: usize = 15;
+    const VIP_COST: u64 = 100;
+    let costs = CostModel::from_fn(history.num_vertices(), |v| {
+        if history.out_degree(v) + history.in_degree(v) >= VIP_DEGREE {
+            VIP_COST
+        } else {
+            1
+        }
+    });
+    let vip_count =
+        |cover: &CycleCover| cover.iter().filter(|&v| costs.cost(v) == VIP_COST).count();
+
+    // The weighted, explanatory solve: minimize audit *cost*, not head-count.
+    let mut request = CoverRequest::new(Algorithm::TdbPlusPlus, SUSPICIOUS_LEN);
+    request.objective = Objective::MinWeight;
+    request.costs = costs.clone();
+    request.explain = true;
+    let weighted = request.solve(&history).unwrap();
+
+    // Cardinality baseline for comparison: smallest audit set, cost ignored.
+    let baseline = Solver::new(Algorithm::TdbPlusPlus)
+        .solve(&history, &constraint)
+        .unwrap();
+    println!(
+        "weighted solve: {} accounts at cost {} ({} VIP) — cardinality baseline: \
+         {} accounts at cost {} ({} VIP)",
+        weighted.cover_size(),
+        weighted.total_cost,
+        vip_count(&weighted.cover),
+        baseline.cover_size(),
+        costs.total(baseline.cover.iter()),
+        vip_count(&baseline.cover),
+    );
+    println!("top-5 audit accounts by laundering cycles broken (EXPLAIN?):");
+    for stat in weighted.breaker_stats.iter().take(5) {
+        println!(
+            "  account {:>4}: breaks {:>4} cycles{} at suspension cost {}",
+            stat.vertex,
+            stat.cycles_through,
+            if stat.truncated { "+" } else { "" },
+            stat.cost
+        );
+    }
+
+    // The weighted solver seeds the live audit set, so streaming repairs keep
+    // avoiding expensive accounts.
+    let solver = Solver::from_request(request);
     let seed_timer = Instant::now();
     let mut live = solver.solve_dynamic(history, &constraint).unwrap();
     let seed_elapsed = seed_timer.elapsed();
@@ -124,8 +178,9 @@ fn main() {
     let scratch = solver.solve(&final_graph, &constraint).unwrap();
     let resolve_elapsed = resolve_timer.elapsed();
     println!(
-        "final audit set {} accounts (from-scratch solver: {}) — valid and minimal",
+        "final audit set {} accounts at cost {} (from-scratch solver: {}) — valid and minimal",
         live.cover().len(),
+        live.cover_cost(),
         scratch.cover_size()
     );
     println!(

@@ -16,7 +16,15 @@
 //!   SCC, and the extraction's id remap is monotone);
 //! * the **top-down variants** (`TDB`, `TDB+`, `TDB++`, `TDB++X`,
 //!   `TDB++/par`) return **identical covers** — the filters only skip work,
-//!   never change decisions (paper §VII-B).
+//!   never change decisions (paper §VII-B);
+//! * `Objective::MinWeight` under **all-1 weights** reproduces the
+//!   `MinCardinality` cover **bit-exactly** in every configuration — the
+//!   weight hooks are stable orderings and `u128` cross-multiplications
+//!   that degenerate to the unweighted comparisons when costs are equal.
+//!
+//! Budgeted solves are covered by separate property tests below: a
+//! [`Budget`] cap is never exceeded, and the reported residual is exactly
+//! the set of uncovered constrained cycles (audited with the verifier).
 //!
 //! The whole matrix is also written to `target/differential/matrix.md` so CI
 //! can publish it as a build artifact: a refactor that shifts any cover size
@@ -30,6 +38,7 @@ use tdb_graph::gen::{
     erdos_renyi_gnm, multi_scc_chain, preferential_attachment, small_world, MultiSccConfig,
     PreferentialConfig,
 };
+use tdb_graph::CostModel;
 
 /// One graph family instance of the matrix, seeded and deterministic.
 struct Family {
@@ -145,6 +154,37 @@ fn run_matrix() -> String {
                         "{label}: sharded cover differs from unsharded"
                     );
 
+                    // Objective axis: MinWeight under all-1 weights must be
+                    // bit-identical to MinCardinality — every weight hook
+                    // degenerates to the unweighted comparison when costs
+                    // are equal. `from_fn` deliberately builds a PerVertex
+                    // model (not Uniform) so the weight-aware code paths
+                    // actually run.
+                    let unit = CostModel::from_fn(g.num_vertices(), |_| 1);
+                    let weighted = Solver::new(algorithm)
+                        .with_two_cycle_mode(mode)
+                        .with_objective(Objective::MinWeight)
+                        .with_costs(unit.clone())
+                        .solve(g, &constraint)
+                        .unwrap_or_else(|e| panic!("{label}: all-1 MinWeight solve failed: {e}"));
+                    assert_eq!(
+                        weighted.cover, plain.cover,
+                        "{label}: all-1 MinWeight cover differs from MinCardinality"
+                    );
+                    let weighted_sharded = Solver::new(algorithm)
+                        .with_two_cycle_mode(mode)
+                        .with_objective(Objective::MinWeight)
+                        .with_costs(unit)
+                        .with_sharding(ShardingMode::Threads(3))
+                        .solve(g, &constraint)
+                        .unwrap_or_else(|e| {
+                            panic!("{label}: sharded all-1 MinWeight solve failed: {e}")
+                        });
+                    assert_eq!(
+                        weighted_sharded.cover, plain.cover,
+                        "{label}: sharded all-1 MinWeight cover differs from MinCardinality"
+                    );
+
                     let verification = verify_cover(g, &plain.cover, &check);
                     assert!(
                         verification.is_valid,
@@ -220,6 +260,145 @@ fn differential_matrix_holds_across_all_configurations() {
     // header row (the `|---|` separator does not start with a pipe + space).
     let rows = summary.lines().filter(|l| l.starts_with("| ")).count();
     assert_eq!(rows, 4 * 2 * 3 * 8 + 1, "matrix data rows + header");
+}
+
+/// Audit one budgeted report against the graph it was solved on:
+///
+/// * the budget cap is actually respected (vertices or cost, per variant);
+/// * `total_cost` is the cost model's own sum over the kept cover;
+/// * `exhausted` ⟺ the kept cover misses some constrained cycle ⟺ the
+///   residual is non-empty (the enumeration is complete below the cap);
+/// * every residual cycle is hop-bounded and **disjoint from the kept
+///   cover** (otherwise it would not be residual); and
+/// * the residual really is *all* that is missing: re-covering every
+///   residual vertex on top of the kept cover passes the independent
+///   verifier.
+fn audit_budgeted_report(
+    label: &str,
+    g: &CsrGraph,
+    report: &tdb_core::CoverReport,
+    budget: Budget,
+    costs: &CostModel,
+    check: &HopConstraint,
+) {
+    match budget {
+        Budget::None => {}
+        Budget::MaxVertices(n) => assert!(
+            report.cover_size() <= n,
+            "{label}: {} vertices exceed the MaxVertices({n}) cap",
+            report.cover_size()
+        ),
+        Budget::MaxCost(cap) => assert!(
+            report.total_cost <= cap,
+            "{label}: cost {} exceeds the MaxCost({cap}) cap",
+            report.total_cost
+        ),
+    }
+    assert_eq!(
+        report.total_cost,
+        costs.total(report.cover.iter()),
+        "{label}: total_cost must be the model's sum over the kept cover"
+    );
+
+    let verification = verify_cover(g, &report.cover, check);
+    assert_eq!(
+        report.exhausted, !verification.is_valid,
+        "{label}: exhausted must mean exactly 'the kept cover is incomplete'"
+    );
+    assert_eq!(
+        report.residual.is_empty(),
+        !report.exhausted,
+        "{label}: residual cycles and the exhausted flag must agree"
+    );
+    assert!(
+        report.residual.len() < DEFAULT_RESIDUAL_CAP,
+        "{label}: test graphs must stay below the residual cap for a complete audit"
+    );
+
+    let mut patched = report.cover.clone();
+    for cycle in &report.residual {
+        assert!(
+            check.covers_len(cycle.len()),
+            "{label}: residual cycle {cycle:?} violates the hop bound"
+        );
+        for &v in cycle {
+            assert!(
+                !report.cover.contains(v),
+                "{label}: residual cycle {cycle:?} passes through kept breaker {v}"
+            );
+            patched.insert(v);
+        }
+    }
+    // Completeness: the residual listed *every* escaped cycle, so covering
+    // all of their vertices must restore validity.
+    assert!(
+        verify_cover(g, &patched, check).is_valid,
+        "{label}: covering every residual vertex must yield a valid cover"
+    );
+}
+
+/// Budgeted solves across the graph families: caps are hard, reports are
+/// self-consistent, and the residual audit passes for vertex budgets, cost
+/// budgets (under skewed weights), and the unbudgeted degenerate case.
+#[test]
+fn budgeted_solves_respect_caps_and_residuals_audit_clean() {
+    for family in families() {
+        let g = &family.graph;
+        let k = 4;
+        let full = Solver::new(Algorithm::TdbPlusPlus)
+            .solve(g, &HopConstraint::new(k))
+            .unwrap();
+        assert!(
+            full.cover.len() >= 4,
+            "{}: family too easy to exercise budgets",
+            family.name
+        );
+        let skewed = CostModel::from_fn(g.num_vertices(), |v| 1 + u64::from(v) % 7);
+
+        // (budget, costs, objective) scenarios, from degenerate to tight.
+        let scenarios: Vec<(Budget, CostModel, Objective)> = vec![
+            (Budget::None, CostModel::Uniform, Objective::MinCardinality),
+            (
+                Budget::MaxVertices(full.cover.len()),
+                CostModel::Uniform,
+                Objective::MinCardinality,
+            ),
+            (
+                Budget::MaxVertices(full.cover.len() / 2),
+                CostModel::Uniform,
+                Objective::MinCardinality,
+            ),
+            (Budget::MaxVertices(1), skewed.clone(), Objective::MinWeight),
+            (
+                Budget::MaxCost(skewed.total(full.cover.iter()) / 2),
+                skewed.clone(),
+                Objective::MinWeight,
+            ),
+            (Budget::MaxCost(3), skewed.clone(), Objective::MinWeight),
+        ];
+        for (budget, costs, objective) in scenarios {
+            let label = format!("{}/k={k}/{budget:?}/{objective:?}", family.name);
+            let mut request = CoverRequest::new(Algorithm::TdbPlusPlus, k);
+            request.budget = budget;
+            request.costs = costs.clone();
+            request.objective = objective;
+            let report = request
+                .solve(g)
+                .unwrap_or_else(|e| panic!("{label}: budgeted solve failed: {e}"));
+            audit_budgeted_report(&label, g, &report, budget, &costs, &request.constraint());
+        }
+
+        // A generous vertex budget is a no-op: same cover as the plain solve.
+        let mut roomy = CoverRequest::new(Algorithm::TdbPlusPlus, k);
+        roomy.budget = Budget::MaxVertices(full.cover.len());
+        let report = roomy.solve(g).unwrap();
+        assert_eq!(
+            report.cover, full.cover,
+            "{}: a budget the cover fits under must not change it",
+            family.name
+        );
+        assert!(!report.exhausted);
+    }
 }
 
 /// The kit must catch what it claims to catch: a cover with one vertex

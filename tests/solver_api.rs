@@ -33,21 +33,27 @@ fn generator_graphs() -> Vec<(&'static str, CsrGraph)> {
     ]
 }
 
-/// The legacy free function for each algorithm, reproducing the dispatch the
-/// consumers used to hand-roll before the `Solver` existed.
+/// The per-family `_with` entry point for each algorithm, reproducing the
+/// dispatch the consumers used to hand-roll before the `Solver` existed.
 fn legacy_cover(g: &CsrGraph, constraint: &HopConstraint, algorithm: Algorithm) -> CoverRun {
+    let ctx = &mut SolveContext::new();
     match algorithm {
-        Algorithm::Bur => bottom_up_cover(g, constraint, &BottomUpConfig::bur()),
-        Algorithm::BurPlus => bottom_up_cover(g, constraint, &BottomUpConfig::bur_plus()),
-        Algorithm::DarcDv => darc_dv_cover(g, constraint),
-        Algorithm::Tdb => top_down_cover(g, constraint, &TopDownConfig::tdb()),
-        Algorithm::TdbPlus => top_down_cover(g, constraint, &TopDownConfig::tdb_plus()),
-        Algorithm::TdbPlusPlus => top_down_cover(g, constraint, &TopDownConfig::tdb_plus_plus()),
-        Algorithm::TdbExtended => top_down_cover(g, constraint, &TopDownConfig::extended()),
+        Algorithm::Bur => bottom_up_cover_with(g, constraint, &BottomUpConfig::bur(), ctx),
+        Algorithm::BurPlus => bottom_up_cover_with(g, constraint, &BottomUpConfig::bur_plus(), ctx),
+        Algorithm::DarcDv => darc_dv_cover_with(g, constraint, ctx),
+        Algorithm::Tdb => top_down_cover_with(g, constraint, &TopDownConfig::tdb(), ctx),
+        Algorithm::TdbPlus => top_down_cover_with(g, constraint, &TopDownConfig::tdb_plus(), ctx),
+        Algorithm::TdbPlusPlus => {
+            top_down_cover_with(g, constraint, &TopDownConfig::tdb_plus_plus(), ctx)
+        }
+        Algorithm::TdbExtended => {
+            top_down_cover_with(g, constraint, &TopDownConfig::extended(), ctx)
+        }
         Algorithm::TdbParallel => {
-            parallel_top_down_cover(g, constraint, &ParallelConfig::default())
+            parallel_top_down_cover_with(g, constraint, &ParallelConfig::default(), ctx)
         }
     }
+    .expect("unbudgeted solve cannot fail")
 }
 
 /// `Solver::new(alg).solve(..)` returns exactly the cover of the legacy free
@@ -178,11 +184,13 @@ fn builder_options_are_honored() {
         ScanOrder::DegreeAscending,
         ScanOrder::Random(3),
     ] {
-        let legacy = top_down_cover(
+        let legacy = top_down_cover_with(
             &g,
             &constraint,
             &TopDownConfig::tdb_plus_plus().with_scan_order(order),
-        );
+            &mut SolveContext::new(),
+        )
+        .unwrap();
         let unified = Solver::new(Algorithm::TdbPlusPlus)
             .with_scan_order(order)
             .solve(&g, &constraint)
