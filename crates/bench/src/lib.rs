@@ -28,6 +28,7 @@ pub mod serve;
 pub mod sharding;
 pub mod streaming;
 pub mod trajectory;
+pub mod watch;
 pub mod weighted;
 
 use std::time::Duration;

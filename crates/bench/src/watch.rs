@@ -1,0 +1,434 @@
+//! `experiments watch`: a live console view over a running
+//! [`tdb_serve::CoverServer`].
+//!
+//! The watcher polls the line protocol's `METRICS` (Prometheus text
+//! exposition) and `HEALTH?` verbs on an interval and renders *rolling
+//! deltas* — reads/s and updates/s from counter differences, a read-latency
+//! p99 estimated from histogram **bucket deltas** (so it reflects the last
+//! interval, not the process lifetime), plus the watchdog's queue depth,
+//! publish age, and status.
+//!
+//! The Prometheus parser here is deliberately small: it understands exactly
+//! the subset `tdb_obs::Registry::render_prometheus` emits (unlabeled
+//! counters/gauges, labeled gauges, and `_bucket{le="..."}` /`_sum`/`_count`
+//! histogram series) — enough to watch our own service, not a general
+//! scraper.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use tdb_serve::{ClientError, ServeClient};
+
+/// One parsed histogram: cumulative `(upper bound seconds, count)` pairs in
+/// ascending bound order (`+Inf` is `f64::INFINITY`), plus sum and count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSample {
+    /// Cumulative bucket counts keyed by upper bound, ascending.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of observed values, in seconds.
+    pub sum: f64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistogramSample {
+    /// Per-bucket (non-cumulative) counts, same bound order as `buckets`.
+    fn bucket_deltas(&self) -> Vec<(f64, u64)> {
+        let mut prev = 0u64;
+        self.buckets
+            .iter()
+            .map(|&(bound, cum)| {
+                let d = cum.saturating_sub(prev);
+                prev = cum;
+                (bound, d)
+            })
+            .collect()
+    }
+}
+
+/// A parsed Prometheus text exposition (the subset our registry emits).
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    scalars: HashMap<String, f64>,
+    histograms: HashMap<String, HistogramSample>,
+}
+
+impl Exposition {
+    /// The value of an unlabeled counter or gauge, if present. Labeled
+    /// series are keyed by their full `name{...}` form.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        self.scalars.get(name).copied()
+    }
+
+    /// A histogram by base name (the name without `_bucket`/`_sum`/`_count`).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of the scalars named in `names`, treating absent ones as 0.
+    pub fn scalar_sum(&self, names: &[&str]) -> f64 {
+        names.iter().filter_map(|n| self.scalar(n)).sum()
+    }
+}
+
+/// Parse a Prometheus text exposition into scalars and histograms.
+///
+/// `# ...` comment lines are skipped. Histogram series are recognized by the
+/// `_bucket{le="..."}` / `_sum` / `_count` suffixes; everything else lands in
+/// the scalar map under its full sample name (labels included verbatim).
+pub fn parse_prometheus(text: &str) -> Exposition {
+    let mut exposition = Exposition::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Split "name{labels} value" / "name value" at the last space.
+        let Some((key, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        if let Some((base, le)) = parse_bucket_key(key) {
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                match le.parse::<f64>() {
+                    Ok(b) => b,
+                    Err(_) => continue,
+                }
+            };
+            let hist = exposition.histograms.entry(base.to_string()).or_default();
+            hist.buckets.push((bound, value as u64));
+        } else if let Some(base) = key.strip_suffix("_sum") {
+            if exposition.histograms.contains_key(base) || key_looks_unlabeled(key) {
+                exposition
+                    .histograms
+                    .entry(base.to_string())
+                    .or_default()
+                    .sum = value;
+                continue;
+            }
+        } else if let Some(base) = key.strip_suffix("_count") {
+            if exposition.histograms.contains_key(base) || key_looks_unlabeled(key) {
+                let hist = exposition.histograms.entry(base.to_string()).or_default();
+                hist.count = value as u64;
+                continue;
+            }
+        } else {
+            exposition.scalars.insert(key.to_string(), value);
+        }
+    }
+    for hist in exposition.histograms.values_mut() {
+        hist.buckets
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bucket bounds are not NaN"));
+    }
+    exposition
+}
+
+fn parse_bucket_key(key: &str) -> Option<(&str, &str)> {
+    let base = key.find("_bucket{le=\"")?;
+    let le = &key[base + "_bucket{le=\"".len()..];
+    let le = le.strip_suffix("\"}")?;
+    Some((&key[..base], le))
+}
+
+fn key_looks_unlabeled(key: &str) -> bool {
+    !key.contains('{')
+}
+
+/// Estimate the p99 of the *last interval* from two scrapes of the same set
+/// of histograms: de-cumulate each, subtract `prev` from `curr`, merge the
+/// per-bucket deltas across all named histograms, and return the smallest
+/// upper bound covering ≥ 99% of the interval's observations (in seconds).
+///
+/// Returns `None` when the interval saw no observations (or the histograms
+/// are absent). An unbounded answer (everything in `+Inf`) returns the
+/// largest finite bound seen, or `None` if there is none.
+pub fn p99_from_bucket_deltas(prev: &Exposition, curr: &Exposition, names: &[&str]) -> Option<f64> {
+    let mut merged: Vec<(f64, u64)> = Vec::new();
+    for name in names {
+        let curr_hist = match curr.histogram(name) {
+            Some(h) => h,
+            None => continue,
+        };
+        let curr_deltas = curr_hist.bucket_deltas();
+        let prev_deltas = prev.histogram(name).map(|h| h.bucket_deltas());
+        for (bound, count) in curr_deltas {
+            let prev_count = prev_deltas
+                .as_deref()
+                .and_then(|d| d.iter().find(|(b, _)| *b == bound))
+                .map_or(0, |&(_, c)| c);
+            let delta = count.saturating_sub(prev_count);
+            if delta == 0 {
+                continue;
+            }
+            match merged.iter_mut().find(|(b, _)| *b == bound) {
+                Some((_, c)) => *c += delta,
+                None => merged.push((bound, delta)),
+            }
+        }
+    }
+    merged.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are not NaN"));
+    let total: u64 = merged.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let target = (total as f64 * 0.99).ceil() as u64;
+    let mut running = 0u64;
+    let mut last_finite = None;
+    for &(bound, count) in &merged {
+        running += count;
+        if bound.is_finite() {
+            last_finite = Some(bound);
+        }
+        if running >= target {
+            return if bound.is_finite() {
+                Some(bound)
+            } else {
+                last_finite
+            };
+        }
+    }
+    last_finite
+}
+
+/// Parameters of a watch run.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Server address (host:port of a running `CoverServer`).
+    pub addr: String,
+    /// Frames to render before returning (a console session would loop
+    /// forever; the subcommand takes a finite count so runs terminate).
+    pub iterations: usize,
+    /// Poll interval between frames.
+    pub interval: Duration,
+}
+
+/// One rendered frame of the rolling view.
+#[derive(Debug, Clone)]
+pub struct WatchFrame {
+    /// Published epoch from `HEALTH?`.
+    pub epoch: u64,
+    /// Watchdog status (`ok` / `degraded` / `stalled`).
+    pub status: String,
+    /// Read requests per second over the last interval (`COVER?` +
+    /// `BREAKERS?` + `EXPLAIN?` + `RESIDUAL?`).
+    pub reads_per_sec: f64,
+    /// Applied updates per second over the last interval.
+    pub updates_per_sec: f64,
+    /// Interval read-latency p99 in seconds, from bucket deltas.
+    pub read_p99: Option<f64>,
+    /// Current update-queue depth.
+    pub queue_depth: i64,
+    /// Update-queue capacity.
+    pub queue_capacity: i64,
+    /// Age of the last epoch publication, in milliseconds.
+    pub publish_age_ms: u64,
+}
+
+impl WatchFrame {
+    /// Render the frame as one fixed-layout console line.
+    pub fn format(&self) -> String {
+        let p99 = match self.read_p99 {
+            Some(s) if s < 1e-3 => format!("{:.0}us", s * 1e6),
+            Some(s) => format!("{:.1}ms", s * 1e3),
+            None => "-".to_string(),
+        };
+        format!(
+            "epoch {:>6}  {:<8}  reads/s {:>8.0}  updates/s {:>8.0}  p99 {:>8}  queue {}/{}  publish age {}ms",
+            self.epoch,
+            self.status,
+            self.reads_per_sec,
+            self.updates_per_sec,
+            p99,
+            self.queue_depth,
+            self.queue_capacity,
+            self.publish_age_ms
+        )
+    }
+}
+
+/// The read-verb histograms whose bucket deltas feed the p99 column.
+const READ_HISTOGRAMS: [&str; 4] = [
+    "tdb_serve_request_seconds_cover",
+    "tdb_serve_request_seconds_breakers",
+    "tdb_serve_request_seconds_explain",
+    "tdb_serve_request_seconds_residual",
+];
+
+fn read_count(e: &Exposition) -> f64 {
+    READ_HISTOGRAMS
+        .iter()
+        .filter_map(|n| e.histogram(n))
+        .map(|h| h.count as f64)
+        .sum()
+}
+
+fn health_u64(pairs: &[(String, String)], key: &str) -> u64 {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn health_str(pairs: &[(String, String)], key: &str) -> String {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| "?".to_string())
+}
+
+/// Poll the server `config.iterations` times, `config.interval` apart,
+/// computing rolling deltas between consecutive scrapes. Each rendered frame
+/// is passed to `sink` as it is produced (the subcommand prints it; tests
+/// collect it); the frames are also returned for programmatic use.
+pub fn run_watch(
+    config: &WatchConfig,
+    mut sink: impl FnMut(&str),
+) -> Result<Vec<WatchFrame>, ClientError> {
+    let mut client = ServeClient::connect(&*config.addr)?;
+    let mut prev = parse_prometheus(&client.metrics()?);
+    let mut prev_t = Instant::now();
+    let mut frames = Vec::with_capacity(config.iterations);
+    for _ in 0..config.iterations {
+        std::thread::sleep(config.interval);
+        let curr = parse_prometheus(&client.metrics()?);
+        let health = client.health()?;
+        let now = Instant::now();
+        let secs = now
+            .duration_since(prev_t)
+            .as_secs_f64()
+            .max(f64::MIN_POSITIVE);
+
+        let reads = (read_count(&curr) - read_count(&prev)).max(0.0);
+        let updates = (curr.scalar("tdb_serve_ops_applied_total").unwrap_or(0.0)
+            - prev.scalar("tdb_serve_ops_applied_total").unwrap_or(0.0))
+        .max(0.0);
+        let frame = WatchFrame {
+            epoch: health_u64(&health, "epoch"),
+            status: health_str(&health, "status"),
+            reads_per_sec: reads / secs,
+            updates_per_sec: updates / secs,
+            read_p99: p99_from_bucket_deltas(&prev, &curr, &READ_HISTOGRAMS),
+            queue_depth: health_u64(&health, "queue_depth") as i64,
+            queue_capacity: health_u64(&health, "queue_capacity") as i64,
+            publish_age_ms: health_u64(&health, "publish_age_ms"),
+        };
+        sink(&frame.format());
+        frames.push(frame);
+        prev = curr;
+        prev_t = now;
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::prelude::*;
+    use tdb_core::Algorithm;
+    use tdb_dynamic::SolveDynamic;
+    use tdb_graph::builder::graph_from_edges;
+    use tdb_serve::{CoverServer, ServeConfig};
+
+    #[test]
+    fn parser_reads_scalars_and_histograms() {
+        let text = "\
+# TYPE tdb_x_total counter
+tdb_x_total 41
+# TYPE tdb_build_info gauge
+tdb_build_info{version=\"0.1.0\",features=\"default\"} 1
+# TYPE tdb_h histogram
+tdb_h_bucket{le=\"0.001\"} 2
+tdb_h_bucket{le=\"0.01\"} 5
+tdb_h_bucket{le=\"+Inf\"} 6
+tdb_h_sum 0.5
+tdb_h_count 6
+";
+        let e = parse_prometheus(text);
+        assert_eq!(e.scalar("tdb_x_total"), Some(41.0));
+        assert_eq!(
+            e.scalar("tdb_build_info{version=\"0.1.0\",features=\"default\"}"),
+            Some(1.0)
+        );
+        let h = e.histogram("tdb_h").expect("histogram parsed");
+        assert_eq!(h.count, 6);
+        assert_eq!(h.buckets.len(), 3);
+        assert_eq!(h.buckets[0], (0.001, 2));
+        assert_eq!(h.buckets[2].1, 6);
+        assert!(h.buckets[2].0.is_infinite());
+    }
+
+    #[test]
+    fn p99_uses_interval_deltas_not_lifetime_counts() {
+        // Lifetime: lots of fast requests. Interval: only slow ones.
+        let prev = parse_prometheus(
+            "tdb_h_bucket{le=\"0.001\"} 1000\ntdb_h_bucket{le=\"0.1\"} 1000\ntdb_h_bucket{le=\"+Inf\"} 1000\n",
+        );
+        let curr = parse_prometheus(
+            "tdb_h_bucket{le=\"0.001\"} 1000\ntdb_h_bucket{le=\"0.1\"} 1010\ntdb_h_bucket{le=\"+Inf\"} 1010\n",
+        );
+        let p99 = p99_from_bucket_deltas(&prev, &curr, &["tdb_h"]).expect("interval had samples");
+        assert!(
+            (p99 - 0.1).abs() < 1e-12,
+            "p99 must come from the slow interval bucket, got {p99}"
+        );
+        // No observations in the interval → None.
+        assert_eq!(p99_from_bucket_deltas(&curr, &curr, &["tdb_h"]), None);
+    }
+
+    #[test]
+    fn watch_renders_rolling_frames_against_a_live_server() {
+        let graph = graph_from_edges(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let dynamic = Solver::new(Algorithm::TdbPlusPlus)
+            .solve_dynamic(graph, &HopConstraint::new(4))
+            .unwrap();
+        let server = CoverServer::start(dynamic, ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        // Background traffic so the deltas are nonzero.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let traffic = {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).unwrap();
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let _ = c.cover((i % 5) as u32);
+                    if i % 10 == 0 {
+                        let _ = c.insert((i % 5) as u32, ((i + 2) % 5) as u32);
+                    }
+                    i += 1;
+                }
+            })
+        };
+
+        let mut lines = Vec::new();
+        let frames = run_watch(
+            &WatchConfig {
+                addr: addr.to_string(),
+                iterations: 2,
+                interval: Duration::from_millis(120),
+            },
+            |l| lines.push(l.to_string()),
+        )
+        .expect("watch run succeeds");
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        traffic.join().unwrap();
+
+        assert_eq!(frames.len(), 2);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("reads/s"), "{lines:?}");
+        assert!(lines[0].contains("queue"), "{lines:?}");
+        assert!(frames.iter().any(|f| f.reads_per_sec > 0.0), "{frames:#?}");
+        assert!(frames.iter().all(|f| f.status == "ok"), "{frames:#?}");
+
+        let mut c = ServeClient::connect(addr).unwrap();
+        c.shutdown().unwrap();
+        server.join();
+    }
+}

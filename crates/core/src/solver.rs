@@ -364,6 +364,15 @@ impl<'a> SolveContext<'a> {
         tdb_obs::counter!("tdb_solve_filter_released_total").add(metrics.filter_released);
         tdb_obs::counter!("tdb_solve_scc_released_total").add(metrics.scc_released);
         tdb_obs::counter!("tdb_solve_minimal_pruned_total").add(metrics.minimal_pruned);
+        tdb_obs::event!(
+            tdb_obs::Level::Debug,
+            "core/solve",
+            algo = metrics.algorithm.clone(),
+            k = metrics.k,
+            elapsed_us = metrics.elapsed.as_secs_f64() * 1e6,
+            cycle_queries = metrics.cycle_queries,
+            minimal_pruned = metrics.minimal_pruned,
+        );
     }
 
     /// Metrics accumulated over every solve performed with this context.

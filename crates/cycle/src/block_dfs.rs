@@ -122,7 +122,13 @@ impl BlockSearcher {
         s: VertexId,
         constraint: &HopConstraint,
     ) -> Option<Vec<VertexId>> {
-        let _timer = tdb_obs::histogram!("tdb_cycle_block_query_seconds").start();
+        // Sampled 1-in-64: queries run in the microsecond range, so timing
+        // every one would dominate the instrumentation budget on hot solves.
+        let _timer = if self.stats.queries & 0x3F == 0 {
+            tdb_obs::histogram!("tdb_cycle_block_query_seconds").start()
+        } else {
+            None
+        };
         self.ensure_capacity(g.vertex_count());
         self.stats.queries += 1;
         if !active.is_active(s) || g.out_deg(s) == 0 || g.in_deg(s) == 0 {

@@ -33,6 +33,7 @@ pub struct EdgeCycleSearcher {
     bfs: BoundedBfs,
     on_path: FixedBitSet,
     dfs: DfsArena,
+    queries: u64,
 }
 
 impl EdgeCycleSearcher {
@@ -42,6 +43,7 @@ impl EdgeCycleSearcher {
             bfs: BoundedBfs::new(n),
             on_path: FixedBitSet::new(n),
             dfs: DfsArena::new(),
+            queries: 0,
         }
     }
 
@@ -73,7 +75,15 @@ impl EdgeCycleSearcher {
         v: VertexId,
         constraint: &HopConstraint,
     ) -> Option<Vec<VertexId>> {
-        let _timer = tdb_obs::histogram!("tdb_cycle_edge_query_seconds").start();
+        // Sampled 1-in-64: per-query timing would dominate the
+        // instrumentation budget on hot update batches (see the block
+        // searcher).
+        let _timer = if self.queries & 0x3F == 0 {
+            tdb_obs::histogram!("tdb_cycle_edge_query_seconds").start()
+        } else {
+            None
+        };
+        self.queries += 1;
         self.ensure_capacity(g.vertex_count());
         if u == v || !active.is_active(u) || !active.is_active(v) || !g.contains_edge(u, v) {
             return None;

@@ -27,6 +27,7 @@ use crate::HopConstraint;
 pub struct NaiveSearcher {
     on_path: FixedBitSet,
     dfs: DfsArena,
+    queries: u64,
 }
 
 impl NaiveSearcher {
@@ -35,6 +36,7 @@ impl NaiveSearcher {
         NaiveSearcher {
             on_path: FixedBitSet::new(n),
             dfs: DfsArena::new(),
+            queries: 0,
         }
     }
 
@@ -67,7 +69,14 @@ impl NaiveSearcher {
         start: VertexId,
         constraint: &HopConstraint,
     ) -> Option<Vec<VertexId>> {
-        let _timer = tdb_obs::histogram!("tdb_cycle_naive_query_seconds").start();
+        // Sampled 1-in-64: per-query timing would dominate the
+        // instrumentation budget on hot solves (see the block searcher).
+        let _timer = if self.queries & 0x3F == 0 {
+            tdb_obs::histogram!("tdb_cycle_naive_query_seconds").start()
+        } else {
+            None
+        };
+        self.queries += 1;
         self.ensure_capacity(g.vertex_count());
         if !active.is_active(start) {
             return None;

@@ -353,6 +353,12 @@ impl DynamicCover {
         self.graph.compact();
         self.totals.compactions += 1;
         tdb_obs::counter!("tdb_dynamic_compactions_total").inc();
+        tdb_obs::event!(
+            tdb_obs::Level::Info,
+            "dynamic/compact",
+            compactions = self.totals.compactions,
+            edges = self.graph.edge_count(),
+        );
     }
 
     fn insert_inner(&mut self, u: VertexId, v: VertexId, window: &mut UpdateMetrics) -> usize {

@@ -50,6 +50,42 @@ impl Json {
         out
     }
 
+    /// Render on a single line with no whitespace — the JSONL shape the
+    /// flight-recorder exports use (one event per line).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Str(s) => write_escaped(out, s),
@@ -204,6 +240,21 @@ mod tests {
     fn set_replaces_existing_keys() {
         let doc = Json::obj().set("k", 1u64).set("k", 2u64);
         assert_eq!(doc, Json::obj().set("k", 2u64));
+    }
+
+    #[test]
+    fn compact_render_is_single_line() {
+        let doc = Json::obj()
+            .set("a", 1u64)
+            .set(
+                "b",
+                Json::Arr(vec![Json::Bool(true), Json::Str("x\ny".into())]),
+            )
+            .set("c", Json::obj());
+        assert_eq!(
+            doc.render_compact(),
+            "{\"a\":1,\"b\":[true,\"x\\ny\"],\"c\":{}}"
+        );
     }
 
     #[test]

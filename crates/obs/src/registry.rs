@@ -85,6 +85,7 @@ impl Gauge {
 enum Metric {
     Counter(Counter),
     Gauge(Gauge),
+    LabeledGauge(Vec<(String, String)>, Gauge),
     Histogram(Histogram),
 }
 
@@ -92,7 +93,7 @@ impl Metric {
     fn kind(&self) -> &'static str {
         match self {
             Metric::Counter(_) => "counter",
-            Metric::Gauge(_) => "gauge",
+            Metric::Gauge(_) | Metric::LabeledGauge(..) => "gauge",
             Metric::Histogram(_) => "histogram",
         }
     }
@@ -158,6 +159,30 @@ impl Registry {
         }
     }
 
+    /// Get or create a gauge rendered with a fixed label set, e.g.
+    /// `tdb_build_info{version="0.1.0",features=""} 1`. Label *names* must be
+    /// valid metric identifiers; label *values* are arbitrary and escaped per
+    /// the Prometheus text format on render. The labels of the first
+    /// registration win; later calls return the same cell.
+    pub fn labeled_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        for (k, _) in labels {
+            validate_name(k);
+        }
+        let create = || {
+            Metric::LabeledGauge(
+                labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                Gauge::default(),
+            )
+        };
+        match self.metric(name, create) {
+            Metric::LabeledGauge(_, g) => g,
+            other => panic!("metric {name:?} is a {}, not a labeled gauge", other.kind()),
+        }
+    }
+
     /// Get or create the histogram `name` (gated by this registry's enabled
     /// flag).
     pub fn histogram(&self, name: &str) -> Histogram {
@@ -194,6 +219,16 @@ impl Registry {
                 Metric::Gauge(g) => {
                     let _ = writeln!(out, "{name} {}", g.get());
                 }
+                Metric::LabeledGauge(labels, g) => {
+                    let _ = write!(out, "{name}{{");
+                    for (i, (k, v)) in labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+                    }
+                    let _ = writeln!(out, "}} {}", g.get());
+                }
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
                     let mut cumulative = 0u64;
@@ -213,6 +248,42 @@ impl Registry {
         }
         out
     }
+}
+
+/// Escape a Prometheus label value per the text exposition format:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Register the build-info and process start-time metrics into `registry`:
+/// `tdb_build_info{version=...,features=...} 1` and
+/// `tdb_process_start_time_seconds` (Unix seconds, captured process-wide on
+/// the first call). Idempotent — servers call this once at startup.
+pub fn register_process_metrics(registry: &Registry, version: &str, features: &str) {
+    registry
+        .labeled_gauge(
+            "tdb_build_info",
+            &[("version", version), ("features", features)],
+        )
+        .set(1);
+    static START_UNIX_SECS: OnceLock<i64> = OnceLock::new();
+    let start = *START_UNIX_SECS.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0)
+    });
+    registry.gauge("tdb_process_start_time_seconds").set(start);
 }
 
 fn validate_name(name: &str) {
@@ -309,6 +380,61 @@ mod tests {
         let mm = text.find("# TYPE mm_seconds").unwrap();
         let zz = text.find("# TYPE zz_total").unwrap();
         assert!(aa < mm && mm < zz, "names must render sorted:\n{text}");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_and_newlines() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(
+            escape_label_value("\\\"\n"),
+            "\\\\\\\"\\n",
+            "all three escapes compose"
+        );
+    }
+
+    #[test]
+    fn labeled_gauge_renders_escaped_single_line_series() {
+        let reg = Registry::new();
+        reg.labeled_gauge(
+            "test_info",
+            &[("version", "1.0\"x"), ("features", "a\nb\\c")],
+        )
+        .set(1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE test_info gauge\n"));
+        assert!(
+            text.contains("test_info{version=\"1.0\\\"x\",features=\"a\\nb\\\\c\"} 1\n"),
+            "escaped series must stay on one physical line:\n{text}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn labeled_gauge_validates_label_names() {
+        let _ = Registry::new().labeled_gauge("test_info", &[("bad name", "v")]);
+    }
+
+    #[test]
+    fn process_metrics_register_build_info_and_start_time() {
+        let reg = Registry::new();
+        register_process_metrics(&reg, "9.9.9", "foo,bar");
+        register_process_metrics(&reg, "9.9.9", "foo,bar"); // idempotent
+        let text = reg.render_prometheus();
+        assert!(text.contains("tdb_build_info{version=\"9.9.9\",features=\"foo,bar\"} 1\n"));
+        let start_line = text
+            .lines()
+            .find(|l| l.starts_with("tdb_process_start_time_seconds "))
+            .expect("start-time gauge rendered");
+        let secs: i64 = start_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(secs > 1_600_000_000, "unix seconds, not zero: {secs}");
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Thread-scoped request correlation: a current-request cell that stamps
+//! spans and flight-recorder events with the id of the protocol request being
+//! served, plus a per-request phase breakdown accumulated from closing spans.
+//!
+//! The serve front end assigns every accepted protocol line a request id and
+//! installs it with [`begin`]; everything recorded on that thread until the
+//! returned [`RequestScope`] drops — trace spans, `event!` records — carries
+//! the id, so one slow `BREAKERS?` can be reconstructed end to end from the
+//! drained trace. Outside a request scope [`current`] is `0` and the cost of
+//! the integration is a thread-local read, so solver hot paths running on
+//! non-serving threads are unaffected.
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+
+/// Upper bound on distinct phase names kept per request; extra names are
+/// folded into the count of [`PHASE_OVERFLOW`].
+const MAX_PHASES: usize = 32;
+
+/// Synthetic phase name charged when a request exceeds [`MAX_PHASES`]
+/// distinct span names.
+pub const PHASE_OVERFLOW: &str = "other";
+
+/// One aggregated phase of a request: span name, total microseconds, count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Span name (e.g. `serve/breakers`).
+    pub name: Cow<'static, str>,
+    /// Total time spent in spans with this name, microseconds.
+    pub total_us: f64,
+    /// Number of spans folded into `total_us`.
+    pub count: u64,
+}
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    static BREAKDOWN: RefCell<Vec<Phase>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The request id active on this thread, or `0` when none is.
+#[inline]
+pub fn current() -> u64 {
+    CURRENT.with(|c| c.get())
+}
+
+/// Whether a request scope is active on this thread.
+#[inline]
+pub fn is_active() -> bool {
+    current() != 0
+}
+
+/// Enter a request scope: spans and events recorded on this thread carry
+/// `id` until the returned guard drops. Passing `0` clears the scope.
+/// Scopes nest (the previous id is restored on drop); the phase breakdown
+/// is shared across the nest.
+#[must_use = "the request scope ends when the guard drops"]
+pub fn begin(id: u64) -> RequestScope {
+    let prev = CURRENT.with(|c| c.replace(id));
+    if prev == 0 {
+        BREAKDOWN.with(|b| b.borrow_mut().clear());
+    }
+    RequestScope { prev }
+}
+
+/// An active request scope; restores the previously active id on drop.
+#[derive(Debug)]
+pub struct RequestScope {
+    prev: u64,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Charge `dur_us` microseconds to phase `name` of the active request.
+/// Closing trace spans call this automatically; a no-op outside a scope.
+//
+// `&Cow` (not `&str`): the phase table stores `Cow<'static, str>`, and only
+// the *first* occurrence of a name must clone — `&str` would force every
+// call to re-own dynamically named spans, `Cow` by value would clone even
+// when the entry already exists.
+#[allow(clippy::ptr_arg)]
+pub fn record_phase(name: &Cow<'static, str>, dur_us: f64) {
+    if !is_active() {
+        return;
+    }
+    BREAKDOWN.with(|b| {
+        let mut phases = b.borrow_mut();
+        if let Some(p) = phases.iter_mut().find(|p| p.name == *name) {
+            p.total_us += dur_us;
+            p.count += 1;
+        } else if phases.len() < MAX_PHASES {
+            phases.push(Phase {
+                name: name.clone(),
+                total_us: dur_us,
+                count: 1,
+            });
+        } else if let Some(p) = phases.iter_mut().find(|p| p.name == PHASE_OVERFLOW) {
+            p.total_us += dur_us;
+            p.count += 1;
+        } else {
+            // First spill past MAX_PHASES distinct names: add the bucket.
+            phases.push(Phase {
+                name: Cow::Borrowed(PHASE_OVERFLOW),
+                total_us: dur_us,
+                count: 1,
+            });
+        }
+    });
+}
+
+/// Take (and clear) the phase breakdown accumulated on this thread for the
+/// active request, ordered by descending total time.
+pub fn take_breakdown() -> Vec<Phase> {
+    BREAKDOWN.with(|b| {
+        let mut phases = std::mem::take(&mut *b.borrow_mut());
+        phases.sort_by(|a, b| {
+            b.total_us
+                .partial_cmp(&a.total_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        phases
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_sets_and_restores_the_id() {
+        assert_eq!(current(), 0);
+        assert!(!is_active());
+        {
+            let _outer = begin(7);
+            assert_eq!(current(), 7);
+            {
+                let _inner = begin(9);
+                assert_eq!(current(), 9);
+            }
+            assert_eq!(current(), 7);
+        }
+        assert_eq!(current(), 0);
+    }
+
+    #[test]
+    fn phases_aggregate_by_name_and_sort_by_total() {
+        let _scope = begin(3);
+        record_phase(&Cow::Borrowed("a"), 1.0);
+        record_phase(&Cow::Borrowed("b"), 10.0);
+        record_phase(&Cow::Borrowed("a"), 2.0);
+        let phases = take_breakdown();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].name, "b");
+        assert_eq!(phases[1].name, "a");
+        assert_eq!(phases[1].total_us, 3.0);
+        assert_eq!(phases[1].count, 2);
+        assert!(take_breakdown().is_empty(), "take must clear");
+    }
+
+    #[test]
+    fn phases_outside_a_scope_are_dropped() {
+        record_phase(&Cow::Borrowed("ignored"), 5.0);
+        let _scope = begin(1);
+        assert!(take_breakdown().is_empty());
+    }
+
+    #[test]
+    fn phase_overflow_folds_into_other() {
+        let _scope = begin(2);
+        for i in 0..(MAX_PHASES + 5) {
+            record_phase(&Cow::Owned(format!("phase-{i}")), 1.0);
+        }
+        let phases = take_breakdown();
+        assert_eq!(phases.len(), MAX_PHASES + 1);
+        let other = phases.iter().find(|p| p.name == PHASE_OVERFLOW).unwrap();
+        assert_eq!(other.count, 5);
+    }
+
+    #[test]
+    fn fresh_scope_clears_stale_breakdown() {
+        {
+            let _scope = begin(4);
+            record_phase(&Cow::Borrowed("stale"), 1.0);
+            // Dropped without taking the breakdown.
+        }
+        let _scope = begin(5);
+        assert!(take_breakdown().is_empty());
+    }
+}

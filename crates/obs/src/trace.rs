@@ -3,11 +3,17 @@
 //! `ui.perfetto.dev`).
 //!
 //! The tracer is process-global and **disabled by default** — a disabled
-//! [`span`] call is one relaxed atomic load and returns `None`, so
-//! instrumented hot paths pay no clock read and no allocation. When enabled,
-//! each thread records into its own ring buffer (newest events win on
-//! overflow; the drop count is kept), so recording never blocks another
-//! recording thread.
+//! [`span`] call is one relaxed atomic load plus one thread-local read (the
+//! request-correlation check) and returns `None`, so instrumented hot paths
+//! pay no clock read and no allocation. When enabled, each thread records
+//! into its own ring buffer (newest events win on overflow; the drop count
+//! is kept), so recording never blocks another recording thread.
+//!
+//! Spans are request-correlated: an event records the id installed by
+//! [`crate::request::begin`] on its thread (0 outside a request scope), and
+//! closing spans charge their duration to the request's phase breakdown via
+//! [`crate::request::record_phase`] — even while the tracer itself is off,
+//! so slow-query records always carry a breakdown.
 
 use std::borrow::Cow;
 use std::cell::OnceCell;
@@ -32,6 +38,9 @@ pub struct TraceEvent {
     pub dur_us: f64,
     /// Recording thread's tracer-assigned id.
     pub tid: u64,
+    /// Correlated request id ([`crate::request::current`] at close); `0`
+    /// outside a request scope.
+    pub request_id: u64,
 }
 
 #[derive(Debug, Default)]
@@ -106,7 +115,10 @@ pub fn span_owned(name: String) -> Option<SpanGuard> {
 }
 
 fn span_cow(name: Cow<'static, str>) -> Option<SpanGuard> {
-    if !is_enabled() {
+    // A span is armed when the tracer records, or when a request scope is
+    // active on this thread (the phase breakdown wants the timing even if
+    // the trace ring doesn't) — otherwise the disabled fast path applies.
+    if !is_enabled() && !crate::request::is_active() {
         return None;
     }
     Some(SpanGuard {
@@ -126,6 +138,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let start_us = self.start_us;
         let dur_us = (now_us() - start_us).max(0.0);
+        crate::request::record_phase(&self.name, dur_us);
         record_complete(std::mem::take(&mut self.name), start_us, dur_us);
     }
 }
@@ -161,6 +174,7 @@ pub fn record_complete(name: impl Into<Cow<'static, str>>, start_us: f64, dur_us
             start_us,
             dur_us,
             tid,
+            request_id: crate::request::current(),
         });
     });
 }
@@ -201,21 +215,56 @@ pub fn dropped() -> u64 {
 
 /// Render events as a Chrome trace-event JSON document (the object form with
 /// a `traceEvents` array of "X" complete events), loadable in
-/// `chrome://tracing` and Perfetto.
+/// `chrome://tracing` and Perfetto. Request-correlated spans carry the id in
+/// `args.request`.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
-    let items = events
+    chrome_trace_json_with_events(events, &[])
+}
+
+/// [`chrome_trace_json`] plus flight-recorder events interleaved as Chrome
+/// "i" (instant) events, so one export shows spans and structured events on
+/// a shared timeline.
+pub fn chrome_trace_json_with_events(
+    spans: &[TraceEvent],
+    events: &[crate::event::Event],
+) -> String {
+    let mut items = spans
         .iter()
         .map(|e| {
-            Json::obj()
+            let mut obj = Json::obj()
                 .set("name", e.name.as_ref())
                 .set("cat", "tdb")
                 .set("ph", "X")
                 .set("ts", e.start_us)
                 .set("dur", e.dur_us)
                 .set("pid", 1u64)
-                .set("tid", e.tid)
+                .set("tid", e.tid);
+            if e.request_id != 0 {
+                obj = obj.set("args", Json::obj().set("request", e.request_id));
+            }
+            obj
         })
         .collect::<Vec<_>>();
+    for e in events {
+        let mut args = Json::obj().set("level", e.level.as_str());
+        if e.request_id != 0 {
+            args = args.set("request", e.request_id);
+        }
+        for (k, v) in &e.fields {
+            args = args.set(k, Json::from(v));
+        }
+        items.push(
+            Json::obj()
+                .set("name", e.target)
+                .set("cat", "tdb-event")
+                .set("ph", "i")
+                .set("s", "p")
+                .set("ts", e.ts_us)
+                .set("pid", 1u64)
+                .set("tid", 0u64)
+                .set("args", args),
+        );
+    }
     Json::obj()
         .set("traceEvents", Json::Arr(items))
         .set("displayTimeUnit", "ms")
@@ -275,6 +324,7 @@ mod tests {
             start_us: 10.5,
             dur_us: 2.25,
             tid: 3,
+            request_id: 0,
         }];
         let text = chrome_trace_json(&events);
         assert!(text.contains("\"traceEvents\": ["));
@@ -283,5 +333,69 @@ mod tests {
         assert!(text.contains("\"ts\": 10.5"));
         assert!(text.contains("\"dur\": 2.25"));
         assert!(text.contains("\"displayTimeUnit\": \"ms\""));
+        assert!(
+            !text.contains("\"request\""),
+            "uncorrelated spans omit args"
+        );
+    }
+
+    #[test]
+    fn chrome_json_interleaves_spans_and_instant_events() {
+        let spans = vec![TraceEvent {
+            name: Cow::Borrowed("serve/breakers"),
+            start_us: 5.0,
+            dur_us: 1.0,
+            tid: 2,
+            request_id: 11,
+        }];
+        let events = vec![crate::event::Event {
+            seq: 1,
+            level: crate::event::Level::Warn,
+            ts_us: 5.5,
+            target: "serve/slow_query",
+            request_id: 11,
+            fields: vec![("verb", crate::event::Value::from("BREAKERS?"))],
+        }];
+        let text = chrome_trace_json_with_events(&spans, &events);
+        assert!(text.contains("\"ph\": \"X\""));
+        assert!(text.contains("\"ph\": \"i\""));
+        assert!(text.contains("\"name\": \"serve/slow_query\""));
+        assert!(text.contains("\"request\": 11"));
+        assert!(text.contains("\"verb\": \"BREAKERS?\""));
+    }
+
+    #[test]
+    fn spans_inside_a_request_scope_carry_the_id_and_feed_the_breakdown() {
+        let _guard = lock();
+        set_enabled(true);
+        drain();
+        {
+            let _scope = crate::request::begin(23);
+            let _span = span("test/correlated");
+        }
+        set_enabled(false);
+        let events = drain();
+        let e = events
+            .iter()
+            .find(|e| e.name == "test/correlated")
+            .expect("span recorded");
+        assert_eq!(e.request_id, 23);
+    }
+
+    #[test]
+    fn request_scope_arms_spans_even_with_the_tracer_off() {
+        let _guard = lock();
+        set_enabled(false);
+        drain();
+        let _scope = crate::request::begin(31);
+        {
+            let _span = span("test/phase_only");
+            assert!(_span.is_some(), "request scope must arm the span");
+        }
+        assert!(drain().is_empty(), "tracer off: ring stays empty");
+        let phases = crate::request::take_breakdown();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].name, "test/phase_only");
+        assert_eq!(phases[0].count, 1);
     }
 }

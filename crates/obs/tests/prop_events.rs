@@ -1,0 +1,176 @@
+//! Property/concurrency coverage for the flight recorder (`tdb_obs::event`):
+//! multi-thread bursts below capacity lose nothing, overflow keeps the
+//! newest events in order with an exact drop count, and draining while
+//! other threads record never blocks or tears an event.
+//!
+//! The recorder is process-global, so every test serializes on one lock and
+//! restores the default capacity/enabled state before releasing it.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+
+use tdb_obs::event::{self, Value};
+use tdb_obs::Level;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn field_u64(e: &event::Event, key: &str) -> u64 {
+    match e.fields.iter().find(|(k, _)| *k == key) {
+        Some((_, Value::U64(v))) => *v,
+        other => panic!("field {key}: {other:?}"),
+    }
+}
+
+#[test]
+fn multi_thread_bursts_below_capacity_lose_nothing() {
+    let _guard = lock();
+    event::set_enabled(true);
+    event::drain();
+    let drops_before = event::dropped();
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 1_000; // well below the per-thread ring capacity
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    tdb_obs::event!(Level::Debug, "prop/burst", t = t, i = i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    event::set_enabled(false);
+    let events: Vec<_> = event::drain()
+        .into_iter()
+        .filter(|e| e.target == "prop/burst")
+        .collect();
+    assert_eq!(events.len(), (THREADS * PER_THREAD) as usize);
+    assert_eq!(event::dropped(), drops_before, "no overflow below capacity");
+
+    // Every (thread, index) pair arrives exactly once, and per-thread order
+    // is preserved in the sequence-sorted drain.
+    let mut seen = BTreeSet::new();
+    let mut last_i = vec![None::<u64>; THREADS as usize];
+    for e in &events {
+        let (t, i) = (field_u64(e, "t"), field_u64(e, "i"));
+        assert!(seen.insert((t, i)), "duplicate event ({t}, {i})");
+        if let Some(prev) = last_i[t as usize] {
+            assert!(i > prev, "thread {t} out of order: {i} after {prev}");
+        }
+        last_i[t as usize] = Some(i);
+    }
+    assert_eq!(seen.len(), (THREADS * PER_THREAD) as usize);
+}
+
+#[test]
+fn overflow_keeps_newest_in_order_with_exact_drop_count() {
+    let _guard = lock();
+    event::set_enabled(true);
+    event::drain();
+    let drops_before = event::dropped();
+
+    const CAPACITY: usize = 64;
+    const TOTAL: u64 = 1_000;
+    event::set_thread_capacity(CAPACITY);
+    // One recording thread: its fresh ring makes the count exact.
+    thread::spawn(|| {
+        for i in 0..TOTAL {
+            tdb_obs::event!(Level::Info, "prop/overflow", i = i);
+        }
+    })
+    .join()
+    .unwrap();
+
+    event::set_thread_capacity(event::DEFAULT_THREAD_CAPACITY);
+    event::set_enabled(false);
+    let events: Vec<_> = event::drain()
+        .into_iter()
+        .filter(|e| e.target == "prop/overflow")
+        .collect();
+    assert_eq!(events.len(), CAPACITY);
+    let expect_first = TOTAL - CAPACITY as u64;
+    for (offset, e) in events.iter().enumerate() {
+        assert_eq!(field_u64(e, "i"), expect_first + offset as u64);
+    }
+    assert_eq!(
+        event::dropped() - drops_before,
+        TOTAL - CAPACITY as u64,
+        "every overflowed event is accounted for"
+    );
+}
+
+#[test]
+fn drain_during_concurrent_record_never_blocks_or_tears() {
+    let _guard = lock();
+    event::set_enabled(true);
+    event::drain();
+
+    const WRITERS: u64 = 4;
+    const PER_THREAD: u64 = 5_000;
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    tdb_obs::event!(Level::Debug, "prop/race", t = t, i = i, tag = "payload");
+                }
+            })
+        })
+        .collect();
+
+    // Drain and peek continuously while the writers hammer the rings. Each
+    // observed event must be whole: both counters present and the payload
+    // string intact.
+    let mut collected = Vec::new();
+    let drainer = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut rounds = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let _ = event::recent();
+                rounds += 1;
+            }
+            rounds
+        })
+    };
+    while collected
+        .iter()
+        .filter(|e: &&event::Event| e.target == "prop/race")
+        .count()
+        < (WRITERS * PER_THREAD) as usize
+    {
+        collected.extend(event::drain());
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    collected.extend(event::drain());
+    stop.store(true, Ordering::Relaxed);
+    let rounds = drainer.join().unwrap();
+    assert!(rounds > 0, "concurrent peeker made progress");
+    event::set_enabled(false);
+
+    let mut seen = BTreeSet::new();
+    for e in collected.iter().filter(|e| e.target == "prop/race") {
+        let (t, i) = (field_u64(e, "t"), field_u64(e, "i"));
+        match e.fields.iter().find(|(k, _)| *k == "tag") {
+            Some((_, Value::Str(s))) => assert_eq!(s, "payload", "torn payload at ({t}, {i})"),
+            other => panic!("missing tag field: {other:?}"),
+        }
+        assert!(seen.insert((t, i)), "duplicate event ({t}, {i})");
+    }
+    assert_eq!(
+        seen.len(),
+        (WRITERS * PER_THREAD) as usize,
+        "drain-while-recording must not lose events below capacity"
+    );
+}

@@ -237,6 +237,24 @@ impl ServeClient {
         Ok(body)
     }
 
+    /// `HEALTH?` — the watchdog's classification as key → value pairs
+    /// (`status`, `reasons`, `heartbeat_age_ms`, `publish_age_ms`,
+    /// `queue_depth`, `queue_capacity`, `batches_since_minimize`, `epoch`).
+    pub fn health(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        let line = self.round_trip("HEALTH?")?;
+        parse_kv(&line, "HEALTH").map_err(|e| ClientError::Malformed(format!("{e}: {line:?}")))
+    }
+
+    /// The `status` field of [`ServeClient::health`] (convenience).
+    pub fn health_status(&mut self) -> Result<String, ClientError> {
+        let pairs = self.health()?;
+        pairs
+            .into_iter()
+            .find(|(k, _)| k == "status")
+            .map(|(_, v)| v)
+            .ok_or_else(|| ClientError::Malformed("missing HEALTH key \"status\"".into()))
+    }
+
     /// `PING`.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.expect_exact("PING", "OK PONG")

@@ -18,6 +18,7 @@
 //! 4. The writer captures [`DynamicCover::state`] and publishes it as the next
 //!    epoch. Readers pick it up on their next [`SnapshotCell::load`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,7 +28,13 @@ use tdb_dynamic::{DynamicCover, EdgeBatch, EdgeOp};
 use tdb_graph::VertexId;
 use tdb_obs::{Counter, Gauge, Histogram, Registry};
 
+use crate::health::{HealthConfig, HealthMonitor};
 use crate::snapshot::{CoverSnapshot, SnapshotCell};
+
+/// How often the idle writer loop wakes to heartbeat into the
+/// [`HealthMonitor`] (and to notice an injected nap). Well under the default
+/// [`HealthConfig::stall_after`], so an idle engine never looks stalled.
+const HEARTBEAT_TICK: Duration = Duration::from_millis(25);
 
 /// Tuning knobs of the [`CoverEngine`] writer loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +52,8 @@ pub struct EngineConfig {
     /// Run the component-scoped `minimize()` after every this many batches
     /// (`0` disables periodic minimization; the cover stays valid either way).
     pub minimize_every: usize,
+    /// Watchdog thresholds (`HEALTH?` / `GET /healthz` classification).
+    pub health: HealthConfig,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +63,7 @@ impl Default for EngineConfig {
             batch_window: Duration::from_millis(2),
             queue_capacity: 4096,
             minimize_every: 32,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -172,6 +182,8 @@ pub struct CoverEngine {
     snapshots: Arc<SnapshotCell>,
     stats: Arc<EngineStats>,
     registry: Registry,
+    health: Arc<HealthMonitor>,
+    nap_ns: Arc<AtomicU64>,
     writer: Option<JoinHandle<DynamicCover>>,
     shutdown_tx: SyncSender<Msg>,
 }
@@ -186,6 +198,13 @@ impl CoverEngine {
         let stats = Arc::new(EngineStats::register(&registry));
         let epoch_latency = registry.histogram("tdb_serve_epoch_publish_seconds");
         let snapshots = Arc::new(SnapshotCell::new(CoverSnapshot::new(0, cover.state())));
+        let health = Arc::new(HealthMonitor::new(
+            config.health,
+            config.queue_capacity,
+            config.minimize_every,
+            stats.queue_depth.clone(),
+        ));
+        let nap_ns = Arc::new(AtomicU64::new(0));
         let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
         let queue = UpdateQueue {
             tx: tx.clone(),
@@ -194,9 +213,22 @@ impl CoverEngine {
         let writer = {
             let snapshots = Arc::clone(&snapshots);
             let stats = Arc::clone(&stats);
+            let health = Arc::clone(&health);
+            let nap_ns = Arc::clone(&nap_ns);
             std::thread::Builder::new()
                 .name("tdb-serve-writer".into())
-                .spawn(move || writer_loop(cover, config, rx, snapshots, stats, epoch_latency))
+                .spawn(move || {
+                    writer_loop(
+                        cover,
+                        config,
+                        rx,
+                        snapshots,
+                        stats,
+                        epoch_latency,
+                        health,
+                        nap_ns,
+                    )
+                })
                 .expect("spawning the writer thread cannot fail")
         };
         CoverEngine {
@@ -204,6 +236,8 @@ impl CoverEngine {
             snapshots,
             stats,
             registry,
+            health,
+            nap_ns,
             writer: Some(writer),
             shutdown_tx: tx,
         }
@@ -232,6 +266,19 @@ impl CoverEngine {
         self.registry.clone()
     }
 
+    /// The watchdog monitor the writer loop heartbeats into; evaluate it for
+    /// `HEALTH?` / `GET /healthz` answers.
+    pub fn health(&self) -> Arc<HealthMonitor> {
+        Arc::clone(&self.health)
+    }
+
+    /// Test/chaos hook: make the writer sleep this long at the top of every
+    /// loop iteration *without* heartbeating, simulating a wedged writer.
+    /// `Duration::ZERO` clears the injection.
+    pub fn inject_writer_sleep(&self, nap: Duration) {
+        self.nap_ns.store(nap.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Graceful shutdown: the writer finishes operations already in the queue
     /// ahead of the shutdown marker, publishes a final epoch, and returns the
     /// engine state for inspection or persistence.
@@ -251,6 +298,7 @@ impl Drop for CoverEngine {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal: called from exactly one site
 fn writer_loop(
     mut cover: DynamicCover,
     config: EngineConfig,
@@ -258,23 +306,36 @@ fn writer_loop(
     snapshots: Arc<SnapshotCell>,
     stats: Arc<EngineStats>,
     epoch_latency: Histogram,
+    health: Arc<HealthMonitor>,
+    nap_ns: Arc<AtomicU64>,
 ) -> DynamicCover {
     let mut batch = EdgeBatch::new();
     let mut epoch = snapshots.epoch();
     let mut batches_since_minimize = 0usize;
     let mut shutting_down = false;
+    health.beat();
+    health.published();
     'serve: loop {
-        // Block for the batch's first operation. Channel order is FIFO, so
-        // the first op is also the oldest — its enqueue time bounds the
-        // enqueue→publish latency of everything in the batch.
+        // Injected nap (test/chaos hook): sleep *before* the beat, so the
+        // heartbeat ages while the writer is wedged.
+        let nap = nap_ns.load(Ordering::Relaxed);
+        if nap > 0 {
+            std::thread::sleep(Duration::from_nanos(nap));
+        }
+        health.beat();
+        // Wait for the batch's first operation, waking every tick to
+        // heartbeat while idle. Channel order is FIFO, so the first op is
+        // also the oldest — its enqueue time bounds the enqueue→publish
+        // latency of everything in the batch.
         let oldest_enqueued;
-        match rx.recv() {
+        match rx.recv_timeout(HEARTBEAT_TICK) {
             Ok(Msg::Op(op, enqueued)) => {
                 stats.queue_depth.dec();
                 oldest_enqueued = enqueued;
                 batch.push(op);
             }
-            Ok(Msg::Shutdown) | Err(_) => break 'serve,
+            Err(RecvTimeoutError::Timeout) => continue 'serve,
+            Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => break 'serve,
         }
         // Fill the rest of the window: up to max_batch ops or batch_window
         // elapsed, whichever comes first.
@@ -306,15 +367,24 @@ fn writer_loop(
         let window = cover.apply(&batch);
         batch.clear();
         batches_since_minimize += 1;
+        health.batch_applied();
         if config.minimize_every > 0 && batches_since_minimize >= config.minimize_every {
             let pruned = cover.minimize();
             stats.pruned.add(pruned as u64);
             stats.minimizes.inc();
             batches_since_minimize = 0;
+            health.minimized();
+            tdb_obs::event!(
+                tdb_obs::Level::Debug,
+                "serve/minimize",
+                pruned = pruned,
+                epoch = epoch + 1
+            );
         }
 
         epoch += 1;
         snapshots.publish(CoverSnapshot::new(epoch, cover.state()));
+        health.published();
         drop(batch_span);
         epoch_latency.record(oldest_enqueued.elapsed());
         stats.applied.add(consumed);

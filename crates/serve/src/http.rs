@@ -1,0 +1,186 @@
+//! Standard exposition: a minimal std-only HTTP/1.0 listener so stock
+//! tooling can scrape the service without speaking the line protocol.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the engine registry plus
+//!   the process-global registry (same body as the `METRICS` verb).
+//! * `GET /healthz` — `200` with the watchdog status in the body, `503` when
+//!   the writer is classified `stalled`.
+//! * `GET /events` — recent flight-recorder events as JSON Lines (a
+//!   non-consuming peek; post-mortem drains still see everything).
+//!
+//! The listener mirrors the line-protocol server's shape: a nonblocking
+//! accept loop polling the shared shutdown flag, one thread per connection.
+//! Each connection serves exactly one request and closes (HTTP/1.0, no
+//! keep-alive), so handler threads are short-lived and need no registry.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tdb_obs::Registry;
+
+use crate::health::{HealthMonitor, HealthStatus};
+
+/// How often the accept loop re-checks the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection socket timeout: a scraper that stalls mid-request is
+/// dropped rather than pinning a handler thread.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Cap on request-line plus header bytes read from one connection.
+const MAX_REQUEST_BYTES: u64 = 16 * 1024;
+
+/// A running exposition listener.
+#[derive(Debug)]
+pub(crate) struct HttpExporter {
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl HttpExporter {
+    /// Bind `addr` and start serving scrapes until `shutdown` flips.
+    pub(crate) fn start(
+        addr: &str,
+        registry: Registry,
+        health: Arc<HealthMonitor>,
+        shutdown: Arc<AtomicBool>,
+    ) -> std::io::Result<HttpExporter> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let accept = std::thread::Builder::new()
+            .name("tdb-serve-http".into())
+            .spawn(move || {
+                while !shutdown.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let registry = registry.clone();
+                            let health = Arc::clone(&health);
+                            let _ = std::thread::Builder::new()
+                                .name("tdb-serve-http-conn".into())
+                                .spawn(move || serve_connection(stream, &registry, &health));
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                        Err(_) => std::thread::sleep(POLL),
+                    }
+                }
+            })
+            .expect("spawning the http accept thread cannot fail");
+        Ok(HttpExporter {
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Join the accept loop (the shared shutdown flag must already be set).
+    pub(crate) fn wind_down(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, registry: &Registry, health: &HealthMonitor) {
+    if stream.set_read_timeout(Some(IO_TIMEOUT)).is_err()
+        || stream.set_write_timeout(Some(IO_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s.take(MAX_REQUEST_BYTES),
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so well-behaved clients see a clean close, ignoring
+    // errors — the response does not depend on any header.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header.trim().is_empty() => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return,
+    };
+    let response = if method != "GET" {
+        http_response(
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "method not allowed\n",
+        )
+    } else {
+        match path.split('?').next().unwrap_or(path) {
+            "/metrics" => {
+                tdb_obs::export_drop_counters();
+                let mut body = registry.render_prometheus();
+                body.push_str(&tdb_obs::global().render_prometheus());
+                http_response(200, "OK", "text/plain; version=0.0.4", &body)
+            }
+            "/healthz" => {
+                let report = health.evaluate();
+                let mut body = String::from(report.status.as_str());
+                for reason in &report.reasons {
+                    body.push('\n');
+                    body.push_str(reason);
+                }
+                body.push('\n');
+                match report.status {
+                    HealthStatus::Stalled => {
+                        http_response(503, "Service Unavailable", "text/plain", &body)
+                    }
+                    _ => http_response(200, "OK", "text/plain", &body),
+                }
+            }
+            "/events" => {
+                let body = tdb_obs::event::jsonl(&tdb_obs::event::recent());
+                http_response(200, "OK", "application/x-ndjson", &body)
+            }
+            _ => http_response(404, "Not Found", "text/plain", "not found\n"),
+        }
+    };
+    let mut writer = stream;
+    let _ = writer.write_all(response.as_bytes());
+    let _ = writer.flush();
+}
+
+fn http_response(status: u16, reason: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_have_http_10_framing() {
+        let r = http_response(200, "OK", "text/plain", "hello\n");
+        assert!(r.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 6\r\n"));
+        assert!(r.ends_with("\r\n\r\nhello\n"));
+    }
+}

@@ -20,8 +20,17 @@
 //!   `BREAKERS?` via two hop-bounded BFS passes, per-breaker stats).
 //! * **transport** — [`CoverServer`] / [`ServeClient`]: a line-based text
 //!   protocol over TCP (`COVER?`, `BREAKERS?`, `INSERT`, `DELETE`, `STATS`,
-//!   `SNAPSHOT`, `PING`, `SHUTDOWN`) with graceful shutdown; grammar in
-//!   [`protocol`].
+//!   `SNAPSHOT`, `METRICS`, `HEALTH?`, `PING`, `SHUTDOWN`) with graceful
+//!   shutdown; grammar in [`protocol`]. Every accepted line gets a request
+//!   id that stamps the spans/events recorded while serving it, and
+//!   over-threshold requests land in the flight recorder as
+//!   `serve/slow_query` records.
+//!
+//! Two operational surfaces ride on top: the [`health`] watchdog (writer
+//! heartbeat, queue saturation, publish staleness, minimize cadence —
+//! `HEALTH?` over the wire) and an optional std-only HTTP/1.0 listener
+//! ([`ServeConfig::http_addr`]) exposing `GET /metrics`, `GET /healthz`,
+//! and `GET /events` to stock scrapers.
 //!
 //! # Soundness of epoch publication
 //!
@@ -73,12 +82,15 @@
 
 pub mod client;
 pub mod engine;
+pub mod health;
+mod http;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 
 pub use client::{BreakersAnswer, ClientError, CoverAnswer, ServeClient};
 pub use engine::{CoverEngine, EngineConfig, EngineStats, UpdateQueue};
+pub use health::{HealthConfig, HealthMonitor, HealthReport, HealthStatus};
 pub use server::{CoverServer, ServeConfig, ServerStats};
 pub use snapshot::{
     BreakerScratch, BreakerStat, CoverSnapshot, ExplainAnswer, ResidualAnswer, SnapshotCell,

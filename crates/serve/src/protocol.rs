@@ -10,6 +10,7 @@
 //!           | "BREAKERS?" SP vertex SP vertex
 //!           | "EXPLAIN?" SP vertex
 //!           | "RESIDUAL?"
+//!           | "HEALTH?"
 //!           | "INSERT" SP vertex SP vertex
 //!           | "DELETE" SP vertex SP vertex
 //!           | "STATS" | "SNAPSHOT" | "METRICS" | "PING" | "SHUTDOWN"
@@ -21,6 +22,7 @@
 //!           | "BREAKERS" SP epoch SP count {SP vertex} (BREAKERS?)
 //!           | "EXPLAIN" {SP key "=" value}             (EXPLAIN?)
 //!           | "RESIDUAL" {SP key "=" value}            (RESIDUAL?)
+//!           | "HEALTH" {SP key "=" value}              (HEALTH?)
 //!           | "QUEUED"                                 (INSERT / DELETE)
 //!           | "STATS" {SP key "=" value}               (STATS)
 //!           | "SNAPSHOT" {SP key "=" value}            (SNAPSHOT)
@@ -39,6 +41,10 @@
 //! `cost`, `cycles`, `truncated`). `RESIDUAL?` counts constrained cycles the
 //! published cover fails to break (keys `epoch`, `count`, `truncated`) — the
 //! wire-level completeness audit, `count=0` on a healthy service.
+//! `HEALTH?` answers the watchdog's classification (keys `status` —
+//! `ok`/`degraded`/`stalled` — `reasons` as comma-joined machine-readable
+//! codes, `heartbeat_age_ms`, `publish_age_ms`, `queue_depth`,
+//! `queue_capacity`, `batches_since_minimize`, `epoch`).
 //!
 //! `key` and `value` are percent-escaped ([`kv_response`] / [`parse_kv`]):
 //! `%`, space, `=`, TAB, CR and LF appear as `%25` `%20` `%3d` `%09` `%0d`
@@ -70,6 +76,8 @@ pub enum Request {
     Explain(VertexId),
     /// `RESIDUAL?` — count of constrained cycles the cover fails to break.
     Residual,
+    /// `HEALTH?` — the watchdog's current classification of the engine.
+    Health,
     /// `INSERT u v` — enqueue an edge insertion.
     Insert(VertexId, VertexId),
     /// `DELETE u v` — enqueue an edge removal.
@@ -124,6 +132,7 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
         }
         "EXPLAIN?" => Request::Explain(vertex(tokens.next(), verb)?),
         "RESIDUAL?" => Request::Residual,
+        "HEALTH?" => Request::Health,
         "INSERT" => Request::Insert(vertex(tokens.next(), verb)?, vertex(tokens.next(), verb)?),
         "DELETE" => Request::Delete(vertex(tokens.next(), verb)?, vertex(tokens.next(), verb)?),
         "STATS" => Request::Stats,
@@ -269,6 +278,8 @@ mod tests {
         );
         assert_eq!(parse_request("EXPLAIN? 12"), Ok(Request::Explain(12)));
         assert_eq!(parse_request("RESIDUAL?"), Ok(Request::Residual));
+        assert_eq!(parse_request("HEALTH?"), Ok(Request::Health));
+        assert!(parse_request("HEALTH? 1").is_err(), "no-arg verb with arg");
         assert_eq!(parse_request("INSERT 0 1"), Ok(Request::Insert(0, 1)));
         assert_eq!(parse_request("DELETE 1 0"), Ok(Request::Delete(1, 0)));
         assert_eq!(parse_request("STATS"), Ok(Request::Stats));

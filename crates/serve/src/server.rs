@@ -11,12 +11,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tdb_dynamic::DynamicCover;
-use tdb_obs::{Histogram, Registry};
+use tdb_obs::{Counter, Histogram, Registry};
 
 use crate::engine::{CoverEngine, EngineConfig, EngineStats, UpdateQueue};
+use crate::health::HealthMonitor;
+use crate::http::HttpExporter;
 use crate::protocol::{
     breakers_response, cover_response, err_response, kv_response, metrics_response, parse_request,
     queued_response, Request,
@@ -26,6 +28,9 @@ use crate::snapshot::{BreakerScratch, SnapshotCell};
 /// How often blocked accept/read loops re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(25);
 
+/// Longest argument string kept verbatim in a slow-query record.
+const SLOW_ARGS_CAP: usize = 120;
+
 /// Configuration of a [`CoverServer`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -34,6 +39,14 @@ pub struct ServeConfig {
     pub addr: String,
     /// Writer-loop tuning.
     pub engine: EngineConfig,
+    /// Bind address of the HTTP exposition listener (`GET /metrics`,
+    /// `/healthz`, `/events`); `None` disables it. Port 0 picks a free port
+    /// (see [`CoverServer::http_addr`]).
+    pub http_addr: Option<String>,
+    /// Requests at or above this latency are captured into the flight
+    /// recorder as `serve/slow_query` events (verb, args, latency, phase
+    /// breakdown); `None` disables the slow-query log.
+    pub slow_request_threshold: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +54,8 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             engine: EngineConfig::default(),
+            http_addr: None,
+            slow_request_threshold: Some(Duration::from_millis(250)),
         }
     }
 }
@@ -58,7 +73,8 @@ pub struct ServerStats {
     pub errors: AtomicU64,
 }
 
-/// A running cover service: resident engine + TCP accept loop.
+/// A running cover service: resident engine + TCP accept loop (+ optionally
+/// the HTTP exposition listener).
 #[derive(Debug)]
 pub struct CoverServer {
     local_addr: SocketAddr,
@@ -69,6 +85,8 @@ pub struct CoverServer {
     snapshots: Arc<SnapshotCell>,
     engine_stats: Arc<EngineStats>,
     server_stats: Arc<ServerStats>,
+    health: Arc<HealthMonitor>,
+    http: Option<HttpExporter>,
 }
 
 impl CoverServer {
@@ -78,7 +96,14 @@ impl CoverServer {
         let snapshots = engine.snapshots();
         let engine_stats = engine.stats();
         let registry = engine.registry();
+        let health = engine.health();
+        tdb_obs::registry::register_process_metrics(
+            &registry,
+            env!("CARGO_PKG_VERSION"),
+            "default",
+        );
         let verbs = Arc::new(VerbHistograms::register(&registry));
+        let slow_requests = registry.counter("tdb_serve_slow_requests_total");
         let server_stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(Mutex::new(Vec::new()));
@@ -86,6 +111,16 @@ impl CoverServer {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+
+        let http = match &config.http_addr {
+            Some(addr) => Some(HttpExporter::start(
+                addr,
+                registry.clone(),
+                Arc::clone(&health),
+                Arc::clone(&shutdown),
+            )?),
+            None => None,
+        };
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
@@ -96,6 +131,9 @@ impl CoverServer {
             let server_stats = Arc::clone(&server_stats);
             let registry = registry.clone();
             let verbs = Arc::clone(&verbs);
+            let health = Arc::clone(&health);
+            let request_ids = Arc::new(AtomicU64::new(0));
+            let slow_threshold = config.slow_request_threshold;
             std::thread::Builder::new()
                 .name("tdb-serve-accept".into())
                 .spawn(move || {
@@ -111,6 +149,10 @@ impl CoverServer {
                                     server_stats: Arc::clone(&server_stats),
                                     registry: registry.clone(),
                                     verbs: Arc::clone(&verbs),
+                                    health: Arc::clone(&health),
+                                    request_ids: Arc::clone(&request_ids),
+                                    slow_threshold,
+                                    slow_requests: slow_requests.clone(),
                                 };
                                 let handle = std::thread::Builder::new()
                                     .name("tdb-serve-conn".into())
@@ -140,12 +182,37 @@ impl CoverServer {
             snapshots,
             engine_stats,
             server_stats,
+            health,
+            http,
         })
     }
 
     /// The bound address (resolves port 0 to the actual port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The HTTP exposition listener's bound address, when one is configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http.as_ref().map(|h| h.local_addr())
+    }
+
+    /// The watchdog monitor (what `HEALTH?` and `GET /healthz` evaluate).
+    pub fn health(&self) -> Arc<HealthMonitor> {
+        Arc::clone(&self.health)
+    }
+
+    /// The engine's metric registry (serve-layer counters and histograms).
+    pub fn registry(&self) -> Registry {
+        self.engine.as_ref().expect("server is running").registry()
+    }
+
+    /// Test/chaos hook: see [`CoverEngine::inject_writer_sleep`].
+    pub fn inject_writer_sleep(&self, nap: Duration) {
+        self.engine
+            .as_ref()
+            .expect("server is running")
+            .inject_writer_sleep(nap);
     }
 
     /// The snapshot cell — in-process consumers (audits, the load generator)
@@ -191,6 +258,9 @@ impl CoverServer {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        if let Some(http) = self.http.as_mut() {
+            http.wind_down();
+        }
         let handles: Vec<_> = std::mem::take(
             &mut *self
                 .connections
@@ -226,6 +296,7 @@ struct VerbHistograms {
     stats: Histogram,
     snapshot: Histogram,
     metrics: Histogram,
+    health: Histogram,
     ping: Histogram,
     shutdown: Histogram,
 }
@@ -243,6 +314,7 @@ impl VerbHistograms {
             stats: h("stats"),
             snapshot: h("snapshot"),
             metrics: h("metrics"),
+            health: h("health"),
             ping: h("ping"),
             shutdown: h("shutdown"),
         }
@@ -259,6 +331,7 @@ impl VerbHistograms {
             Request::Stats => &self.stats,
             Request::Snapshot => &self.snapshot,
             Request::Metrics => &self.metrics,
+            Request::Health => &self.health,
             Request::Ping => &self.ping,
             Request::Shutdown => &self.shutdown,
         }
@@ -274,6 +347,12 @@ struct Connection {
     server_stats: Arc<ServerStats>,
     registry: Registry,
     verbs: Arc<VerbHistograms>,
+    health: Arc<HealthMonitor>,
+    /// Shared across connections: every accepted protocol line gets the next
+    /// id, which stamps the spans and events recorded while serving it.
+    request_ids: Arc<AtomicU64>,
+    slow_threshold: Option<Duration>,
+    slow_requests: Counter,
 }
 
 impl Connection {
@@ -306,7 +385,19 @@ impl Connection {
                 line.clear();
                 continue; // blank lines are keep-alives, not errors
             }
+            // Correlate everything recorded while serving this line — spans
+            // in the snapshot readers, flight-recorder events — under one
+            // fresh request id, and capture a slow-query record when the
+            // request overruns the configured threshold.
+            let request_id = self.request_ids.fetch_add(1, Ordering::Relaxed) + 1;
+            let scope = tdb_obs::request::begin(request_id);
+            let started = Instant::now();
             let (response, stop) = self.respond(&line, &mut scratch);
+            let latency = started.elapsed();
+            if self.slow_threshold.is_some_and(|t| latency >= t) {
+                self.record_slow_query(&line, latency);
+            }
+            drop(scope);
             line.clear();
             if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
                 return;
@@ -316,6 +407,43 @@ impl Connection {
                 return;
             }
         }
+    }
+
+    /// Capture a `serve/slow_query` flight-recorder event for the request
+    /// just served: verb, (truncated) args, latency, and the span-phase
+    /// breakdown accumulated on this thread. Runs inside the request scope,
+    /// so the event carries the request id.
+    fn record_slow_query(&self, line: &str, latency: Duration) {
+        self.slow_requests.inc();
+        let mut tokens = line.split_whitespace();
+        let verb = tokens.next().unwrap_or("").to_string();
+        let mut args = tokens.collect::<Vec<_>>().join(" ");
+        if args.len() > SLOW_ARGS_CAP {
+            let mut cut = SLOW_ARGS_CAP;
+            while !args.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            args.truncate(cut);
+        }
+        let mut phases = String::new();
+        for p in tdb_obs::request::take_breakdown() {
+            if !phases.is_empty() {
+                phases.push(';');
+            }
+            let _ = std::fmt::Write::write_fmt(
+                &mut phases,
+                format_args!("{}={:.1}us*{}", p.name, p.total_us, p.count),
+            );
+        }
+        tdb_obs::event!(
+            tdb_obs::Level::Warn,
+            "serve/slow_query",
+            verb = verb,
+            args = args,
+            latency_us = latency.as_micros() as u64,
+            epoch = self.snapshots.epoch(),
+            phases = phases
+        );
     }
 
     /// Answer one request line; the flag says "this was SHUTDOWN".
@@ -418,7 +546,30 @@ impl Connection {
             }
             Request::Metrics => {
                 self.server_stats.reads.fetch_add(1, Ordering::Relaxed);
+                tdb_obs::export_drop_counters();
                 metrics_response(&self.registry, tdb_obs::global())
+            }
+            Request::Health => {
+                let report = self.health.evaluate();
+                kv_response(
+                    "HEALTH",
+                    &[
+                        ("status", report.status.as_str().to_string()),
+                        ("reasons", report.reasons.join(",")),
+                        (
+                            "heartbeat_age_ms",
+                            report.heartbeat_age.as_millis().to_string(),
+                        ),
+                        ("publish_age_ms", report.publish_age.as_millis().to_string()),
+                        ("queue_depth", report.queue_depth.to_string()),
+                        ("queue_capacity", report.queue_capacity.to_string()),
+                        (
+                            "batches_since_minimize",
+                            report.batches_since_minimize.to_string(),
+                        ),
+                        ("epoch", self.snapshots.epoch().to_string()),
+                    ],
+                )
             }
             Request::Snapshot => {
                 let snap = self.snapshots.load();

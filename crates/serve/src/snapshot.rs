@@ -137,6 +137,7 @@ impl CoverSnapshot {
     /// at `tdb_core::request::BREAKER_CYCLE_CAP`; `truncated` marks a hit
     /// cap. Returns `None` for an out-of-range vertex id.
     pub fn explain(&self, v: VertexId) -> Option<ExplainAnswer> {
+        let _span = tdb_obs::trace::span("serve/explain");
         let n = self.vertex_count();
         if v as usize >= n {
             return None;
@@ -162,6 +163,7 @@ impl CoverSnapshot {
     /// The resident engine repairs after every update, so a healthy service
     /// answers 0 — the verb is the wire-level completeness audit.
     pub fn residual(&self) -> ResidualAnswer {
+        let _span = tdb_obs::trace::span("serve/residual");
         let n = self.vertex_count();
         let g = self.materialized();
         let active = self.state.cover.reduced_active_set(n);
@@ -252,6 +254,7 @@ impl CoverSnapshot {
         u: VertexId,
         v: VertexId,
     ) -> Vec<VertexId> {
+        let _span = tdb_obs::trace::span("serve/breakers");
         let n = self.vertex_count();
         let k = self.state.constraint.max_hops;
         if u == v || k < 2 || u as usize >= n || v as usize >= n {
@@ -259,20 +262,26 @@ impl CoverSnapshot {
         }
         scratch.fit(n);
         let budget = k - 1; // the edge (u, v) itself spends one hop
-        scratch.forward.run(
-            &self.state.graph,
-            &scratch.active,
-            v,
-            budget,
-            Direction::Forward,
-        );
-        scratch.backward.run(
-            &self.state.graph,
-            &scratch.active,
-            u,
-            budget,
-            Direction::Backward,
-        );
+        {
+            let _bfs = tdb_obs::trace::span("serve/bfs_forward");
+            scratch.forward.run(
+                &self.state.graph,
+                &scratch.active,
+                v,
+                budget,
+                Direction::Forward,
+            );
+        }
+        {
+            let _bfs = tdb_obs::trace::span("serve/bfs_backward");
+            scratch.backward.run(
+                &self.state.graph,
+                &scratch.active,
+                u,
+                budget,
+                Direction::Backward,
+            );
+        }
         self.state
             .cover
             .iter()

@@ -269,3 +269,39 @@ fn metrics_verb_serves_prometheus_exposition() {
     assert!(hit.contained);
     server.shutdown();
 }
+
+#[test]
+fn hostile_label_values_cannot_break_metrics_framing() {
+    // A label value containing the exposition's own framing header (and a
+    // backslash and quote for good measure) must be escaped to a single
+    // line, so the `OK METRICS <n>` line count stays truthful and the
+    // connection survives the round trip.
+    let server = start_server(&[(0, 1), (1, 2), (2, 0)], 4);
+    let hostile = "evil\nOK METRICS 0\nERR \"quoted\\path\"";
+    server
+        .registry()
+        .labeled_gauge("tdb_test_hostile_info", &[("origin", hostile)])
+        .set(1);
+
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let exposition = client.metrics().unwrap();
+    let line = exposition
+        .lines()
+        .find(|l| l.starts_with("tdb_test_hostile_info"))
+        .expect("hostile gauge rendered");
+    assert!(
+        line.contains("\\nOK METRICS 0\\n"),
+        "newlines are escaped, not emitted: {line}"
+    );
+    assert!(line.contains("\\\\path"), "backslashes escaped: {line}");
+    assert!(line.contains("\\\"quoted"), "quotes escaped: {line}");
+    assert!(
+        line.ends_with("\"} 1"),
+        "still one well-formed sample: {line}"
+    );
+
+    // Framing stayed intact: the connection still answers afterwards.
+    client.ping().unwrap();
+    assert!(client.cover(0).unwrap().contained || !exposition.is_empty());
+    server.shutdown();
+}

@@ -38,9 +38,20 @@ fn main() {
         dynamic.cover().len(),
         t.elapsed().as_secs_f64() * 1e3
     );
-    let server = CoverServer::start(dynamic, ServeConfig::default())
-        .expect("binding a loopback port cannot fail");
+    let server = CoverServer::start(
+        dynamic,
+        ServeConfig {
+            // Also expose GET /metrics, /healthz and /events for stock
+            // scrapers (the line protocol's METRICS / HEALTH? equivalents).
+            http_addr: Some("127.0.0.1:0".to_string()),
+            ..Default::default()
+        },
+    )
+    .expect("binding a loopback port cannot fail");
     println!("serving on {}", server.local_addr());
+    if let Some(http) = server.http_addr() {
+        println!("http exposition on http://{http}/metrics /healthz /events");
+    }
 
     // A screening worker: membership and breaker queries over TCP.
     let mut client = ServeClient::connect(server.local_addr()).expect("connect");
@@ -75,6 +86,13 @@ fn main() {
         .filter(|&a| client.cover(a).expect("COVER?").contained)
         .count();
     println!("the new cycle is broken by {covered} breaker(s) among its own vertices");
+
+    // The watchdog keeps the deployment honest: writer heartbeat, queue
+    // saturation, publish staleness, minimize cadence.
+    println!(
+        "HEALTH?           -> {}",
+        client.health_status().expect("HEALTH?")
+    );
 
     // Graceful shutdown returns the final engine state for persistence.
     client.shutdown().expect("SHUTDOWN");

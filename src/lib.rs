@@ -25,9 +25,11 @@
 //!   [`ServeClient`](tdb_serve::ServeClient)).
 //! * [`obs`] (`tdb-obs`) — zero-dependency observability: a process-global
 //!   metrics registry (atomic counters, gauges, log2-bucket latency
-//!   histograms with a Prometheus text exposition) and a span tracer that
-//!   exports Chrome trace-event JSON, wired through the solver phases, the
-//!   dynamic engine, and the serve protocol's `METRICS` verb.
+//!   histograms with a Prometheus text exposition), a span tracer that
+//!   exports Chrome trace-event JSON, and a structured flight recorder
+//!   (`event!`) with request-id correlation — wired through the solver
+//!   phases, the dynamic engine, and the serve protocol's `METRICS` /
+//!   `HEALTH?` verbs and HTTP exposition endpoints.
 //! * [`datasets`] (`tdb-datasets`) — the paper's Table II catalog and synthetic
 //!   proxy synthesis.
 //!
@@ -123,7 +125,7 @@ pub mod prelude {
     pub use tdb_graph::{
         ActiveSet, CsrGraph, DeltaGraph, Graph, GraphBuilder, GraphView, VertexId,
     };
-    pub use tdb_serve::{CoverServer, ServeClient, ServeConfig};
+    pub use tdb_serve::{CoverServer, HealthStatus, ServeClient, ServeConfig};
 }
 
 #[cfg(test)]
